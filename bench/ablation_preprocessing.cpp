@@ -1,0 +1,78 @@
+// Ablation (beyond the paper's figures, motivated by Section 4.1): what does
+// each preprocessing stage buy? Compares boundary detection driven by
+//   raw      thresholding the raw PCM samples directly (W = dW = 1),
+//   MA       the sliding-window moving average only (alpha = 1), and
+//   MA+EWMA  the full SDS/B pipeline (Table 1 defaults),
+// on k-means under the bus locking attack. The paper's claim: raw
+// thresholding is inaccurate because of random variation; MA reduces it;
+// EWMA smooths further.
+#include <iostream>
+
+#include "common/bench_common.h"
+#include "common/csv.h"
+#include "common/flags.h"
+#include "eval/report.h"
+#include "stats/chebyshev.h"
+
+int main(int argc, char** argv) {
+  using namespace sds;
+  Flags flags;
+  if (!flags.Parse(argc, argv, {"runs", "seed", "app"})) return 1;
+  const int runs = static_cast<int>(flags.GetInt("runs", 3));
+  const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed", 81));
+  const std::string app = flags.GetString("app", "kmeans");
+
+  bench::PrintBenchHeader(
+      std::cout, "bench_ablation_preprocessing",
+      "Ablation of the Section 4.1 preprocessing pipeline (raw vs MA vs "
+      "MA+EWMA)");
+
+  struct Variant {
+    const char* name;
+    detect::DetectorParams params;
+  };
+  std::vector<Variant> variants;
+  {
+    // Raw thresholding: no averaging at all. H_C rescaled so the minimum
+    // detection time H_C * dW * T_PCM stays at the Table 1 value (15 s);
+    // the per-sample violation probability is NOT Chebyshev-thin here,
+    // which is exactly the weakness this ablation demonstrates.
+    detect::DetectorParams p;
+    p.window = 1;
+    p.step = 1;
+    p.alpha = 1.0;
+    p.h_c = 1500;
+    variants.push_back({"raw threshold", p});
+  }
+  {
+    detect::DetectorParams p;  // W=200, dW=50
+    p.alpha = 1.0;             // EWMA disabled: S_n == M_n
+    variants.push_back({"MA only", p});
+  }
+  {
+    detect::DetectorParams p;  // full Table 1 pipeline
+    variants.push_back({"MA + EWMA", p});
+  }
+
+  const int threads = eval::DefaultThreads();
+  TextTable table;
+  table.SetHeader({"preprocessing", "recall", "specificity", "delay (s)"});
+  for (const auto& v : variants) {
+    eval::DetectionRunConfig cfg;
+    cfg.app = app;
+    cfg.attack = eval::AttackKind::kBusLock;
+    cfg.scheme = eval::Scheme::kSdsB;
+    cfg.params = v.params;
+    const auto agg = eval::AggregateDetection(cfg, runs, seed, threads);
+    table.Row(v.name, FormatFixed(agg.recall.median, 2),
+              FormatFixed(agg.specificity.median, 2),
+              FormatFixed(agg.delay_seconds.median, 1));
+    std::cout << "." << std::flush;
+  }
+  std::cout << "\n\n";
+  table.Print(std::cout);
+  std::cout << "\nExpected: the smoothed variants hold high specificity; "
+               "raw thresholding trades accuracy for nothing (its per-"
+               "sample variance makes the Chebyshev bound loose).\n";
+  return 0;
+}

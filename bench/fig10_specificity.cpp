@@ -1,0 +1,54 @@
+// Figure 10: specificity of SDS vs KStest (plus SDS/B and SDS/P for the
+// periodic applications), per application, for both attacks' clean stages.
+#include <iostream>
+
+#include "common/bench_common.h"
+#include "common/csv.h"
+#include "eval/report.h"
+
+int main(int argc, char** argv) {
+  using namespace sds;
+  bench::SweepOptions options;
+  if (!bench::ParseSweepFlags(argc, argv, options)) return 1;
+
+  bench::PrintBenchHeader(
+      std::cout, "bench_fig10_specificity",
+      "Figure 10 (a: bus locking, b: LLC cleansing): specificity, median "
+      "with 10th/90th percentile bars over seeded runs");
+
+  const auto rows = bench::RunOrLoadAccuracySweep(options, std::cout);
+
+  double sds_sum = 0.0;
+  double ks_sum = 0.0;
+  int sds_n = 0;
+  int ks_n = 0;
+  for (eval::AttackKind attack :
+       {eval::AttackKind::kBusLock, eval::AttackKind::kLlcCleansing}) {
+    std::cout << "Figure 10("
+              << (attack == eval::AttackKind::kBusLock ? 'a' : 'b')
+              << "): specificity during the attack-free stage ("
+              << eval::AttackName(attack) << " experiment)\n\n";
+    TextTable table;
+    table.SetHeader({"application", "scheme", "specificity med [p10, p90]"});
+    for (const auto& row : rows) {
+      if (row.attack != attack) continue;
+      table.Row(row.app, eval::SchemeName(row.scheme),
+                eval::FormatSummary(row.agg.specificity, 2));
+      if (row.scheme == eval::Scheme::kSds) {
+        sds_sum += row.agg.specificity.median;
+        ++sds_n;
+      } else if (row.scheme == eval::Scheme::kKsTest) {
+        ks_sum += row.agg.specificity.median;
+        ++ks_n;
+      }
+    }
+    table.Print(std::cout);
+    std::cout << '\n';
+  }
+  std::cout << "mean median specificity: SDS "
+            << FormatFixed(100.0 * sds_sum / sds_n, 1) << "%  vs  KStest "
+            << FormatFixed(100.0 * ks_sum / ks_n, 1)
+            << "%\nShape check (paper): SDS 90-100%, KStest only 30-80% — "
+               "SDS up to 65% higher.\n";
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Atomic bus locking attack (paper Section 2.2).
+//
+// Modern processors serialize exotic atomic operations by locking every
+// internal memory bus in the socket. The attack program simply issues such
+// operations in a tight loop; each one reserves an exclusive lock window on
+// the shared bus, starving co-located VMs of bus bandwidth and causing the
+// victim's AccessNum to collapse (Observation 1, bus-lock half).
+#pragma once
+
+#include <cstdint>
+
+#include "vm/workload.h"
+
+namespace sds::attacks {
+
+struct BusLockConfig {
+  // Atomic locked operations attempted per tick. At 40 bus slots per lock
+  // (sim::BusConfig::atomic_lock_slots) a few hundred per tick saturate the
+  // default 9000-slot bus.
+  std::uint32_t atomics_per_tick = 400;
+  // The attack loop's working buffer (the atomics' memory targets), in
+  // lines. Tiny and cache-resident, as in the real attack.
+  std::uint32_t buffer_lines = 64;
+};
+
+class BusLockAttacker final : public vm::Workload {
+ public:
+  explicit BusLockAttacker(const BusLockConfig& config);
+
+  void Bind(LineAddr base, Rng rng) override;
+  void BeginTick(Tick now) override;
+  bool NextOp(sim::MemOp& op) override;
+  void OnOutcome(const sim::MemOp& op, sim::AccessOutcome outcome) override;
+  std::uint64_t work_completed() const override { return locks_issued_; }
+  std::string_view name() const override { return "bus-lock-attack"; }
+
+  std::uint64_t locks_issued() const { return locks_issued_; }
+
+ private:
+  BusLockConfig config_;
+  LineAddr base_ = 0;
+  std::uint32_t cursor_ = 0;
+  std::uint32_t ops_left_this_tick_ = 0;
+  std::uint64_t locks_issued_ = 0;
+};
+
+}  // namespace sds::attacks

@@ -1,0 +1,40 @@
+#include "attacks/pulsing_workload.h"
+
+#include "common/check.h"
+
+namespace sds::attacks {
+
+PulsingWorkload::PulsingWorkload(std::unique_ptr<vm::Workload> inner,
+                                 Tick on_ticks, Tick off_ticks, Tick phase)
+    : inner_(std::move(inner)),
+      on_ticks_(on_ticks),
+      off_ticks_(off_ticks),
+      phase_(phase) {
+  SDS_CHECK(inner_ != nullptr, "pulsing workload needs an inner workload");
+  SDS_CHECK(on_ticks > 0, "on window must be positive");
+  SDS_CHECK(off_ticks >= 0, "off window must be non-negative");
+}
+
+void PulsingWorkload::Bind(LineAddr base, Rng rng) { inner_->Bind(base, rng); }
+
+void PulsingWorkload::BeginTick(Tick now) {
+  const Tick cycle = on_ticks_ + off_ticks_;
+  const Tick position = ((now - phase_) % cycle + cycle) % cycle;
+  active_ = position < on_ticks_;
+  if (active_) inner_->BeginTick(now);
+}
+
+bool PulsingWorkload::NextOp(sim::MemOp& op) {
+  return active_ && inner_->NextOp(op);
+}
+
+void PulsingWorkload::OnOutcome(const sim::MemOp& op,
+                                sim::AccessOutcome outcome) {
+  if (active_) inner_->OnOutcome(op, outcome);
+}
+
+std::uint64_t PulsingWorkload::work_completed() const {
+  return inner_->work_completed();
+}
+
+}  // namespace sds::attacks

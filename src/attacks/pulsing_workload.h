@@ -1,0 +1,44 @@
+// Intermittent ("pulsing") attack execution — an evasion strategy the paper
+// leaves to future work: instead of attacking continuously, the attacker
+// alternates on/off bursts, hoping to stay under SDS/B's consecutive-
+// violation threshold (an off-phase shorter than one EWMA step still
+// degrades the victim, but bursts shorter than H_C EWMA steps reset the
+// counter). The evasion ablation bench sweeps the duty cycle and measures
+// both the detection probability and the damage the attacker still inflicts.
+#pragma once
+
+#include <memory>
+
+#include "vm/workload.h"
+
+namespace sds::attacks {
+
+class PulsingWorkload final : public vm::Workload {
+ public:
+  // The inner program executes during the first `on_ticks` of every
+  // `on_ticks + off_ticks` cycle, starting at tick `phase`.
+  PulsingWorkload(std::unique_ptr<vm::Workload> inner, Tick on_ticks,
+                  Tick off_ticks, Tick phase = 0);
+
+  void Bind(LineAddr base, Rng rng) override;
+  void BeginTick(Tick now) override;
+  bool NextOp(sim::MemOp& op) override;
+  void OnOutcome(const sim::MemOp& op, sim::AccessOutcome outcome) override;
+  std::uint64_t work_completed() const override;
+  std::string_view name() const override { return inner_->name(); }
+
+  bool active() const { return active_; }
+  double duty_cycle() const {
+    return static_cast<double>(on_ticks_) /
+           static_cast<double>(on_ticks_ + off_ticks_);
+  }
+
+ private:
+  std::unique_ptr<vm::Workload> inner_;
+  Tick on_ticks_;
+  Tick off_ticks_;
+  Tick phase_;
+  bool active_ = false;
+};
+
+}  // namespace sds::attacks

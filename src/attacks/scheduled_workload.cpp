@@ -1,0 +1,38 @@
+#include "attacks/scheduled_workload.h"
+
+#include "common/check.h"
+
+namespace sds::attacks {
+
+ScheduledWorkload::ScheduledWorkload(std::unique_ptr<vm::Workload> inner,
+                                     Tick start_tick, Tick stop_tick)
+    : inner_(std::move(inner)), start_tick_(start_tick), stop_tick_(stop_tick) {
+  SDS_CHECK(inner_ != nullptr, "scheduled workload needs an inner workload");
+  SDS_CHECK(start_tick >= 0, "start tick must be non-negative");
+  SDS_CHECK(stop_tick < 0 || stop_tick > start_tick,
+            "stop must come after start");
+}
+
+void ScheduledWorkload::Bind(LineAddr base, Rng rng) {
+  inner_->Bind(base, rng);
+}
+
+void ScheduledWorkload::BeginTick(Tick now) {
+  active_ = now >= start_tick_ && (stop_tick_ < 0 || now < stop_tick_);
+  if (active_) inner_->BeginTick(now);
+}
+
+bool ScheduledWorkload::NextOp(sim::MemOp& op) {
+  return active_ && inner_->NextOp(op);
+}
+
+void ScheduledWorkload::OnOutcome(const sim::MemOp& op,
+                                  sim::AccessOutcome outcome) {
+  if (active_) inner_->OnOutcome(op, outcome);
+}
+
+std::uint64_t ScheduledWorkload::work_completed() const {
+  return inner_->work_completed();
+}
+
+}  // namespace sds::attacks

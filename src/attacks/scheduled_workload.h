@@ -1,0 +1,35 @@
+// Wraps a workload so it only executes inside a [start, stop) tick window —
+// how the evaluation harness launches an attack at the 300-second mark of a
+// 600-second run (paper Section 5.1) while the attack VM sits idle before.
+#pragma once
+
+#include <memory>
+
+#include "vm/workload.h"
+
+namespace sds::attacks {
+
+class ScheduledWorkload final : public vm::Workload {
+ public:
+  // stop < 0 means "never stops once started".
+  ScheduledWorkload(std::unique_ptr<vm::Workload> inner, Tick start_tick,
+                    Tick stop_tick);
+
+  void Bind(LineAddr base, Rng rng) override;
+  void BeginTick(Tick now) override;
+  bool NextOp(sim::MemOp& op) override;
+  void OnOutcome(const sim::MemOp& op, sim::AccessOutcome outcome) override;
+  std::uint64_t work_completed() const override;
+  std::string_view name() const override { return inner_->name(); }
+
+  bool active() const { return active_; }
+  vm::Workload& inner() { return *inner_; }
+
+ private:
+  std::unique_ptr<vm::Workload> inner_;
+  Tick start_tick_;
+  Tick stop_tick_;
+  bool active_ = false;
+};
+
+}  // namespace sds::attacks

@@ -1,0 +1,91 @@
+#include "cluster/cluster.h"
+
+#include "common/check.h"
+
+namespace sds::cluster {
+
+Cluster::Cluster(int hosts, const HostConfig& config, std::uint64_t seed) {
+  SDS_CHECK(hosts >= 1, "cluster needs at least one host");
+  Rng root(seed);
+  hosts_.reserve(static_cast<std::size_t>(hosts));
+  records_.resize(static_cast<std::size_t>(hosts));
+  for (int h = 0; h < hosts; ++h) {
+    Host host;
+    host.machine = std::make_unique<sim::Machine>(config.machine);
+    host.hypervisor = std::make_unique<vm::Hypervisor>(
+        *host.machine, config.hypervisor, root.Fork());
+    hosts_.push_back(std::move(host));
+  }
+}
+
+VmRef Cluster::Deploy(int host, const std::string& name,
+                      WorkloadFactory factory) {
+  SDS_CHECK(host >= 0 && host < host_count(), "no such host");
+  SDS_CHECK(factory != nullptr, "deployment needs a workload factory");
+  VmRef ref;
+  ref.host = host;
+  ref.id = hosts_[static_cast<std::size_t>(host)].hypervisor->CreateVm(
+      name, factory());
+  records_[static_cast<std::size_t>(host)].push_back(Record{name, factory});
+  return ref;
+}
+
+void Cluster::RunTick() {
+  for (auto& host : hosts_) host.hypervisor->RunTick();
+}
+
+Tick Cluster::now() const {
+  return hosts_.front().hypervisor->now();
+}
+
+const Cluster::Record& Cluster::RecordFor(const VmRef& ref) const {
+  SDS_CHECK(ref.valid(), "invalid VM reference");
+  SDS_CHECK(ref.host < host_count(), "no such host");
+  const auto& host_records = records_[static_cast<std::size_t>(ref.host)];
+  SDS_CHECK(ref.id <= host_records.size(), "no such VM on that host");
+  return host_records[ref.id - 1];
+}
+
+VmRef Cluster::Migrate(const VmRef& ref, int destination_host) {
+  SDS_CHECK(destination_host >= 0 && destination_host < host_count(),
+            "no such destination host");
+  SDS_CHECK(destination_host != ref.host,
+            "migration target must be a different host");
+  const Record record = RecordFor(ref);  // copy before mutation
+  StopVm(ref);
+  return Deploy(destination_host, record.name, record.factory);
+}
+
+void Cluster::StopVm(const VmRef& ref) {
+  RecordFor(ref);  // validates
+  hosts_[static_cast<std::size_t>(ref.host)]
+      .hypervisor->vm(ref.id)
+      .set_state(vm::VmState::kStopped);
+}
+
+sim::Machine& Cluster::machine(int host) {
+  SDS_CHECK(host >= 0 && host < host_count(), "no such host");
+  return *hosts_[static_cast<std::size_t>(host)].machine;
+}
+
+vm::Hypervisor& Cluster::hypervisor(int host) {
+  SDS_CHECK(host >= 0 && host < host_count(), "no such host");
+  return *hosts_[static_cast<std::size_t>(host)].hypervisor;
+}
+
+const sim::OwnerCounters& Cluster::counters(const VmRef& ref) {
+  RecordFor(ref);  // validates
+  return machine(ref.host).counters(ref.id);
+}
+
+int Cluster::runnable_vms(int host) const {
+  SDS_CHECK(host >= 0 && host < host_count(), "no such host");
+  const auto& hv = *hosts_[static_cast<std::size_t>(host)].hypervisor;
+  int runnable = 0;
+  for (OwnerId id = 1; id <= hv.vm_count(); ++id) {
+    if (hv.vm(id).runnable()) ++runnable;
+  }
+  return runnable;
+}
+
+}  // namespace sds::cluster

@@ -1,0 +1,85 @@
+// A small multi-host cluster on top of the single-machine simulator.
+//
+// The paper's Discussion (Section 6) frames detection as the trigger for a
+// provider response — "take proper actions (e.g., VM migrations) when they
+// happen". This module provides the substrate for that: several simulated
+// hosts ticking in lockstep, VM deployment by factory, and migration.
+//
+// Migration semantics: stop-and-restart. The source VM stops; a fresh
+// instance of the same workload starts on the destination host (its factory
+// is retained at deployment time). This models the contention-relief effect
+// of migration — the property the mitigation experiments measure — without
+// simulating live-migration state transfer.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "sim/machine.h"
+#include "vm/hypervisor.h"
+
+namespace sds::cluster {
+
+using WorkloadFactory = std::function<std::unique_ptr<vm::Workload>()>;
+
+struct HostConfig {
+  sim::MachineConfig machine;
+  vm::HypervisorConfig hypervisor;
+};
+
+// Identifies a VM placement within the cluster.
+struct VmRef {
+  int host = -1;
+  OwnerId id = 0;
+  bool valid() const { return host >= 0 && id != 0; }
+};
+
+class Cluster {
+ public:
+  Cluster(int hosts, const HostConfig& config, std::uint64_t seed);
+
+  // Deploys a VM built by `factory` on `host`. The factory is retained so
+  // the VM can be re-instantiated on migration.
+  VmRef Deploy(int host, const std::string& name, WorkloadFactory factory);
+
+  // Advances every host by one tick.
+  void RunTick();
+  Tick now() const;
+
+  // Stop-and-restart migration; returns the new placement. The source VM
+  // remains on its host in the stopped state (its counters freeze).
+  VmRef Migrate(const VmRef& ref, int destination_host);
+
+  // Stops a VM in place (the provider quarantining a suspected attacker).
+  void StopVm(const VmRef& ref);
+
+  int host_count() const { return static_cast<int>(hosts_.size()); }
+  sim::Machine& machine(int host);
+  vm::Hypervisor& hypervisor(int host);
+  const sim::OwnerCounters& counters(const VmRef& ref);
+
+  // Number of runnable VMs on a host (capacity/balance diagnostics).
+  int runnable_vms(int host) const;
+
+ private:
+  struct Host {
+    std::unique_ptr<sim::Machine> machine;
+    std::unique_ptr<vm::Hypervisor> hypervisor;
+  };
+  struct Record {
+    std::string name;
+    WorkloadFactory factory;
+  };
+
+  const Record& RecordFor(const VmRef& ref) const;
+
+  std::vector<Host> hosts_;
+  // records_[host][owner-1] = deployment record.
+  std::vector<std::vector<Record>> records_;
+};
+
+}  // namespace sds::cluster

@@ -1,0 +1,51 @@
+#include "cluster/mitigation.h"
+
+#include "common/check.h"
+
+namespace sds::cluster {
+
+const char* MitigationPolicyName(MitigationPolicy policy) {
+  switch (policy) {
+    case MitigationPolicy::kNone:
+      return "none";
+    case MitigationPolicy::kMigrateVictim:
+      return "migrate-victim";
+    case MitigationPolicy::kQuarantineAttacker:
+      return "quarantine-attacker";
+  }
+  return "?";
+}
+
+MitigationEngine::MitigationEngine(Cluster& cluster, const VmRef& victim,
+                                   MitigationPolicy policy, int spare_host)
+    : cluster_(cluster),
+      victim_(victim),
+      policy_(policy),
+      spare_host_(spare_host) {
+  SDS_CHECK(victim.valid(), "mitigation needs a valid victim placement");
+  SDS_CHECK(policy == MitigationPolicy::kNone ||
+                (spare_host >= 0 && spare_host < cluster.host_count() &&
+                 spare_host != victim.host),
+            "spare host must exist and differ from the victim's host");
+}
+
+void MitigationEngine::OnAlarm(OwnerId attributed_attacker) {
+  if (mitigated_ || policy_ == MitigationPolicy::kNone) return;
+
+  if (policy_ == MitigationPolicy::kQuarantineAttacker &&
+      attributed_attacker != 0 && attributed_attacker != victim_.id) {
+    VmRef attacker;
+    attacker.host = victim_.host;
+    attacker.id = attributed_attacker;
+    cluster_.StopVm(attacker);
+    applied_ = MitigationPolicy::kQuarantineAttacker;
+  } else {
+    // Unattributed alarm (or migrate policy): move the victim out instead.
+    victim_ = cluster_.Migrate(victim_, spare_host_);
+    applied_ = MitigationPolicy::kMigrateVictim;
+  }
+  mitigated_ = true;
+  mitigation_tick_ = cluster_.now();
+}
+
+}  // namespace sds::cluster

@@ -1,0 +1,62 @@
+// Mitigation: the provider response a detection alarm triggers (paper
+// Section 6 — "take proper actions (e.g., VM migrations)").
+//
+// Two policies:
+//   kMigrateVictim       move the protected VM to a spare host, away from
+//                        whatever is attacking it (always possible, but the
+//                        attacker can re-co-locate — the paper's argument
+//                        for detection over pure migration);
+//   kQuarantineAttacker  stop the attributed attacker VM in place (needs an
+//                        attribution, e.g. the KStest identification sweep;
+//                        falls back to migrating the victim when the alarm
+//                        is unattributed).
+//
+// The engine watches a detector and applies its policy once, on the first
+// alarm; the mitigation benches then measure the victim's throughput
+// recovery.
+#pragma once
+
+#include <cstdint>
+
+#include "cluster/cluster.h"
+#include "common/types.h"
+
+namespace sds::cluster {
+
+enum class MitigationPolicy : std::uint8_t {
+  kNone,
+  kMigrateVictim,
+  kQuarantineAttacker,
+};
+
+const char* MitigationPolicyName(MitigationPolicy policy);
+
+class MitigationEngine {
+ public:
+  // `victim` is the protected VM; `spare_host` receives it if migration is
+  // the chosen (or fallback) response.
+  MitigationEngine(Cluster& cluster, const VmRef& victim,
+                   MitigationPolicy policy, int spare_host);
+
+  // Reports an alarm at the current cluster time. `attributed_attacker` is
+  // the culprit VM if the detector identified one (0 = unattributed; only
+  // meaningful on the victim's host). Idempotent after the first response.
+  void OnAlarm(OwnerId attributed_attacker);
+
+  bool mitigated() const { return mitigated_; }
+  Tick mitigation_tick() const { return mitigation_tick_; }
+  // The victim's current placement (changes when migrated).
+  const VmRef& victim() const { return victim_; }
+  MitigationPolicy applied_policy() const { return applied_; }
+
+ private:
+  Cluster& cluster_;
+  VmRef victim_;
+  MitigationPolicy policy_;
+  int spare_host_;
+  bool mitigated_ = false;
+  Tick mitigation_tick_ = kInvalidTick;
+  MitigationPolicy applied_ = MitigationPolicy::kNone;
+};
+
+}  // namespace sds::cluster

@@ -1,0 +1,15 @@
+#include "common/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sds::internal {
+
+void CheckFailed(const char* file, int line, const char* expr,
+                 std::string_view message) {
+  std::fprintf(stderr, "[sds] check failed at %s:%d: (%s) %.*s\n", file, line,
+               expr, static_cast<int>(message.size()), message.data());
+  std::abort();
+}
+
+}  // namespace sds::internal

@@ -1,0 +1,31 @@
+// Invariant checking.
+//
+// SDS_CHECK is an always-on assertion used for precondition violations that
+// indicate a programming error by the caller; it aborts with a message rather
+// than throwing because such states are never recoverable inside a simulation
+// step. SDS_DCHECK compiles out in release builds and guards hot paths.
+#pragma once
+
+#include <string_view>
+
+namespace sds::internal {
+
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              std::string_view message);
+
+}  // namespace sds::internal
+
+#define SDS_CHECK(expr, message)                                          \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::sds::internal::CheckFailed(__FILE__, __LINE__, #expr, (message)); \
+    }                                                                     \
+  } while (false)
+
+#ifdef NDEBUG
+#define SDS_DCHECK(expr, message) \
+  do {                            \
+  } while (false)
+#else
+#define SDS_DCHECK(expr, message) SDS_CHECK(expr, message)
+#endif

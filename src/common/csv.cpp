@@ -1,0 +1,131 @@
+#include "common/csv.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace sds {
+namespace {
+
+bool NeedsQuoting(const std::string& s) {
+  return s.find_first_of(",\"\n") != std::string::npos;
+}
+
+std::string Quote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string DoubleToString(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) os_ << ',';
+    os_ << (NeedsQuoting(fields[i]) ? Quote(fields[i]) : fields[i]);
+  }
+  os_ << '\n';
+}
+
+std::string CsvWriter::ToField(double v) { return DoubleToString(v); }
+std::string CsvWriter::ToField(long long v) { return std::to_string(v); }
+std::string CsvWriter::ToField(unsigned long long v) {
+  return std::to_string(v);
+}
+
+void TextTable::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::Str(double v) { return DoubleToString(v); }
+std::string TextTable::Str(long long v) { return std::to_string(v); }
+std::string TextTable::Str(unsigned long long v) { return std::to_string(v); }
+
+void TextTable::Print(std::ostream& os) const {
+  std::vector<std::size_t> widths;
+  auto grow = [&widths](const std::vector<std::string>& row) {
+    if (row.size() > widths.size()) widths.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  grow(header_);
+  for (const auto& row : rows_) grow(row);
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      os << row[i];
+      if (i + 1 < row.size()) {
+        os << std::string(widths[i] - row[i].size() + 2, ' ');
+      }
+    }
+    os << '\n';
+  };
+
+  if (!header_.empty()) {
+    print_row(header_);
+    std::vector<std::string> rule;
+    rule.reserve(header_.size());
+    for (std::size_t i = 0; i < header_.size(); ++i) {
+      rule.push_back(std::string(widths[i], '-'));
+    }
+    print_row(rule);
+  }
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string FormatFixed(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+std::string Sparkline(const std::vector<double>& values, std::size_t width) {
+  static const char* kLevels[] = {" ", ".", ":", "-", "=", "+", "*", "#", "@"};
+  constexpr std::size_t kNumLevels = sizeof(kLevels) / sizeof(kLevels[0]);
+  if (values.empty() || width == 0) return "";
+
+  // Downsample by averaging buckets.
+  std::vector<double> buckets(std::min(width, values.size()), 0.0);
+  std::vector<std::size_t> counts(buckets.size(), 0);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const std::size_t b = i * buckets.size() / values.size();
+    buckets[b] += values[i];
+    counts[b] += 1;
+  }
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    if (counts[b] > 0) buckets[b] /= static_cast<double>(counts[b]);
+  }
+
+  const auto [mn_it, mx_it] = std::minmax_element(buckets.begin(), buckets.end());
+  const double mn = *mn_it;
+  const double mx = *mx_it;
+  const double span = (mx > mn) ? (mx - mn) : 1.0;
+
+  std::string out;
+  out.reserve(buckets.size());
+  for (double v : buckets) {
+    const auto level = static_cast<std::size_t>(
+        std::min<double>(static_cast<double>(kNumLevels - 1),
+                         std::floor((v - mn) / span * kNumLevels)));
+    out += kLevels[level];
+  }
+  return out;
+}
+
+}  // namespace sds

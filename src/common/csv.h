@@ -1,0 +1,89 @@
+// Output helpers for the benchmark harness: CSV emission for plotting and
+// fixed-width text tables that mirror the paper's tables/figures in stdout.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sds {
+
+// Writes rows of string fields with correct quoting.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& os) : os_(os) {}
+
+  void WriteRow(const std::vector<std::string>& fields);
+
+  // Convenience for mixed field types.
+  template <typename... Args>
+  void Row(const Args&... args) {
+    WriteRow(std::vector<std::string>{ToField(args)...});
+  }
+
+ private:
+  static std::string ToField(const std::string& s) { return s; }
+  static std::string ToField(const char* s) { return s; }
+  static std::string ToField(double v);
+  static std::string ToField(long long v);
+  static std::string ToField(unsigned long long v);
+  static std::string ToField(int v) { return ToField(static_cast<long long>(v)); }
+  static std::string ToField(long v) { return ToField(static_cast<long long>(v)); }
+  static std::string ToField(unsigned v) {
+    return ToField(static_cast<unsigned long long>(v));
+  }
+  static std::string ToField(std::size_t v) {
+    return ToField(static_cast<unsigned long long>(v));
+  }
+
+  std::ostream& os_;
+};
+
+// Accumulates rows then prints an aligned table with a header rule, e.g.
+//
+//   application    recall    specificity
+//   -----------    ------    -----------
+//   k-means        1.000     0.97
+class TextTable {
+ public:
+  void SetHeader(std::vector<std::string> header);
+  void AddRow(std::vector<std::string> row);
+
+  template <typename... Args>
+  void Row(const Args&... args) {
+    AddRow(std::vector<std::string>{Str(args)...});
+  }
+
+  // Renders the table to the stream. Column widths are computed from content.
+  void Print(std::ostream& os) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  static std::string Str(const std::string& s) { return s; }
+  static std::string Str(const char* s) { return s; }
+  static std::string Str(double v);
+  static std::string Str(long long v);
+  static std::string Str(unsigned long long v);
+  static std::string Str(int v) { return Str(static_cast<long long>(v)); }
+  static std::string Str(long v) { return Str(static_cast<long long>(v)); }
+  static std::string Str(unsigned v) {
+    return Str(static_cast<unsigned long long>(v));
+  }
+  static std::string Str(std::size_t v) {
+    return Str(static_cast<unsigned long long>(v));
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats a double with a fixed number of decimals (helper shared by the
+// bench binaries so tables look uniform).
+std::string FormatFixed(double v, int decimals);
+
+// Renders an ASCII sparkline of a series (used by the measurement-study bench
+// to show the Figure 2-6 time-series shapes directly in the terminal).
+std::string Sparkline(const std::vector<double>& values, std::size_t width);
+
+}  // namespace sds

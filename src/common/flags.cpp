@@ -1,0 +1,70 @@
+#include "common/flags.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace sds {
+
+bool Flags::Parse(int argc, char** argv,
+                  const std::vector<std::string>& known) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    std::string name;
+    std::string value;
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    } else {
+      name = arg;
+      // --name value form, unless the next token is another flag or absent.
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        value = argv[++i];
+      } else {
+        value = "true";
+      }
+    }
+    if (std::find(known.begin(), known.end(), name) == known.end()) {
+      std::fprintf(stderr, "unknown flag --%s; known flags:", name.c_str());
+      for (const auto& k : known) std::fprintf(stderr, " --%s", k.c_str());
+      std::fprintf(stderr, "\n");
+      return false;
+    }
+    values_[name] = value;
+  }
+  return true;
+}
+
+bool Flags::Has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+std::string Flags::GetString(const std::string& name,
+                             const std::string& default_value) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? default_value : it->second;
+}
+
+long long Flags::GetInt(const std::string& name, long long default_value) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? default_value : std::atoll(it->second.c_str());
+}
+
+double Flags::GetDouble(const std::string& name, double default_value) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? default_value : std::atof(it->second.c_str());
+}
+
+bool Flags::GetBool(const std::string& name, bool default_value) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+}  // namespace sds

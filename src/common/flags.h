@@ -1,0 +1,33 @@
+// Minimal command-line flag parsing for the bench/example binaries.
+//
+// Supports --name=value and --name value forms plus boolean --name. Unknown
+// flags are an error so typos in experiment sweeps fail loudly instead of
+// silently running the default configuration.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sds {
+
+class Flags {
+ public:
+  // Parses argv. On error prints a message to stderr and returns false.
+  bool Parse(int argc, char** argv, const std::vector<std::string>& known);
+
+  bool Has(const std::string& name) const;
+  std::string GetString(const std::string& name,
+                        const std::string& default_value) const;
+  long long GetInt(const std::string& name, long long default_value) const;
+  double GetDouble(const std::string& name, double default_value) const;
+  bool GetBool(const std::string& name, bool default_value) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace sds

@@ -1,0 +1,48 @@
+// Fundamental value types shared across the library.
+//
+// The simulator advances in discrete ticks. One tick corresponds to one PCM
+// sampling interval (T_PCM seconds of virtual time, 0.01 s by default, matching
+// Table 1 of the paper). All durations in the public API are expressed either
+// in ticks or in virtual seconds; conversions go through TickClock.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace sds {
+
+using Tick = std::int64_t;
+
+inline constexpr Tick kInvalidTick = std::numeric_limits<Tick>::min();
+
+// Default PCM sampling interval in virtual seconds (Table 1: T_PCM = 0.01 s).
+inline constexpr double kDefaultTpcmSeconds = 0.01;
+
+// Converts between ticks and virtual seconds for a fixed sampling interval.
+class TickClock {
+ public:
+  constexpr explicit TickClock(double tpcm_seconds = kDefaultTpcmSeconds)
+      : tpcm_seconds_(tpcm_seconds) {}
+
+  constexpr double ToSeconds(Tick t) const {
+    return static_cast<double>(t) * tpcm_seconds_;
+  }
+  constexpr Tick ToTicks(double seconds) const {
+    return static_cast<Tick>(seconds / tpcm_seconds_ + 0.5);
+  }
+  constexpr double tpcm_seconds() const { return tpcm_seconds_; }
+
+ private:
+  double tpcm_seconds_;
+};
+
+// Identifies the owner of a memory access inside the simulated machine.
+// Owner 0 is reserved for the hypervisor / monitoring agents.
+using OwnerId = std::uint32_t;
+
+inline constexpr OwnerId kHypervisorOwner = 0;
+
+// A 64-bit cache-line address (already shifted: one unit == one line).
+using LineAddr = std::uint64_t;
+
+}  // namespace sds

@@ -1,0 +1,47 @@
+#include "detect/boundary.h"
+
+#include "common/check.h"
+#include "stats/descriptive.h"
+
+namespace sds::detect {
+
+BoundaryProfile BuildBoundaryProfile(std::span<const double> raw,
+                                     const DetectorParams& params) {
+  SlidingWindowAverage ma(params.window, params.step);
+  Ewma ewma(params.alpha);
+  RunningStats stats;
+  for (double v : raw) {
+    if (const auto m = ma.Push(v)) stats.Add(ewma.Push(*m));
+  }
+  SDS_CHECK(stats.count() >= 2,
+            "profile window too short: need at least two EWMA values");
+  BoundaryProfile profile;
+  profile.mean = stats.mean();
+  profile.stddev = stats.stddev();
+  return profile;
+}
+
+BoundaryAnalyzer::BoundaryAnalyzer(const BoundaryProfile& profile,
+                                   const DetectorParams& params)
+    : profile_(profile),
+      params_(params),
+      ma_(params.window, params.step),
+      ewma_(params.alpha) {
+  SDS_CHECK(params.boundary_k > 0.0, "boundary factor must be positive");
+  SDS_CHECK(params.h_c >= 1, "H_C must be at least 1");
+  SDS_CHECK(profile.stddev >= 0.0, "profile stddev must be non-negative");
+  lower_ = profile.mean - params.boundary_k * profile.stddev;
+  upper_ = profile.mean + params.boundary_k * profile.stddev;
+}
+
+std::optional<double> BoundaryAnalyzer::Observe(double raw) {
+  const auto m = ma_.Push(raw);
+  if (!m) return std::nullopt;
+  const double s = ewma_.Push(*m);
+  // Condition C_n of Equation (3): strictly outside the normal range.
+  const bool violation = s < lower_ || s > upper_;
+  consecutive_ = violation ? consecutive_ + 1 : 0;
+  return s;
+}
+
+}  // namespace sds::detect

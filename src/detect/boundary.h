@@ -1,0 +1,62 @@
+// SDS/B: the Boundary-based Statistical Detection Scheme (Section 4.2.1).
+//
+// Offline, a profile captures the mean mu_E and standard deviation sigma_E of
+// the EWMA-preprocessed statistic while the VM is known clean (right after it
+// starts or migrates). Online, each raw PCM sample flows through the
+// MA -> EWMA pipeline; whenever a new EWMA value S_n falls outside
+// [mu_E - k sigma_E, mu_E + k sigma_E] a consecutive-violation counter
+// advances, and H_C consecutive violations raise the alarm. Chebyshev's
+// inequality bounds the false-alarm probability at (1/k^2)^{H_C} for ANY
+// statistic distribution, which is how (k, H_C) are chosen.
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "detect/params.h"
+#include "signal/moving_average.h"
+
+namespace sds::detect {
+
+struct BoundaryProfile {
+  // Mean and standard deviation of the clean EWMA series.
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+// Profiles one statistic channel from raw clean samples by running the same
+// MA -> EWMA pipeline the analyzer uses online. Requires enough raw samples
+// for at least two EWMA values.
+BoundaryProfile BuildBoundaryProfile(std::span<const double> raw,
+                                     const DetectorParams& params);
+
+// Streaming SDS/B analyzer for one statistic channel. Pure stream logic —
+// hypervisor/PCM wiring lives in SdsDetector.
+class BoundaryAnalyzer {
+ public:
+  BoundaryAnalyzer(const BoundaryProfile& profile,
+                   const DetectorParams& params);
+
+  // Feeds one raw sample. Returns the new EWMA value when a window
+  // completed, nullopt otherwise.
+  std::optional<double> Observe(double raw);
+
+  // True while the consecutive-violation count is at least H_C.
+  bool attack_active() const { return consecutive_ >= params_.h_c; }
+
+  int consecutive_violations() const { return consecutive_; }
+  double lower_bound() const { return lower_; }
+  double upper_bound() const { return upper_; }
+  const BoundaryProfile& profile() const { return profile_; }
+
+ private:
+  BoundaryProfile profile_;
+  DetectorParams params_;
+  double lower_ = 0.0;
+  double upper_ = 0.0;
+  SlidingWindowAverage ma_;
+  Ewma ewma_;
+  int consecutive_ = 0;
+};
+
+}  // namespace sds::detect

@@ -1,0 +1,240 @@
+#include "detect/kstest_detector.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "stats/ks_test.h"
+
+namespace sds::detect {
+
+KsTestDetector::KsTestDetector(vm::Hypervisor& hypervisor, OwnerId target,
+                               const KsTestParams& params,
+                               const KsIdentificationParams& ident)
+    : hypervisor_(hypervisor),
+      sampler_(hypervisor, target),
+      params_(params),
+      ident_(ident) {
+  SDS_CHECK(params.w_r > 0 && params.w_m > 0, "windows must be positive");
+  SDS_CHECK(params.l_r >= params.w_r, "L_R must cover W_R");
+  SDS_CHECK(params.l_m >= params.w_m, "L_M must cover W_M");
+  SDS_CHECK(params.alpha > 0.0 && params.alpha < 1.0,
+            "significance level must be in (0,1)");
+  SDS_CHECK(params.consecutive_rejections >= 1,
+            "need at least one rejection");
+  SDS_CHECK(params.initial_offset >= 0 && params.initial_offset < params.l_r,
+            "grid offset must be within one L_R interval");
+  SDS_CHECK(!ident.enabled || (ident.settle >= 0 && ident.window > 0),
+            "bad identification window");
+  local_tick_ = params.initial_offset;
+}
+
+void KsTestDetector::StartReference() {
+  if (sampler_.started()) sampler_.Stop();  // abort a monitored collection
+  state_ = State::kCollectingReference;
+  collected_ = 0;
+  staging_access_.clear();
+  staging_miss_.clear();
+  hypervisor_.ThrottleAllExcept(sampler_.target(), params_.w_r);
+  sampler_.Start();
+}
+
+void KsTestDetector::StartMonitored() {
+  state_ = State::kCollectingMonitored;
+  collected_ = 0;
+  staging_access_.clear();
+  staging_miss_.clear();
+  sampler_.Start();
+}
+
+void KsTestDetector::FinishReference() {
+  sampler_.Stop();
+  state_ = State::kIdle;
+  ref_access_ = staging_access_;
+  ref_miss_ = staging_miss_;
+  reference_ready_ = true;
+  // Decisions against the previous reference are not comparable with
+  // decisions against the new one: restart the consecutive counts.
+  consecutive_access_ = 0;
+  consecutive_miss_ = 0;
+}
+
+void KsTestDetector::FinishMonitored() {
+  sampler_.Stop();
+  state_ = State::kIdle;
+
+  KsDecision d;
+  d.tick = hypervisor_.now();
+  const auto res_access = TwoSampleKsTest(ref_access_, staging_access_);
+  const auto res_miss = TwoSampleKsTest(ref_miss_, staging_miss_);
+  d.statistic_access = res_access.statistic;
+  d.rejected_access = res_access.p_value < params_.alpha;
+  d.statistic_miss = res_miss.statistic;
+  d.rejected_miss = res_miss.p_value < params_.alpha;
+  decisions_.push_back(d);
+
+  consecutive_access_ = d.rejected_access ? consecutive_access_ + 1 : 0;
+  consecutive_miss_ = d.rejected_miss ? consecutive_miss_ + 1 : 0;
+
+  // A fully passing test clears any standing alarm: the statistics are back
+  // to the reference distribution.
+  if (!d.rejected_access && !d.rejected_miss) identified_alarm_ = false;
+
+  const bool suspicion_access =
+      consecutive_access_ >= params_.consecutive_rejections;
+  const bool suspicion_miss =
+      consecutive_miss_ >= params_.consecutive_rejections;
+  if (suspicion_access || suspicion_miss) {
+    suspicion_tick_ = hypervisor_.now();
+    if (ident_.enabled) {
+      sweep_on_access_ = suspicion_access;
+      sweep_on_miss_ = suspicion_miss;
+      StartIdentification();
+    } else {
+      identified_alarm_ = true;
+      ++alarm_events_;
+      last_trigger_ = suspicion_tick_;
+    }
+    consecutive_access_ = 0;
+    consecutive_miss_ = 0;
+  }
+
+  attack_active_ = identified_alarm_;
+}
+
+void KsTestDetector::StartIdentification() {
+  ++sweeps_;
+  candidates_.clear();
+  for (OwnerId id = 1; id <= hypervisor_.vm_count(); ++id) {
+    if (id != sampler_.target()) candidates_.push_back(id);
+  }
+  candidate_index_ = 0;
+  candidate_results_.clear();
+  if (candidates_.empty()) {
+    // Nothing co-located: the anomaly cannot be another tenant, but the
+    // statistics are persistently wrong — raise the (unattributed) alarm.
+    FinishIdentification();
+    return;
+  }
+  StartNextCandidate();
+}
+
+void KsTestDetector::StartNextCandidate() {
+  const OwnerId candidate = candidates_[candidate_index_];
+  hypervisor_.ThrottleVm(candidate, ident_.settle + ident_.window);
+  settle_left_ = ident_.settle;
+  staging_access_.clear();
+  staging_miss_.clear();
+  collected_ = 0;
+  state_ = settle_left_ > 0 ? State::kIdentifySettling
+                            : State::kIdentifyCollecting;
+  if (state_ == State::kIdentifyCollecting) sampler_.Start();
+}
+
+void KsTestDetector::FinishCandidate() {
+  sampler_.Stop();
+  // Does pausing this candidate restore the reference distribution on the
+  // channel(s) that raised the suspicion?
+  CandidateResult result;
+  result.vm = candidates_[candidate_index_];
+  result.p_value = 2.0;   // min() below picks the worst channel
+  result.statistic = 0.0; // max() below picks the worst channel
+  if (sweep_on_access_) {
+    const auto r = TwoSampleKsTest(ref_access_, staging_access_);
+    result.p_value = std::min(result.p_value, r.p_value);
+    result.statistic = std::max(result.statistic, r.statistic);
+  }
+  if (sweep_on_miss_) {
+    const auto r = TwoSampleKsTest(ref_miss_, staging_miss_);
+    result.p_value = std::min(result.p_value, r.p_value);
+    result.statistic = std::max(result.statistic, r.statistic);
+  }
+  candidate_results_.push_back(result);
+  if (++candidate_index_ >= candidates_.size()) {
+    FinishIdentification();
+  } else {
+    StartNextCandidate();
+  }
+}
+
+void KsTestDetector::FinishIdentification() {
+  state_ = State::kIdle;
+  // Attributed when some candidate's pause restored normality. Two rules:
+  //   * absolute — the throttled-candidate window passes the KS test
+  //     against the reference; or
+  //   * relative — its KS statistic is clearly smaller than every other
+  //     candidate's (the stale reference may have drifted, but pausing the
+  //     real attacker makes that window a clear outlier among the sweeps).
+  // The alarm is raised either way — the contention is real even if no
+  // single culprit emerged (e.g. colluding VMs).
+  identified_attacker_ = 0;
+  if (!candidate_results_.empty()) {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < candidate_results_.size(); ++i) {
+      if (candidate_results_[i].statistic <
+          candidate_results_[best].statistic) {
+        best = i;
+      }
+    }
+    double second = 1.0;
+    for (std::size_t i = 0; i < candidate_results_.size(); ++i) {
+      if (i != best) second = std::min(second, candidate_results_[i].statistic);
+    }
+    const auto& winner = candidate_results_[best];
+    if (winner.p_value >= params_.alpha ||
+        winner.statistic < 0.6 * second) {
+      identified_attacker_ = winner.vm;
+    }
+  }
+  identified_alarm_ = true;
+  attack_active_ = true;
+  ++alarm_events_;
+  last_trigger_ = suspicion_tick_;
+}
+
+void KsTestDetector::OnTick() {
+  switch (state_) {
+    case State::kCollectingReference:
+    case State::kCollectingMonitored:
+    case State::kIdentifyCollecting: {
+      const pcm::PcmSample s = sampler_.Sample();
+      staging_access_.push_back(static_cast<double>(s.access_num));
+      staging_miss_.push_back(static_cast<double>(s.miss_num));
+      ++collected_;
+      if (state_ == State::kCollectingReference &&
+          collected_ >= params_.w_r) {
+        FinishReference();
+      } else if (state_ == State::kCollectingMonitored &&
+                 collected_ >= params_.w_m) {
+        FinishMonitored();
+      } else if (state_ == State::kIdentifyCollecting &&
+                 collected_ >= ident_.window) {
+        FinishCandidate();
+      }
+      break;
+    }
+    case State::kIdentifySettling: {
+      if (--settle_left_ <= 0) {
+        state_ = State::kIdentifyCollecting;
+        sampler_.Start();
+      }
+      break;
+    }
+    case State::kIdle:
+      break;
+  }
+
+  ++local_tick_;
+
+  // Schedule the next collection. The reference refresh takes priority over
+  // monitored tests but never interrupts itself or an identification sweep.
+  const bool busy = state_ == State::kCollectingReference ||
+                    state_ == State::kIdentifySettling ||
+                    state_ == State::kIdentifyCollecting;
+  if (!busy && local_tick_ % params_.l_r == 0) {
+    StartReference();
+  } else if (state_ == State::kIdle && reference_ready_ &&
+             local_tick_ % params_.l_m == 0) {
+    StartMonitored();
+  }
+}
+}  // namespace sds::detect

@@ -1,0 +1,52 @@
+#include "detect/offline.h"
+
+#include <memory>
+
+namespace sds::detect {
+
+OfflineResult ReplaySds(std::span<const pcm::PcmSample> profile_trace,
+                        std::span<const pcm::PcmSample> trace,
+                        const DetectorParams& params) {
+  const SdsProfile profile = BuildSdsProfile(profile_trace, params);
+
+  BoundaryAnalyzer b_access(profile.access_boundary, params);
+  BoundaryAnalyzer b_miss(profile.miss_boundary, params);
+  std::unique_ptr<PeriodAnalyzer> p_access;
+  std::unique_ptr<PeriodAnalyzer> p_miss;
+  if (profile.access_period) {
+    p_access = std::make_unique<PeriodAnalyzer>(*profile.access_period, params);
+  }
+  if (profile.miss_period) {
+    p_miss = std::make_unique<PeriodAnalyzer>(*profile.miss_period, params);
+  }
+
+  OfflineResult result;
+  result.profile_periodic = profile.periodic();
+
+  bool was_active = false;
+  std::size_t active_ticks = 0;
+  for (const auto& s : trace) {
+    const auto access = static_cast<double>(s.access_num);
+    const auto miss = static_cast<double>(s.miss_num);
+    b_access.Observe(access);
+    b_miss.Observe(miss);
+    if (p_access) p_access->Observe(access);
+    if (p_miss) p_miss->Observe(miss);
+
+    const bool boundary = b_access.attack_active() || b_miss.attack_active();
+    const bool period = (p_access && p_access->attack_active()) ||
+                        (p_miss && p_miss->attack_active());
+    const bool active =
+        result.profile_periodic ? (boundary && period) : boundary;
+    if (active) ++active_ticks;
+    if (active && !was_active) result.alarm_ticks.push_back(s.tick);
+    was_active = active;
+  }
+  if (!trace.empty()) {
+    result.active_fraction =
+        static_cast<double>(active_ticks) / static_cast<double>(trace.size());
+  }
+  return result;
+}
+
+}  // namespace sds::detect

@@ -1,0 +1,35 @@
+// Offline detection over recorded PCM traces.
+//
+// Re-runs the SDS analyzers over an archived trace — the tuning/forensics
+// path: record once in production, then sweep parameters offline without
+// touching the machines. Only the pure stream analyzers run here (the
+// KStest baseline needs live throttling, which a trace cannot provide).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "detect/boundary.h"
+#include "detect/params.h"
+#include "detect/period.h"
+#include "detect/profile.h"
+#include "pcm/pcm_sampler.h"
+
+namespace sds::detect {
+
+struct OfflineResult {
+  // Ticks (trace timestamps) at which the combined SDS decision rose.
+  std::vector<Tick> alarm_ticks;
+  // Fraction of the trace during which the decision was active.
+  double active_fraction = 0.0;
+  bool profile_periodic = false;
+};
+
+// Replays `trace` through a combined SDS detector whose profile is built
+// from `profile_trace` (a clean prefix recorded at deployment time).
+OfflineResult ReplaySds(std::span<const pcm::PcmSample> profile_trace,
+                        std::span<const pcm::PcmSample> trace,
+                        const DetectorParams& params);
+
+}  // namespace sds::detect

@@ -1,0 +1,59 @@
+// Detection-scheme parameters (paper Table 1 and Section 3.2).
+#pragma once
+
+#include <cstddef>
+
+#include "common/types.h"
+
+namespace sds::detect {
+
+// Parameters of SDS/B and SDS/P. Defaults are exactly Table 1.
+struct DetectorParams {
+  // -- preprocessing (Section 4.1) --
+  // Sliding window size W over raw PCM samples.
+  std::size_t window = 200;
+  // Sliding step dW: a new MA value every dW raw samples.
+  std::size_t step = 50;
+  // EWMA smoothing factor alpha.
+  double alpha = 0.2;
+
+  // -- SDS/B (Section 4.2.1) --
+  // Boundary factor k: normal range is [mu - k sigma, mu + k sigma].
+  double boundary_k = 1.125;
+  // Consecutive out-of-range EWMA values required to raise the alarm.
+  int h_c = 30;
+
+  // -- SDS/P (Section 4.2.2) --
+  // Period window W_P = wp_multiplier * p (paper: 2p).
+  double wp_multiplier = 2.0;
+  // A period check every delta_wp new MA values.
+  std::size_t delta_wp = 10;
+  // Consecutive abnormal periods required to raise the alarm.
+  int h_p = 5;
+  // Relative deviation from the profiled period considered abnormal (20%).
+  double period_tolerance = 0.20;
+};
+
+// Parameters of the KStest baseline [49], as restated in Section 3.2:
+// T_PCM = 0.01 s, W_R = W_M = 1 s, L_M = 2 s, L_R = 30 s. Expressed in ticks
+// (one tick = one T_PCM interval).
+struct KsTestParams {
+  // Reference refresh interval L_R.
+  Tick l_r = 3000;
+  // Reference window W_R (collected under execution throttling).
+  Tick w_r = 100;
+  // Monitored test interval L_M.
+  Tick l_m = 200;
+  // Monitored window W_M.
+  Tick w_m = 100;
+  // KS test significance level.
+  double alpha = 0.05;
+  // Consecutive rejections that declare an attack ("four consecutive times").
+  int consecutive_rejections = 4;
+  // Phase offset of the L_R/L_M grid relative to detector start. Real
+  // deployments start the detector at an arbitrary time relative to any
+  // attack; the harness randomizes this per run.
+  Tick initial_offset = 0;
+};
+
+}  // namespace sds::detect

@@ -1,0 +1,79 @@
+// SDS/P: the Period-based Statistical Detection Scheme (Section 4.2.2).
+//
+// For applications whose cache statistics repeat periodically (PCA, FaceNet),
+// SDS/P tracks the period of the MOVING-AVERAGE series (not the EWMA, whose
+// smoothing can erase the pattern). A profile captures the clean period p;
+// online, the analyzer keeps the latest W_P = 2p MA values and, every
+// delta_wp new MA values, re-estimates the period with DFT-ACF. A computed
+// period deviating from p by more than 20% — or no period being detectable
+// at all — is abnormal; H_P consecutive abnormal checks raise the alarm.
+//
+// Why this works: a batch application performs a fixed amount of WORK per
+// batch, so when an attack slows its progress each batch takes longer and
+// the wall-clock period stretches (Observation 2).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/ring_buffer.h"
+#include "detect/params.h"
+#include "signal/moving_average.h"
+#include "signal/period_detect.h"
+
+namespace sds::detect {
+
+struct PeriodProfile {
+  // Clean period of the MA series, in MA steps.
+  double period = 0.0;
+  // ACF strength of the profiled period (diagnostic).
+  double strength = 0.0;
+};
+
+// Decides whether an application is periodic from clean raw samples, as the
+// provider would right after the VM starts: the MA series is split into
+// halves and both must yield consistent DFT-ACF periods. Returns the profile
+// when periodic, nullopt otherwise.
+std::optional<PeriodProfile> ClassifyPeriodicity(std::span<const double> raw,
+                                                 const DetectorParams& params);
+
+// One period re-estimation performed by the analyzer.
+struct PeriodCheck {
+  // Index of the newest MA value at the time of the check.
+  std::size_t ma_index = 0;
+  // The computed period, if DFT-ACF found one.
+  std::optional<double> period;
+  bool abnormal = false;
+};
+
+// Streaming SDS/P analyzer for one statistic channel.
+class PeriodAnalyzer {
+ public:
+  PeriodAnalyzer(const PeriodProfile& profile, const DetectorParams& params);
+
+  // Feeds one raw sample; returns the period check if one ran at this
+  // sample, nullopt otherwise.
+  std::optional<PeriodCheck> Observe(double raw);
+
+  bool attack_active() const { return consecutive_ >= params_.h_p; }
+  int consecutive_abnormal() const { return consecutive_; }
+  const PeriodProfile& profile() const { return profile_; }
+  std::size_t window_size() const { return window_size_; }
+
+  // Full log of the checks performed (Figure 8(b) is exactly this series).
+  const std::vector<PeriodCheck>& checks() const { return checks_; }
+
+ private:
+  PeriodProfile profile_;
+  DetectorParams params_;
+  std::size_t window_size_;
+  RingBuffer<double> ma_values_;
+  SlidingWindowAverage ma_;
+  std::size_t ma_since_check_ = 0;
+  std::size_t ma_count_ = 0;
+  int consecutive_ = 0;
+  std::vector<PeriodCheck> checks_;
+};
+
+}  // namespace sds::detect

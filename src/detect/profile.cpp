@@ -1,0 +1,26 @@
+#include "detect/profile.h"
+
+namespace sds::detect {
+
+std::vector<double> ChannelSeries(std::span<const pcm::PcmSample> samples,
+                                  pcm::Channel channel) {
+  std::vector<double> out;
+  out.reserve(samples.size());
+  for (const auto& s : samples) out.push_back(pcm::SampleValue(s, channel));
+  return out;
+}
+
+SdsProfile BuildSdsProfile(std::span<const pcm::PcmSample> clean,
+                           const DetectorParams& params) {
+  const auto access = ChannelSeries(clean, pcm::Channel::kAccessNum);
+  const auto miss = ChannelSeries(clean, pcm::Channel::kMissNum);
+
+  SdsProfile profile;
+  profile.access_boundary = BuildBoundaryProfile(access, params);
+  profile.miss_boundary = BuildBoundaryProfile(miss, params);
+  profile.access_period = ClassifyPeriodicity(access, params);
+  profile.miss_period = ClassifyPeriodicity(miss, params);
+  return profile;
+}
+
+}  // namespace sds::detect

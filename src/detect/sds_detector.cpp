@@ -1,0 +1,82 @@
+#include "detect/sds_detector.h"
+
+#include "common/check.h"
+
+namespace sds::detect {
+
+const char* SdsModeName(SdsMode mode) {
+  switch (mode) {
+    case SdsMode::kBoundaryOnly:
+      return "SDS/B";
+    case SdsMode::kPeriodOnly:
+      return "SDS/P";
+    case SdsMode::kCombined:
+      return "SDS";
+  }
+  return "?";
+}
+
+SdsDetector::SdsDetector(vm::Hypervisor& hypervisor, OwnerId target,
+                         const SdsProfile& profile,
+                         const DetectorParams& params, SdsMode mode)
+    : sampler_(hypervisor, target),
+      mode_(mode),
+      name_(SdsModeName(mode)),
+      profile_periodic_(profile.periodic()) {
+  b_access_ =
+      std::make_unique<BoundaryAnalyzer>(profile.access_boundary, params);
+  b_miss_ = std::make_unique<BoundaryAnalyzer>(profile.miss_boundary, params);
+  if (profile.access_period) {
+    p_access_ =
+        std::make_unique<PeriodAnalyzer>(*profile.access_period, params);
+  }
+  if (profile.miss_period) {
+    p_miss_ = std::make_unique<PeriodAnalyzer>(*profile.miss_period, params);
+  }
+  SDS_CHECK(mode != SdsMode::kPeriodOnly || profile_periodic_,
+            "SDS/P requires a periodic profile");
+  sampler_.Start();
+}
+
+void SdsDetector::OnTick() {
+  const pcm::PcmSample s = sampler_.Sample();
+  const auto access = static_cast<double>(s.access_num);
+  const auto miss = static_cast<double>(s.miss_num);
+  b_access_->Observe(access);
+  b_miss_->Observe(miss);
+  if (p_access_) p_access_->Observe(access);
+  if (p_miss_) p_miss_->Observe(miss);
+
+  const bool active = attack_active();
+  if (active && !was_active_) {
+    ++alarm_events_;
+    last_trigger_ = s.tick;
+  }
+  was_active_ = active;
+}
+
+bool SdsDetector::boundary_active() const {
+  return b_access_->attack_active() || b_miss_->attack_active();
+}
+
+bool SdsDetector::period_active() const {
+  return (p_access_ && p_access_->attack_active()) ||
+         (p_miss_ && p_miss_->attack_active());
+}
+
+bool SdsDetector::attack_active() const {
+  switch (mode_) {
+    case SdsMode::kBoundaryOnly:
+      return boundary_active();
+    case SdsMode::kPeriodOnly:
+      return period_active();
+    case SdsMode::kCombined:
+      // Periodic applications need both schemes to agree; non-periodic
+      // applications are decided by SDS/B alone.
+      return profile_periodic_ ? (boundary_active() && period_active())
+                               : boundary_active();
+  }
+  return false;
+}
+
+}  // namespace sds::detect

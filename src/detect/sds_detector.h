@@ -1,0 +1,71 @@
+// The SDS detection system (Section 5.1): SDS/B alone, SDS/P alone, or the
+// combined SDS, wired to a live hypervisor through one always-on PCM sampler.
+//
+// Channel policy: both statistic channels are monitored simultaneously —
+// AccessNum catches the bus locking attack, MissNum the LLC cleansing attack
+// — and a scheme is active when EITHER channel's analyzer is active. The
+// combined SDS follows the paper exactly: for non-periodic applications only
+// SDS/B decides; for periodic applications BOTH SDS/B and SDS/P must agree
+// before the alarm is raised (this conjunction removes residual false
+// positives, Figure 10).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "detect/boundary.h"
+#include "detect/detector.h"
+#include "detect/period.h"
+#include "detect/profile.h"
+#include "pcm/pcm_sampler.h"
+#include "vm/hypervisor.h"
+
+namespace sds::detect {
+
+enum class SdsMode : std::uint8_t {
+  kBoundaryOnly,  // SDS/B
+  kPeriodOnly,    // SDS/P (valid only for periodic applications)
+  kCombined,      // SDS
+};
+
+const char* SdsModeName(SdsMode mode);
+
+class SdsDetector final : public Detector {
+ public:
+  // The profile must come from a clean window of the same application
+  // (BuildSdsProfile). For kPeriodOnly the profile must be periodic.
+  SdsDetector(vm::Hypervisor& hypervisor, OwnerId target,
+              const SdsProfile& profile, const DetectorParams& params,
+              SdsMode mode);
+
+  void OnTick() override;
+  bool attack_active() const override;
+  std::uint64_t alarm_events() const override { return alarm_events_; }
+  Tick last_alarm_trigger_tick() const override { return last_trigger_; }
+  std::string_view name() const override { return name_; }
+
+  // Introspection for the example binaries and the Figure 7/8 benches.
+  const BoundaryAnalyzer& access_boundary() const { return *b_access_; }
+  const BoundaryAnalyzer& miss_boundary() const { return *b_miss_; }
+  const PeriodAnalyzer* access_period() const { return p_access_.get(); }
+  const PeriodAnalyzer* miss_period() const { return p_miss_.get(); }
+  bool boundary_active() const;
+  bool period_active() const;
+  SdsMode mode() const { return mode_; }
+
+ private:
+  pcm::PcmSampler sampler_;
+  SdsMode mode_;
+  std::string name_;
+  std::unique_ptr<BoundaryAnalyzer> b_access_;
+  std::unique_ptr<BoundaryAnalyzer> b_miss_;
+  std::unique_ptr<PeriodAnalyzer> p_access_;
+  std::unique_ptr<PeriodAnalyzer> p_miss_;
+  bool profile_periodic_;
+  bool was_active_ = false;
+  std::uint64_t alarm_events_ = 0;
+  Tick last_trigger_ = kInvalidTick;
+};
+
+}  // namespace sds::detect

@@ -1,0 +1,48 @@
+// Multi-run aggregation: the paper reports the median and 10th/90th
+// percentiles over 20 runs for every accuracy/delay/overhead figure. Runs are
+// deterministic per seed and independent, so they execute on a thread pool.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "eval/experiment.h"
+#include "stats/descriptive.h"
+
+namespace sds::eval {
+
+struct AggregatedDetection {
+  PercentileSummary recall;
+  PercentileSummary specificity;
+  // Detection delay in virtual seconds, over detected runs only.
+  PercentileSummary delay_seconds;
+  int runs = 0;
+  int detected_runs = 0;
+};
+
+// Runs `runs` seeded repetitions of the detection experiment (seeds
+// base_seed, base_seed+1, ...) on up to `threads` worker threads.
+AggregatedDetection AggregateDetection(const DetectionRunConfig& config,
+                                       int runs, std::uint64_t base_seed,
+                                       int threads);
+
+struct AggregatedOverhead {
+  // Normalized execution time: scheme completion ticks / baseline (no
+  // detection scheme) completion ticks, per seed.
+  PercentileSummary normalized_time;
+  int runs = 0;
+};
+
+AggregatedOverhead AggregateOverhead(const OverheadRunConfig& config,
+                                     int runs, std::uint64_t base_seed,
+                                     int threads);
+
+// Simple index-parallel loop used by the aggregators and benches. `threads`
+// <= 1 runs inline. fn must be safe to call concurrently for distinct i.
+void ParallelFor(int n, int threads, const std::function<void(int)>& fn);
+
+// Picks a sensible worker count from the hardware, capped by `max_threads`.
+int DefaultThreads(int max_threads = 16);
+
+}  // namespace sds::eval

@@ -1,0 +1,58 @@
+#include "pcm/pcm_sampler.h"
+
+#include "common/check.h"
+
+namespace sds::pcm {
+
+const char* ChannelName(Channel c) {
+  return c == Channel::kAccessNum ? "AccessNum" : "MissNum";
+}
+
+PcmSampler::PcmSampler(vm::Hypervisor& hypervisor, OwnerId target)
+    : hypervisor_(hypervisor), target_(target) {}
+
+PcmSampler::~PcmSampler() {
+  if (started_) Stop();
+}
+
+void PcmSampler::Start() {
+  SDS_CHECK(!started_, "sampler already started");
+  started_ = true;
+  hypervisor_.AttachMonitor();
+  // Align deltas with the start of monitoring.
+  const sim::OwnerCounters& c = hypervisor_.machine().counters(target_);
+  last_accesses_ = c.llc_accesses;
+  last_misses_ = c.llc_misses;
+}
+
+void PcmSampler::Stop() {
+  SDS_CHECK(started_, "sampler not started");
+  started_ = false;
+  hypervisor_.DetachMonitor();
+}
+
+PcmSample PcmSampler::Sample() {
+  SDS_CHECK(started_, "sampler not started");
+  const sim::OwnerCounters& c = hypervisor_.machine().counters(target_);
+  PcmSample s;
+  s.tick = hypervisor_.now();
+  s.access_num = c.llc_accesses - last_accesses_;
+  s.miss_num = c.llc_misses - last_misses_;
+  last_accesses_ = c.llc_accesses;
+  last_misses_ = c.llc_misses;
+  return s;
+}
+
+std::vector<PcmSample> CollectSamples(vm::Hypervisor& hypervisor,
+                                      PcmSampler& sampler, Tick ticks) {
+  SDS_CHECK(ticks >= 0, "tick count must be non-negative");
+  std::vector<PcmSample> samples;
+  samples.reserve(static_cast<std::size_t>(ticks));
+  for (Tick t = 0; t < ticks; ++t) {
+    hypervisor.RunTick();
+    samples.push_back(sampler.Sample());
+  }
+  return samples;
+}
+
+}  // namespace sds::pcm

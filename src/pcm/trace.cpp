@@ -1,0 +1,72 @@
+#include "pcm/trace.h"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <string_view>
+
+namespace sds::pcm {
+namespace {
+
+constexpr std::string_view kHeader = "tick,access_num,miss_num";
+
+bool ParseField(std::string_view field, std::uint64_t& out) {
+  const auto* begin = field.data();
+  const auto* end = begin + field.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, out);
+  return ec == std::errc{} && ptr == end;
+}
+
+}  // namespace
+
+bool WriteTrace(std::ostream& os, std::span<const PcmSample> samples) {
+  os << kHeader << '\n';
+  for (const auto& s : samples) {
+    os << s.tick << ',' << s.access_num << ',' << s.miss_num << '\n';
+  }
+  return static_cast<bool>(os);
+}
+
+bool WriteTraceFile(const std::string& path,
+                    std::span<const PcmSample> samples) {
+  std::ofstream out(path);
+  if (!out) return false;
+  return WriteTrace(out, samples);
+}
+
+std::optional<std::vector<PcmSample>> ReadTrace(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line) || line != kHeader) return std::nullopt;
+
+  std::vector<PcmSample> samples;
+  Tick last_tick = kInvalidTick;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    const auto c1 = line.find(',');
+    const auto c2 = line.find(',', c1 + 1);
+    if (c1 == std::string::npos || c2 == std::string::npos) {
+      return std::nullopt;
+    }
+    std::uint64_t tick = 0;
+    PcmSample s;
+    if (!ParseField(std::string_view(line).substr(0, c1), tick) ||
+        !ParseField(std::string_view(line).substr(c1 + 1, c2 - c1 - 1),
+                    s.access_num) ||
+        !ParseField(std::string_view(line).substr(c2 + 1), s.miss_num)) {
+      return std::nullopt;
+    }
+    s.tick = static_cast<Tick>(tick);
+    if (last_tick != kInvalidTick && s.tick <= last_tick) return std::nullopt;
+    last_tick = s.tick;
+    samples.push_back(s);
+  }
+  return samples;
+}
+
+std::optional<std::vector<PcmSample>> ReadTraceFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  return ReadTrace(in);
+}
+
+}  // namespace sds::pcm

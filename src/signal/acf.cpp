@@ -1,0 +1,81 @@
+#include "signal/acf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "signal/fft.h"
+#include "stats/descriptive.h"
+
+namespace sds {
+
+std::vector<double> Autocorrelation(std::span<const double> x,
+                                    std::size_t max_lag) {
+  SDS_CHECK(!x.empty(), "ACF of empty series");
+  SDS_CHECK(max_lag < x.size(), "max_lag must be < series length");
+  const std::size_t n = x.size();
+  const double mean = Mean(x);
+
+  double c0 = 0.0;
+  for (double v : x) c0 += (v - mean) * (v - mean);
+
+  std::vector<double> acf(max_lag + 1, 0.0);
+  if (c0 == 0.0) return acf;
+
+  for (std::size_t lag = 0; lag <= max_lag; ++lag) {
+    double c = 0.0;
+    for (std::size_t t = 0; t + lag < n; ++t) {
+      c += (x[t] - mean) * (x[t + lag] - mean);
+    }
+    acf[lag] = c / c0;
+  }
+  return acf;
+}
+
+std::vector<double> AutocorrelationFft(std::span<const double> x,
+                                       std::size_t max_lag) {
+  SDS_CHECK(!x.empty(), "ACF of empty series");
+  SDS_CHECK(max_lag < x.size(), "max_lag must be < series length");
+  const std::size_t n = x.size();
+  const double mean = Mean(x);
+
+  // Zero-pad to at least 2n to make the circular convolution linear.
+  const std::size_t m = NextPowerOfTwo(2 * n);
+  std::vector<Complex> buf(m, Complex(0.0, 0.0));
+  for (std::size_t i = 0; i < n; ++i) buf[i] = Complex(x[i] - mean, 0.0);
+
+  FftPow2(buf, /*inverse=*/false);
+  for (auto& v : buf) v = Complex(std::norm(v), 0.0);
+  FftPow2(buf, /*inverse=*/true);
+
+  std::vector<double> acf(max_lag + 1, 0.0);
+  const double c0 = buf[0].real();
+  if (c0 <= 0.0) return acf;
+  for (std::size_t lag = 0; lag <= max_lag; ++lag) {
+    acf[lag] = buf[lag].real() / c0;
+  }
+  return acf;
+}
+
+bool IsOnAcfHill(std::span<const double> acf, std::size_t lag,
+                 std::size_t radius) {
+  if (lag == 0 || lag >= acf.size()) return false;
+  const std::size_t lo = lag > radius ? lag - radius : 1;
+  const std::size_t hi = std::min(acf.size() - 1, lag + radius);
+  // The lag is on a hill when it is (within the neighbourhood) a maximum and
+  // the neighbourhood actually rises toward it from at least one side.
+  double best = acf[lo];
+  std::size_t best_lag = lo;
+  for (std::size_t i = lo; i <= hi; ++i) {
+    if (acf[i] > best) {
+      best = acf[i];
+      best_lag = i;
+    }
+  }
+  if (best_lag != lag) return false;
+  const bool rises_left = lo < lag && acf[lo] < acf[lag];
+  const bool falls_right = hi > lag && acf[hi] < acf[lag];
+  return rises_left || falls_right;
+}
+
+}  // namespace sds

@@ -1,0 +1,31 @@
+// Autocorrelation function (ACF).
+//
+// SDS/P validates DFT-generated candidate periods against the ACF of the
+// moving-average series: a true period sits on a "hill" (local maximum) of
+// the ACF, whereas spectral-leakage artifacts do not (Section 4.2.2,
+// following Vlachos et al.).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace sds {
+
+// Normalized autocorrelation for lags 0..max_lag (acf[0] == 1 unless the
+// series has zero variance, in which case all entries are 0).
+// Uses the biased estimator (divides by N), computed directly; O(N*max_lag).
+std::vector<double> Autocorrelation(std::span<const double> x,
+                                    std::size_t max_lag);
+
+// Same values computed via FFT (circular convolution with zero padding);
+// O(N log N). Exposed separately so tests can cross-validate the two paths
+// and the detector can pick the cheaper one for its window size.
+std::vector<double> AutocorrelationFft(std::span<const double> x,
+                                       std::size_t max_lag);
+
+// True if `lag` is a strict local maximum ("on a hill") of the ACF within
+// a +-radius neighbourhood, using quadratic interpolation at the boundary.
+bool IsOnAcfHill(std::span<const double> acf, std::size_t lag,
+                 std::size_t radius);
+
+}  // namespace sds

@@ -1,0 +1,79 @@
+#include "signal/coherence.h"
+
+#include <cmath>
+#include <complex>
+#include <numbers>
+
+#include "common/check.h"
+#include "signal/fft.h"
+
+namespace sds {
+
+std::vector<double> SpectralCoherence(std::span<const double> x,
+                                      std::span<const double> y,
+                                      const CoherenceOptions& opts) {
+  SDS_CHECK(x.size() == y.size(), "series must have equal length");
+  SDS_CHECK(IsPowerOfTwo(opts.segment_length),
+            "segment_length must be a power of two");
+  SDS_CHECK(opts.overlap < opts.segment_length,
+            "overlap must be smaller than segment_length");
+  const std::size_t seg = opts.segment_length;
+  const std::size_t hop = seg - opts.overlap;
+  SDS_CHECK(x.size() >= seg + hop, "need at least two segments");
+
+  const std::size_t bins = seg / 2 + 1;
+  std::vector<double> pxx(bins, 0.0);
+  std::vector<double> pyy(bins, 0.0);
+  std::vector<Complex> pxy(bins, Complex(0.0, 0.0));
+
+  std::vector<double> hann(seg);
+  for (std::size_t i = 0; i < seg; ++i) {
+    hann[i] = 0.5 * (1.0 - std::cos(2.0 * std::numbers::pi *
+                                    static_cast<double>(i) /
+                                    static_cast<double>(seg - 1)));
+  }
+
+  std::size_t segments = 0;
+  for (std::size_t start = 0; start + seg <= x.size(); start += hop) {
+    std::vector<Complex> bx(seg);
+    std::vector<Complex> by(seg);
+    double mx = 0.0;
+    double my = 0.0;
+    for (std::size_t i = 0; i < seg; ++i) {
+      mx += x[start + i];
+      my += y[start + i];
+    }
+    mx /= static_cast<double>(seg);
+    my /= static_cast<double>(seg);
+    for (std::size_t i = 0; i < seg; ++i) {
+      bx[i] = Complex((x[start + i] - mx) * hann[i], 0.0);
+      by[i] = Complex((y[start + i] - my) * hann[i], 0.0);
+    }
+    FftPow2(bx, /*inverse=*/false);
+    FftPow2(by, /*inverse=*/false);
+    for (std::size_t k = 0; k < bins; ++k) {
+      pxx[k] += std::norm(bx[k]);
+      pyy[k] += std::norm(by[k]);
+      pxy[k] += bx[k] * std::conj(by[k]);
+    }
+    ++segments;
+  }
+  SDS_CHECK(segments >= 2, "need at least two segments for coherence");
+
+  std::vector<double> coherence(bins, 0.0);
+  for (std::size_t k = 0; k < bins; ++k) {
+    const double denom = pxx[k] * pyy[k];
+    if (denom > 0.0) coherence[k] = std::norm(pxy[k]) / denom;
+  }
+  return coherence;
+}
+
+double MeanCoherence(std::span<const double> x, std::span<const double> y,
+                     const CoherenceOptions& opts) {
+  const auto c = SpectralCoherence(x, y, opts);
+  double sum = 0.0;
+  for (std::size_t k = 1; k < c.size(); ++k) sum += c[k];
+  return sum / static_cast<double>(c.size() - 1);
+}
+
+}  // namespace sds

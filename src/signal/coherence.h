@@ -1,0 +1,31 @@
+// Magnitude-squared spectral coherence (Welch-averaged), the third approach
+// the paper explored in Section 3.4 before settling on SDS/B and SDS/P. The
+// bench_sec34_correlation binary reproduces the negative result: coherence
+// between pre- and post-attack statistics shows no usable separating trend.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace sds {
+
+struct CoherenceOptions {
+  // Welch segment length; must be a power of two.
+  std::size_t segment_length = 64;
+  // Overlap between consecutive segments, in samples (< segment_length).
+  std::size_t overlap = 32;
+};
+
+// Coherence spectrum C_xy(f) in [0, 1] for frequency bins 0..segment/2.
+// Requires at least two full segments so cross/auto spectra can average;
+// x and y must be the same length.
+std::vector<double> SpectralCoherence(std::span<const double> x,
+                                      std::span<const double> y,
+                                      const CoherenceOptions& opts);
+
+// Mean coherence over non-DC bins — the scalar summary the measurement-study
+// bench reports.
+double MeanCoherence(std::span<const double> x, std::span<const double> y,
+                     const CoherenceOptions& opts);
+
+}  // namespace sds

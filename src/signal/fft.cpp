@@ -1,0 +1,119 @@
+#include "signal/fft.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.h"
+
+namespace sds {
+
+bool IsPowerOfTwo(std::size_t n) { return n >= 1 && (n & (n - 1)) == 0; }
+
+std::size_t NextPowerOfTwo(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void FftPow2(std::vector<Complex>& data, bool inverse) {
+  const std::size_t n = data.size();
+  SDS_CHECK(IsPowerOfTwo(n), "FftPow2 requires a power-of-two size");
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = (inverse ? 2.0 : -2.0) * std::numbers::pi /
+                         static_cast<double>(len);
+    const Complex wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Complex u = data[i + k];
+        const Complex v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+
+  if (inverse) {
+    for (auto& x : data) x /= static_cast<double>(n);
+  }
+}
+
+namespace {
+
+// Bluestein's algorithm: expresses a length-N DFT as a convolution that can
+// be evaluated with power-of-two FFTs. Handles any N >= 1.
+std::vector<Complex> Bluestein(std::span<const Complex> input, bool inverse) {
+  const std::size_t n = input.size();
+  const std::size_t m = NextPowerOfTwo(2 * n - 1);
+  const double sign = inverse ? 1.0 : -1.0;
+
+  // Chirp factors: w_k = exp(sign * i * pi * k^2 / n).
+  std::vector<Complex> chirp(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    // k^2 mod 2n keeps the angle argument small and exact.
+    const auto k2 = static_cast<double>((k * k) % (2 * n));
+    const double angle = sign * std::numbers::pi * k2 / static_cast<double>(n);
+    chirp[k] = Complex(std::cos(angle), std::sin(angle));
+  }
+
+  std::vector<Complex> a(m, Complex(0.0, 0.0));
+  std::vector<Complex> b(m, Complex(0.0, 0.0));
+  for (std::size_t k = 0; k < n; ++k) a[k] = input[k] * chirp[k];
+  b[0] = std::conj(chirp[0]);
+  for (std::size_t k = 1; k < n; ++k) {
+    b[k] = std::conj(chirp[k]);
+    b[m - k] = b[k];
+  }
+
+  FftPow2(a, /*inverse=*/false);
+  FftPow2(b, /*inverse=*/false);
+  for (std::size_t i = 0; i < m; ++i) a[i] *= b[i];
+  FftPow2(a, /*inverse=*/true);
+
+  std::vector<Complex> out(n);
+  for (std::size_t k = 0; k < n; ++k) out[k] = a[k] * chirp[k];
+  if (inverse) {
+    for (auto& x : out) x /= static_cast<double>(n);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Complex> Fft(std::span<const Complex> input) {
+  SDS_CHECK(!input.empty(), "FFT of empty input");
+  if (IsPowerOfTwo(input.size())) {
+    std::vector<Complex> data(input.begin(), input.end());
+    FftPow2(data, /*inverse=*/false);
+    return data;
+  }
+  return Bluestein(input, /*inverse=*/false);
+}
+
+std::vector<Complex> InverseFft(std::span<const Complex> input) {
+  SDS_CHECK(!input.empty(), "inverse FFT of empty input");
+  if (IsPowerOfTwo(input.size())) {
+    std::vector<Complex> data(input.begin(), input.end());
+    FftPow2(data, /*inverse=*/true);
+    return data;
+  }
+  return Bluestein(input, /*inverse=*/true);
+}
+
+std::vector<Complex> FftReal(std::span<const double> input) {
+  std::vector<Complex> c(input.size());
+  for (std::size_t i = 0; i < input.size(); ++i) c[i] = Complex(input[i], 0.0);
+  return Fft(c);
+}
+
+}  // namespace sds

@@ -1,0 +1,37 @@
+// Fast Fourier Transform.
+//
+// SDS/P needs the discrete Fourier transform of short moving-average windows
+// (Section 4.2.2) to generate candidate periods. Sizes are arbitrary (W_P is
+// twice the application period, not a power of two), so we provide a radix-2
+// iterative Cooley-Tukey kernel for power-of-two sizes and Bluestein's
+// chirp-z algorithm for everything else.
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+namespace sds {
+
+using Complex = std::complex<double>;
+
+// In-place forward/inverse FFT for power-of-two sizes.
+// inverse=true applies the conjugate transform and scales by 1/N.
+void FftPow2(std::vector<Complex>& data, bool inverse);
+
+// Forward DFT of arbitrary-size input (dispatches to radix-2 or Bluestein).
+std::vector<Complex> Fft(std::span<const Complex> input);
+
+// Inverse DFT of arbitrary-size input (exactly inverts Fft).
+std::vector<Complex> InverseFft(std::span<const Complex> input);
+
+// Forward DFT of a real-valued series; returns all N complex bins.
+std::vector<Complex> FftReal(std::span<const double> input);
+
+// True if n is a power of two (n >= 1).
+bool IsPowerOfTwo(std::size_t n);
+
+// Smallest power of two >= n.
+std::size_t NextPowerOfTwo(std::size_t n);
+
+}  // namespace sds

@@ -1,0 +1,81 @@
+#include "signal/moving_average.h"
+
+#include "common/check.h"
+
+namespace sds {
+
+SlidingWindowAverage::SlidingWindowAverage(std::size_t window, std::size_t step)
+    : window_(window), step_(step), buf_(window) {
+  SDS_CHECK(window > 0, "window must be positive");
+  SDS_CHECK(step > 0, "step must be positive");
+  SDS_CHECK(step <= window, "step must not exceed window");
+}
+
+std::optional<double> SlidingWindowAverage::Push(double raw) {
+  if (buf_.full()) window_sum_ -= buf_.oldest();
+  buf_.Push(raw);
+  window_sum_ += raw;
+
+  if (!first_window_done_) {
+    if (buf_.size() == window_) {
+      first_window_done_ = true;
+      ++windows_emitted_;
+      return window_sum_ / static_cast<double>(window_);
+    }
+    return std::nullopt;
+  }
+
+  if (++since_last_emit_ == step_) {
+    since_last_emit_ = 0;
+    ++windows_emitted_;
+    return window_sum_ / static_cast<double>(window_);
+  }
+  return std::nullopt;
+}
+
+void SlidingWindowAverage::Reset() {
+  buf_.Clear();
+  window_sum_ = 0.0;
+  since_last_emit_ = 0;
+  first_window_done_ = false;
+  windows_emitted_ = 0;
+}
+
+Ewma::Ewma(double alpha) : alpha_(alpha) {
+  SDS_CHECK(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+}
+
+double Ewma::Push(double m) {
+  if (!has_value_) {
+    value_ = m;  // S_0 = M_0
+    has_value_ = true;
+  } else {
+    value_ = (1.0 - alpha_) * value_ + alpha_ * m;
+  }
+  return value_;
+}
+
+void Ewma::Reset() {
+  value_ = 0.0;
+  has_value_ = false;
+}
+
+std::vector<double> MovingAverageSeries(const std::vector<double>& raw,
+                                        std::size_t window, std::size_t step) {
+  SlidingWindowAverage ma(window, step);
+  std::vector<double> out;
+  for (double v : raw) {
+    if (const auto m = ma.Push(v)) out.push_back(*m);
+  }
+  return out;
+}
+
+std::vector<double> EwmaSeries(const std::vector<double>& m, double alpha) {
+  Ewma ewma(alpha);
+  std::vector<double> out;
+  out.reserve(m.size());
+  for (double v : m) out.push_back(ewma.Push(v));
+  return out;
+}
+
+}  // namespace sds

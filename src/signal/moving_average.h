@@ -1,0 +1,70 @@
+// Streaming data preprocessing from Section 4.1 of the paper.
+//
+// Raw PCM samples {A_1, A_2, ...} are smoothed in two stages:
+//
+//   1. Sliding-window moving average: M_n is the mean of W raw samples,
+//      advancing by a step of dW samples per window (Equation 1).
+//   2. Exponentially weighted moving average over the M_n series:
+//      S_0 = M_0; S_n = (1-alpha) S_{n-1} + alpha M_n (Equation 2).
+//
+// Both stages are incremental: each raw sample costs O(1).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "common/ring_buffer.h"
+
+namespace sds {
+
+// Sliding-window mean with window W and step dW. Push() returns the new M_n
+// whenever a window completes, nullopt otherwise.
+class SlidingWindowAverage {
+ public:
+  SlidingWindowAverage(std::size_t window, std::size_t step);
+
+  std::optional<double> Push(double raw);
+
+  std::size_t window() const { return window_; }
+  std::size_t step() const { return step_; }
+  // Number of completed windows so far (the index n of the next M_n).
+  std::size_t windows_emitted() const { return windows_emitted_; }
+
+  void Reset();
+
+ private:
+  std::size_t window_;
+  std::size_t step_;
+  RingBuffer<double> buf_;
+  double window_sum_ = 0.0;
+  std::size_t since_last_emit_ = 0;
+  bool first_window_done_ = false;
+  std::size_t windows_emitted_ = 0;
+};
+
+// EWMA over an already-downsampled series (Equation 2).
+class Ewma {
+ public:
+  explicit Ewma(double alpha);
+
+  double Push(double m);
+
+  bool has_value() const { return has_value_; }
+  double value() const { return value_; }
+  double alpha() const { return alpha_; }
+
+  void Reset();
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool has_value_ = false;
+};
+
+// Batch helpers used by tests and offline analysis.
+std::vector<double> MovingAverageSeries(const std::vector<double>& raw,
+                                        std::size_t window, std::size_t step);
+std::vector<double> EwmaSeries(const std::vector<double>& m, double alpha);
+
+}  // namespace sds

@@ -1,0 +1,90 @@
+#include "signal/period_detect.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "signal/acf.h"
+#include "signal/periodogram.h"
+
+namespace sds {
+namespace {
+
+// Finds the ACF local maximum nearest to `lag` within +-radius; returns the
+// lag of that maximum, or 0 when the neighbourhood is monotone (no hill).
+std::size_t SnapToAcfPeak(std::span<const double> acf, std::size_t lag,
+                          std::size_t radius) {
+  const std::size_t lo = lag > radius ? lag - radius : 1;
+  const std::size_t hi = std::min(acf.size() - 1, lag + radius);
+  if (lo >= hi) return 0;
+
+  std::size_t best = 0;
+  double best_val = -2.0;
+  for (std::size_t i = lo; i <= hi; ++i) {
+    const bool is_local_max =
+        (i == 1 || acf[i] >= acf[i - 1]) &&
+        (i + 1 >= acf.size() || acf[i] >= acf[i + 1]);
+    if (is_local_max && acf[i] > best_val) {
+      best_val = acf[i];
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::optional<PeriodEstimate> DetectPeriod(std::span<const double> x,
+                                           const PeriodDetectorOptions& opts) {
+  if (x.size() < 8) return std::nullopt;
+
+  const auto power = Periodogram(x, opts.hann_window);
+  const auto candidates = FindSpectrumPeaks(
+      power, x.size(), opts.spectrum_threshold, opts.max_candidates);
+  if (candidates.empty()) return std::nullopt;
+
+  const std::size_t max_lag = x.size() / 2;
+  const auto acf = AutocorrelationFft(x, max_lag);
+
+  std::optional<PeriodEstimate> best;
+  for (const auto& cand : candidates) {
+    const auto lag = static_cast<std::size_t>(cand.period + 0.5);
+    if (lag < 2 || lag > max_lag) continue;
+    const auto radius = std::max<std::size_t>(
+        2, static_cast<std::size_t>(opts.hill_radius_fraction *
+                                    static_cast<double>(lag)));
+    if (!IsOnAcfHill(acf, SnapToAcfPeak(acf, lag, radius), radius) &&
+        !IsOnAcfHill(acf, lag, radius)) {
+      continue;
+    }
+    const std::size_t snapped = SnapToAcfPeak(acf, lag, radius);
+    if (snapped == 0) continue;
+    const double strength = acf[snapped];
+    if (strength < opts.min_strength) continue;
+
+    PeriodEstimate est;
+    est.period = static_cast<double>(snapped);
+    est.strength = strength;
+
+    if (!best) {
+      best = est;
+      continue;
+    }
+    // Prefer clearly stronger candidates; on near-ties prefer the smaller
+    // period so ACF multiples of the fundamental do not win.
+    if (est.strength > best->strength + opts.strength_tie_margin) {
+      best = est;
+    } else if (std::abs(est.strength - best->strength) <=
+                   opts.strength_tie_margin &&
+               est.period < best->period) {
+      best = est;
+    }
+  }
+  return best;
+}
+
+std::optional<PeriodEstimate> DetectPeriod(std::span<const double> x) {
+  return DetectPeriod(x, PeriodDetectorOptions{});
+}
+
+}  // namespace sds

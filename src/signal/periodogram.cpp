@@ -1,0 +1,69 @@
+#include "signal/periodogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/check.h"
+#include "signal/fft.h"
+#include "stats/descriptive.h"
+
+namespace sds {
+
+std::vector<double> Periodogram(std::span<const double> x, bool hann_window) {
+  SDS_CHECK(x.size() >= 2, "periodogram needs at least two samples");
+  const std::size_t n = x.size();
+  const double mean = Mean(x);
+
+  std::vector<Complex> buf(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double v = x[i] - mean;
+    if (hann_window) {
+      const double w =
+          0.5 * (1.0 - std::cos(2.0 * std::numbers::pi *
+                                static_cast<double>(i) /
+                                static_cast<double>(n - 1)));
+      v *= w;
+    }
+    buf[i] = Complex(v, 0.0);
+  }
+
+  const auto spec = Fft(buf);
+  std::vector<double> power(n / 2 + 1, 0.0);
+  for (std::size_t k = 0; k < power.size(); ++k) {
+    power[k] = std::norm(spec[k]) / static_cast<double>(n);
+  }
+  return power;
+}
+
+std::vector<SpectrumPeak> FindSpectrumPeaks(std::span<const double> power,
+                                            std::size_t series_length,
+                                            double threshold_factor,
+                                            std::size_t max_peaks) {
+  SDS_CHECK(power.size() >= 2, "spectrum too short");
+  double mean_power = 0.0;
+  for (std::size_t k = 1; k < power.size(); ++k) mean_power += power[k];
+  mean_power /= static_cast<double>(power.size() - 1);
+
+  std::vector<SpectrumPeak> peaks;
+  for (std::size_t k = 1; k < power.size(); ++k) {
+    if (power[k] < threshold_factor * mean_power) continue;
+    // Require a local maximum so a broad lobe contributes one candidate.
+    const bool left_ok = (k == 1) || power[k] >= power[k - 1];
+    const bool right_ok = (k + 1 == power.size()) || power[k] >= power[k + 1];
+    if (!left_ok || !right_ok) continue;
+    SpectrumPeak p;
+    p.bin = k;
+    p.power = power[k];
+    p.period = static_cast<double>(series_length) / static_cast<double>(k);
+    peaks.push_back(p);
+  }
+  std::sort(peaks.begin(), peaks.end(),
+            [](const SpectrumPeak& a, const SpectrumPeak& b) {
+              return a.power > b.power;
+            });
+  if (peaks.size() > max_peaks) peaks.resize(max_peaks);
+  return peaks;
+}
+
+}  // namespace sds

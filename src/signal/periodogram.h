@@ -1,0 +1,33 @@
+// Periodogram (power spectrum) of a real series, the DFT half of the DFT-ACF
+// period detector. The series is mean-removed and optionally Hann-windowed
+// (Harris [18] — windowing reduces the spectral leakage that makes the plain
+// DFT "detect false frequencies", which is exactly why the paper pairs it
+// with ACF validation).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace sds {
+
+struct SpectrumPeak {
+  // DFT bin index (1..N/2); frequency is bin / N cycles per sample.
+  std::size_t bin = 0;
+  double power = 0.0;
+  // Implied period in samples: N / bin.
+  double period = 0.0;
+};
+
+// Power at bins 0..N/2 of the mean-removed (and optionally Hann-windowed)
+// series. power[0] is ~0 by construction after mean removal.
+std::vector<double> Periodogram(std::span<const double> x, bool hann_window);
+
+// Extracts candidate periodicity peaks: bins whose power exceeds
+// `threshold_factor` times the mean non-DC power, sorted by descending power,
+// at most max_peaks entries.
+std::vector<SpectrumPeak> FindSpectrumPeaks(std::span<const double> power,
+                                            std::size_t series_length,
+                                            double threshold_factor,
+                                            std::size_t max_peaks);
+
+}  // namespace sds

@@ -1,0 +1,33 @@
+#include "sim/bus.h"
+
+namespace sds::sim {
+
+MemoryBus::MemoryBus(const BusConfig& config)
+    : config_(config), remaining_(config.slots_per_tick) {}
+
+void MemoryBus::BeginTick() {
+  remaining_ = config_.slots_per_tick;
+  saturation_recorded_ = false;
+}
+
+bool MemoryBus::TryConsume(std::uint32_t slots) {
+  if (slots > remaining_) {
+    ++stats_.stalled_requests;
+    if (!saturation_recorded_) {
+      ++stats_.saturated_ticks;
+      saturation_recorded_ = true;
+    }
+    return false;
+  }
+  remaining_ -= slots;
+  stats_.slots_consumed += slots;
+  return true;
+}
+
+bool MemoryBus::TryAtomicLock() {
+  if (!TryConsume(config_.atomic_lock_slots)) return false;
+  ++stats_.atomic_locks;
+  return true;
+}
+
+}  // namespace sds::sim

@@ -1,0 +1,96 @@
+#include "sim/cache.h"
+
+#include "common/check.h"
+
+namespace sds::sim {
+
+LastLevelCache::LastLevelCache(const CacheConfig& config) : config_(config) {
+  SDS_CHECK(config.sets > 0 && (config.sets & (config.sets - 1)) == 0,
+            "cache sets must be a power of two");
+  SDS_CHECK(config.ways > 0, "cache needs at least one way");
+  set_mask_ = config.sets - 1;
+  lines_.resize(static_cast<std::size_t>(config.sets) * config.ways);
+}
+
+LastLevelCache::Line* LastLevelCache::FindLine(std::uint32_t set,
+                                               LineAddr addr) {
+  Line* base = &lines_[static_cast<std::size_t>(set) * config_.ways];
+  for (std::uint32_t w = 0; w < config_.ways; ++w) {
+    if (base[w].valid && base[w].tag == addr) return &base[w];
+  }
+  return nullptr;
+}
+
+const LastLevelCache::Line* LastLevelCache::FindLine(std::uint32_t set,
+                                                     LineAddr addr) const {
+  const Line* base = &lines_[static_cast<std::size_t>(set) * config_.ways];
+  for (std::uint32_t w = 0; w < config_.ways; ++w) {
+    if (base[w].valid && base[w].tag == addr) return &base[w];
+  }
+  return nullptr;
+}
+
+CacheAccessResult LastLevelCache::Access(OwnerId owner, LineAddr addr) {
+  const std::uint32_t set = SetIndexOf(addr);
+  CacheAccessResult result;
+
+  if (Line* line = FindLine(set, addr)) {
+    line->lru = ++lru_clock_;
+    line->owner = owner;  // shared lines re-tag to the latest toucher
+    result.hit = true;
+    return result;
+  }
+
+  // Miss: fill into an invalid way, or evict the LRU way.
+  Line* base = &lines_[static_cast<std::size_t>(set) * config_.ways];
+  Line* victim = nullptr;
+  for (std::uint32_t w = 0; w < config_.ways; ++w) {
+    if (!base[w].valid) {
+      victim = &base[w];
+      break;
+    }
+  }
+  if (victim == nullptr) {
+    victim = base;
+    for (std::uint32_t w = 1; w < config_.ways; ++w) {
+      if (base[w].lru < victim->lru) victim = &base[w];
+    }
+    result.evicted_valid = true;
+    result.evicted_owner = victim->owner;
+  }
+  victim->tag = addr;
+  victim->owner = owner;
+  victim->valid = true;
+  victim->lru = ++lru_clock_;
+  return result;
+}
+
+bool LastLevelCache::Contains(LineAddr addr) const {
+  return FindLine(SetIndexOf(addr), addr) != nullptr;
+}
+
+std::size_t LastLevelCache::CountOwnerLines(OwnerId owner) const {
+  std::size_t count = 0;
+  for (const Line& line : lines_) {
+    if (line.valid && line.owner == owner) ++count;
+  }
+  return count;
+}
+
+std::uint32_t LastLevelCache::OwnerLinesInSet(std::uint32_t set,
+                                              OwnerId owner) const {
+  SDS_CHECK(set < config_.sets, "set index out of range");
+  const Line* base = &lines_[static_cast<std::size_t>(set) * config_.ways];
+  std::uint32_t count = 0;
+  for (std::uint32_t w = 0; w < config_.ways; ++w) {
+    if (base[w].valid && base[w].owner == owner) ++count;
+  }
+  return count;
+}
+
+void LastLevelCache::Flush() {
+  for (Line& line : lines_) line.valid = false;
+  lru_clock_ = 0;
+}
+
+}  // namespace sds::sim

@@ -1,0 +1,3 @@
+#include "sim/dram.h"
+
+// Header-only implementation; this translation unit anchors the library.

@@ -1,0 +1,52 @@
+// DRAM latency model.
+//
+// The detectors only consume LLC counters, but the DRAM stage closes the loop
+// for the performance-overhead experiments: every LLC miss pays a DRAM access
+// whose latency accumulates into per-owner stall time, which is what makes a
+// cleansed victim actually slower (not just "missier").
+#pragma once
+
+#include <cstdint>
+
+namespace sds::sim {
+
+struct DramConfig {
+  // Latency of one DRAM access in nanoseconds of virtual time.
+  double access_latency_ns = 80.0;
+  // Additional queueing latency per outstanding request in the same tick,
+  // modelling bank/channel contention under bursts.
+  double queue_latency_ns = 2.0;
+};
+
+struct DramStats {
+  std::uint64_t reads = 0;
+  double total_latency_ns = 0.0;
+};
+
+class Dram {
+ public:
+  explicit Dram(const DramConfig& config) : config_(config) {}
+
+  void BeginTick() { inflight_this_tick_ = 0; }
+
+  // Performs one read and returns its modelled latency.
+  double Read() {
+    const double latency =
+        config_.access_latency_ns +
+        config_.queue_latency_ns * static_cast<double>(inflight_this_tick_);
+    ++inflight_this_tick_;
+    ++stats_.reads;
+    stats_.total_latency_ns += latency;
+    return latency;
+  }
+
+  const DramStats& stats() const { return stats_; }
+  const DramConfig& config() const { return config_; }
+
+ private:
+  DramConfig config_;
+  std::uint32_t inflight_this_tick_ = 0;
+  DramStats stats_;
+};
+
+}  // namespace sds::sim

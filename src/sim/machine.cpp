@@ -1,0 +1,53 @@
+#include "sim/machine.h"
+
+namespace sds::sim {
+
+Machine::Machine(const MachineConfig& config)
+    : config_(config),
+      cache_(config.cache),
+      bus_(config.bus),
+      dram_(config.dram),
+      counters_(config.max_owners) {}
+
+void Machine::BeginTick() {
+  bus_.BeginTick();
+  dram_.BeginTick();
+  ++now_;
+}
+
+AccessOutcome Machine::FinishAccess(OwnerId owner, LineAddr addr) {
+  SDS_DCHECK(owner < counters_.size(), "owner out of range");
+  OwnerCounters& ctr = counters_[owner];
+  ++ctr.llc_accesses;
+  const CacheAccessResult r = cache_.Access(owner, addr);
+  if (r.hit) return AccessOutcome::kHit;
+
+  ++ctr.llc_misses;
+  // The DRAM transfer needs extra bus slots. If the budget runs dry the fill
+  // still completes (the hardware would simply slip into the next interval),
+  // so the failure only registers as bus pressure.
+  bus_.TryConsume(config_.bus.miss_extra_slots);
+  ctr.dram_latency_ns += dram_.Read();
+  return AccessOutcome::kMiss;
+}
+
+AccessOutcome Machine::Access(OwnerId owner, LineAddr addr) {
+  SDS_DCHECK(owner < counters_.size(), "owner out of range");
+  if (!bus_.TryConsume(config_.bus.access_slots)) {
+    ++counters_[owner].bus_stalls;
+    return AccessOutcome::kStalled;
+  }
+  return FinishAccess(owner, addr);
+}
+
+AccessOutcome Machine::AtomicAccess(OwnerId owner, LineAddr addr) {
+  SDS_DCHECK(owner < counters_.size(), "owner out of range");
+  if (!bus_.TryAtomicLock()) {
+    ++counters_[owner].bus_stalls;
+    return AccessOutcome::kStalled;
+  }
+  ++counters_[owner].atomic_ops;
+  return FinishAccess(owner, addr);
+}
+
+}  // namespace sds::sim

@@ -1,0 +1,87 @@
+// The simulated physical machine: one socket whose cores share an LLC, a
+// memory bus and a DRAM channel, with per-owner hardware counters — the
+// substrate on which VMs, attacks and the PCM sampler run.
+//
+// The counter registers mirror what Intel PCM exposes: cumulative LLC access
+// and LLC miss counts per owner. The PCM sampler (src/pcm) reads deltas of
+// these registers every T_PCM tick, producing exactly the AccessNum / MissNum
+// series the paper's detectors consume.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+#include "sim/bus.h"
+#include "sim/cache.h"
+#include "sim/dram.h"
+
+namespace sds::sim {
+
+struct MachineConfig {
+  CacheConfig cache;
+  BusConfig bus;
+  DramConfig dram;
+  // Highest owner id (exclusive) the counter file is sized for.
+  OwnerId max_owners = 32;
+};
+
+struct OwnerCounters {
+  std::uint64_t llc_accesses = 0;
+  std::uint64_t llc_misses = 0;
+  std::uint64_t atomic_ops = 0;
+  // Requests that could not be served because the bus budget was exhausted.
+  std::uint64_t bus_stalls = 0;
+  // Accumulated DRAM latency attributed to this owner (virtual ns).
+  double dram_latency_ns = 0.0;
+};
+
+enum class AccessOutcome : std::uint8_t {
+  kHit,
+  kMiss,
+  // The bus had no remaining bandwidth this tick; the operation did not
+  // execute and should be retried next tick.
+  kStalled,
+};
+
+class Machine {
+ public:
+  explicit Machine(const MachineConfig& config);
+
+  // Advances the machine to the next tick, refilling the bus budget.
+  void BeginTick();
+  Tick now() const { return now_; }
+
+  // A normal (non-atomic) memory load by `owner`.
+  AccessOutcome Access(OwnerId owner, LineAddr addr);
+
+  // An atomic locked operation: reserves an exclusive bus lock window and
+  // then performs the access. This is the primitive the bus locking attack
+  // issues in a tight loop.
+  AccessOutcome AtomicAccess(OwnerId owner, LineAddr addr);
+
+  const OwnerCounters& counters(OwnerId owner) const {
+    SDS_DCHECK(owner < counters_.size(), "owner out of range");
+    return counters_[owner];
+  }
+
+  LastLevelCache& cache() { return cache_; }
+  const LastLevelCache& cache() const { return cache_; }
+  MemoryBus& bus() { return bus_; }
+  const MemoryBus& bus() const { return bus_; }
+  const Dram& dram() const { return dram_; }
+  const MachineConfig& config() const { return config_; }
+
+ private:
+  AccessOutcome FinishAccess(OwnerId owner, LineAddr addr);
+
+  MachineConfig config_;
+  LastLevelCache cache_;
+  MemoryBus bus_;
+  Dram dram_;
+  std::vector<OwnerCounters> counters_;
+  Tick now_ = 0;
+};
+
+}  // namespace sds::sim

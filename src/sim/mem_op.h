@@ -1,0 +1,15 @@
+// A single memory operation as planned by a workload for one tick.
+#pragma once
+
+#include "common/types.h"
+
+namespace sds::sim {
+
+struct MemOp {
+  LineAddr addr = 0;
+  // Atomic read-modify-write that asserts the bus lock (the primitive the
+  // bus locking attack abuses); costs the bus an exclusive lock window.
+  bool atomic = false;
+};
+
+}  // namespace sds::sim

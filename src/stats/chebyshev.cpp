@@ -1,0 +1,41 @@
+#include "stats/chebyshev.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace sds {
+
+double ChebyshevTailBound(double k) {
+  SDS_CHECK(k > 0.0, "boundary factor must be positive");
+  return std::min(1.0, 1.0 / (k * k));
+}
+
+double ConsecutiveViolationBound(double k, int h) {
+  SDS_CHECK(h >= 1, "need at least one violation");
+  const double per = ChebyshevTailBound(k);
+  return std::pow(per, h);
+}
+
+int RequiredConsecutiveViolations(double k, double confidence) {
+  SDS_CHECK(k > 1.0, "Chebyshev bound is vacuous for k <= 1");
+  SDS_CHECK(confidence > 0.0 && confidence < 1.0,
+            "confidence must be in (0,1)");
+  const double target = 1.0 - confidence;
+  const double per = ChebyshevTailBound(k);
+  // per < 1 because k > 1, so the bound shrinks geometrically.
+  const double h = std::log(target) / std::log(per);
+  return std::max(1, static_cast<int>(std::ceil(h - 1e-12)));
+}
+
+double RequiredBoundaryFactor(int h, double confidence) {
+  SDS_CHECK(h >= 1, "need at least one violation");
+  SDS_CHECK(confidence > 0.0 && confidence < 1.0,
+            "confidence must be in (0,1)");
+  const double target = 1.0 - confidence;
+  // (1/k^2)^h <= target  <=>  k >= target^{-1/(2h)}.
+  return std::pow(target, -1.0 / (2.0 * h));
+}
+
+}  // namespace sds

@@ -1,0 +1,32 @@
+// Chebyshev-inequality helpers for SDS/B parameter selection.
+//
+// The paper (Section 4.2.1) picks the boundary factor k and the consecutive
+// violation threshold H_C so that, for ANY distribution of EWMA values,
+// the probability of a false alarm is bounded:
+//
+//   Pr(|X - mu| >= k sigma) <= 1/k^2                    (Chebyshev)
+//   Pr(H_C consecutive violations) <= (1/k^2)^{H_C}
+//
+// Given a desired confidence level (e.g. 99.9%), these helpers derive the
+// matching (k, H_C) pairs, including the paper's examples (k=2, H_C=6) and
+// (k=1.125, H_C=30).
+#pragma once
+
+namespace sds {
+
+// Upper bound on Pr(|X - mu| >= k * sigma) for any distribution: min(1, 1/k^2).
+double ChebyshevTailBound(double k);
+
+// Upper bound on the probability of h consecutive out-of-range windows under
+// no attack: (1/k^2)^h, capped at 1.
+double ConsecutiveViolationBound(double k, int h);
+
+// Smallest integer H_C such that (1/k^2)^{H_C} <= 1 - confidence.
+// Requires k > 1 (otherwise the Chebyshev bound is vacuous and no finite H_C
+// exists); returns the smallest H >= 1 satisfying the bound.
+int RequiredConsecutiveViolations(double k, double confidence);
+
+// Smallest k such that (1/k^2)^h <= 1 - confidence for a fixed h.
+double RequiredBoundaryFactor(int h, double confidence);
+
+}  // namespace sds

@@ -1,0 +1,73 @@
+#include "stats/correlation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "stats/descriptive.h"
+
+namespace sds {
+
+double PearsonCorrelation(std::span<const double> x,
+                          std::span<const double> y) {
+  SDS_CHECK(x.size() == y.size(), "series must have equal length");
+  SDS_CHECK(x.size() >= 2, "need at least two points");
+  const double mx = Mean(x);
+  const double my = Mean(y);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+std::vector<double> CrossCorrelation(std::span<const double> x,
+                                     std::span<const double> y, int max_lag) {
+  SDS_CHECK(x.size() == y.size(), "series must have equal length");
+  SDS_CHECK(max_lag >= 0, "max_lag must be non-negative");
+  const auto n = static_cast<int>(x.size());
+  SDS_CHECK(max_lag < n, "max_lag must be smaller than the series length");
+
+  const double mx = Mean(x);
+  const double my = Mean(y);
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (int i = 0; i < n; ++i) {
+    sxx += (x[static_cast<std::size_t>(i)] - mx) *
+           (x[static_cast<std::size_t>(i)] - mx);
+    syy += (y[static_cast<std::size_t>(i)] - my) *
+           (y[static_cast<std::size_t>(i)] - my);
+  }
+  const double denom = std::sqrt(sxx * syy);
+
+  std::vector<double> out(static_cast<std::size_t>(2 * max_lag + 1), 0.0);
+  if (denom == 0.0) return out;
+  for (int lag = -max_lag; lag <= max_lag; ++lag) {
+    double s = 0.0;
+    for (int t = 0; t < n; ++t) {
+      const int u = t + lag;
+      if (u < 0 || u >= n) continue;
+      s += (x[static_cast<std::size_t>(t)] - mx) *
+           (y[static_cast<std::size_t>(u)] - my);
+    }
+    out[static_cast<std::size_t>(lag + max_lag)] = s / denom;
+  }
+  return out;
+}
+
+double MaxAbsCrossCorrelation(std::span<const double> x,
+                              std::span<const double> y, int max_lag) {
+  const auto cc = CrossCorrelation(x, y, max_lag);
+  double best = 0.0;
+  for (double v : cc) best = std::max(best, std::abs(v));
+  return best;
+}
+
+}  // namespace sds

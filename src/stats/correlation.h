@@ -1,0 +1,26 @@
+// Correlation measures used in the paper's Section 3.4 exploration, where the
+// authors tried Pearson correlation and cross-correlation (and spectral
+// coherence, implemented in signal/coherence.h on top of the FFT) before
+// concluding that correlation does not separate attack from no-attack.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace sds {
+
+// Pearson product-moment correlation coefficient of two equal-length series.
+// Returns 0 when either series has zero variance.
+double PearsonCorrelation(std::span<const double> x, std::span<const double> y);
+
+// Normalized cross-correlation of two equal-length series at integer lags in
+// [-max_lag, +max_lag]. Element [max_lag + lag] of the result corresponds to
+// corr(x[t], y[t + lag]); values are in [-1, 1].
+std::vector<double> CrossCorrelation(std::span<const double> x,
+                                     std::span<const double> y, int max_lag);
+
+// Maximum absolute normalized cross-correlation over the lag range.
+double MaxAbsCrossCorrelation(std::span<const double> x,
+                              std::span<const double> y, int max_lag);
+
+}  // namespace sds

@@ -1,0 +1,88 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace sds {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n1 = static_cast<double>(count_);
+  const auto n2 = static_cast<double>(other.count_);
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::mean() const { return count_ > 0 ? mean_ : 0.0; }
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const { return count_ > 0 ? min_ : 0.0; }
+double RunningStats::max() const { return count_ > 0 ? max_ : 0.0; }
+
+void RunningStats::Reset() { *this = RunningStats{}; }
+
+double Percentile(std::span<const double> values, double q) {
+  SDS_CHECK(!values.empty(), "Percentile of empty range");
+  SDS_CHECK(q >= 0.0 && q <= 1.0, "Percentile q must be in [0,1]");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted[0];
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+PercentileSummary Summarize(std::span<const double> values) {
+  PercentileSummary s;
+  s.p10 = Percentile(values, 0.10);
+  s.median = Percentile(values, 0.50);
+  s.p90 = Percentile(values, 0.90);
+  return s;
+}
+
+double Mean(std::span<const double> values) {
+  RunningStats rs;
+  for (double v : values) rs.Add(v);
+  return rs.mean();
+}
+
+double StdDev(std::span<const double> values) {
+  RunningStats rs;
+  for (double v : values) rs.Add(v);
+  return rs.stddev();
+}
+
+}  // namespace sds

@@ -1,0 +1,56 @@
+// Descriptive statistics: streaming mean/variance (Welford), batch summaries
+// and percentiles. These are the primitives SDS/B profiles are built from
+// (mu_E, sigma_E of the EWMA series) and that the evaluation harness uses to
+// report median / 10th / 90th percentiles over 20 runs, as in the paper.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace sds {
+
+// Numerically stable streaming mean/variance accumulator (Welford's method).
+class RunningStats {
+ public:
+  void Add(double x);
+
+  // Merges another accumulator (parallel-combinable form of Welford).
+  void Merge(const RunningStats& other);
+
+  std::int64_t count() const { return count_; }
+  double mean() const;
+  // Sample variance (divides by n-1); 0 when fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+  void Reset();
+
+ private:
+  std::int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Percentile with linear interpolation between order statistics (the
+// "linear"/type-7 definition). q is in [0, 1]. The input need not be sorted.
+double Percentile(std::span<const double> values, double q);
+
+// Convenience: median / p10 / p90 triple, matching the paper's error bars.
+struct PercentileSummary {
+  double p10 = 0.0;
+  double median = 0.0;
+  double p90 = 0.0;
+};
+
+PercentileSummary Summarize(std::span<const double> values);
+
+double Mean(std::span<const double> values);
+// Sample standard deviation (n-1 denominator); 0 for fewer than two values.
+double StdDev(std::span<const double> values);
+
+}  // namespace sds

@@ -1,0 +1,64 @@
+#include "stats/ks_test.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+
+namespace sds {
+
+double KolmogorovSurvival(double lambda) {
+  if (lambda <= 0.0) return 1.0;
+  // The series converges very fast for lambda >~ 0.3; below that the result
+  // is numerically 1 anyway.
+  double sum = 0.0;
+  double sign = 1.0;
+  for (int j = 1; j <= 100; ++j) {
+    const double term =
+        sign * std::exp(-2.0 * j * j * lambda * lambda);
+    sum += term;
+    sign = -sign;
+    if (std::abs(term) < 1e-12) break;
+  }
+  return std::clamp(2.0 * sum, 0.0, 1.0);
+}
+
+KsTestResult TwoSampleKsTest(std::span<const double> a,
+                             std::span<const double> b) {
+  SDS_CHECK(!a.empty() && !b.empty(), "KS test requires non-empty samples");
+  std::vector<double> sa(a.begin(), a.end());
+  std::vector<double> sb(b.begin(), b.end());
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+
+  const auto na = static_cast<double>(sa.size());
+  const auto nb = static_cast<double>(sb.size());
+
+  double d = 0.0;
+  std::size_t ia = 0;
+  std::size_t ib = 0;
+  while (ia < sa.size() && ib < sb.size()) {
+    const double x = std::min(sa[ia], sb[ib]);
+    while (ia < sa.size() && sa[ia] <= x) ++ia;
+    while (ib < sb.size() && sb[ib] <= x) ++ib;
+    const double fa = static_cast<double>(ia) / na;
+    const double fb = static_cast<double>(ib) / nb;
+    d = std::max(d, std::abs(fa - fb));
+  }
+
+  KsTestResult result;
+  result.statistic = d;
+  const double en = std::sqrt(na * nb / (na + nb));
+  // Stephens' small-sample correction improves the asymptotic approximation.
+  const double lambda = (en + 0.12 + 0.11 / en) * d;
+  result.p_value = KolmogorovSurvival(lambda);
+  return result;
+}
+
+bool KsRejectsSameDistribution(std::span<const double> a,
+                               std::span<const double> b, double alpha) {
+  return TwoSampleKsTest(a, b).p_value < alpha;
+}
+
+}  // namespace sds

@@ -1,0 +1,36 @@
+// Two-sample Kolmogorov-Smirnov test.
+//
+// This is the statistical core of the KStest baseline detector from Zhang et
+// al. [49], which SDS is evaluated against: the baseline declares the
+// monitored samples anomalous when the KS test rejects the hypothesis that
+// they follow the same distribution as the throttled reference samples.
+#pragma once
+
+#include <span>
+
+namespace sds {
+
+struct KsTestResult {
+  // Supremum distance between the two empirical CDFs, in [0, 1].
+  double statistic = 0.0;
+  // Asymptotic two-sided p-value (Kolmogorov distribution with the
+  // effective-sample-size correction).
+  double p_value = 1.0;
+};
+
+// Computes the two-sample KS statistic and its asymptotic p-value. Both
+// samples must be non-empty; they are copied and sorted internally.
+KsTestResult TwoSampleKsTest(std::span<const double> a,
+                             std::span<const double> b);
+
+// True when the test rejects "same distribution" at significance alpha,
+// i.e. p_value < alpha. alpha = 0.05 reproduces the baseline's setting.
+bool KsRejectsSameDistribution(std::span<const double> a,
+                               std::span<const double> b, double alpha);
+
+// Survival function of the Kolmogorov distribution,
+// Q(lambda) = 2 * sum_{j>=1} (-1)^{j-1} exp(-2 j^2 lambda^2).
+// Exposed for direct testing against published table values.
+double KolmogorovSurvival(double lambda);
+
+}  // namespace sds

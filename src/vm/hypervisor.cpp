@@ -1,0 +1,129 @@
+#include "vm/hypervisor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace sds::vm {
+
+Hypervisor::Hypervisor(sim::Machine& machine, const HypervisorConfig& config,
+                       Rng rng)
+    : machine_(machine), config_(config), rng_(rng) {
+  SDS_CHECK(config.schedule_chunk > 0, "schedule chunk must be positive");
+  SDS_CHECK(config.monitor_load_fraction >= 0.0 &&
+                config.monitor_load_fraction < 1.0,
+            "monitor load fraction must be in [0, 1)");
+}
+
+OwnerId Hypervisor::CreateVm(std::string name,
+                             std::unique_ptr<Workload> workload) {
+  const auto id = static_cast<OwnerId>(vms_.size() + 1);
+  SDS_CHECK(id < machine_.config().max_owners,
+            "machine counter file has no room for another VM");
+  vms_.push_back(std::make_unique<VirtualMachine>(
+      id, std::move(name), std::move(workload), rng_.Fork()));
+  vm_throttle_remaining_.push_back(0);
+  return id;
+}
+
+void Hypervisor::ThrottleVm(OwnerId id, Tick duration) {
+  SDS_CHECK(id >= 1 && id <= vms_.size(), "no such VM");
+  SDS_CHECK(duration > 0, "throttle duration must be positive");
+  vm_throttle_remaining_[id - 1] = duration;
+}
+
+bool Hypervisor::vm_throttled(OwnerId id) const {
+  SDS_CHECK(id >= 1 && id <= vms_.size(), "no such VM");
+  return vm_throttle_remaining_[id - 1] > 0;
+}
+
+VirtualMachine& Hypervisor::vm(OwnerId id) {
+  SDS_CHECK(id >= 1 && id <= vms_.size(), "no such VM");
+  return *vms_[id - 1];
+}
+
+const VirtualMachine& Hypervisor::vm(OwnerId id) const {
+  SDS_CHECK(id >= 1 && id <= vms_.size(), "no such VM");
+  return *vms_[id - 1];
+}
+
+void Hypervisor::ThrottleAllExcept(OwnerId protected_vm, Tick duration) {
+  SDS_CHECK(duration > 0, "throttle duration must be positive");
+  throttle_protected_ = protected_vm;
+  throttle_remaining_ = duration;
+}
+
+void Hypervisor::DetachMonitor() {
+  SDS_CHECK(active_monitors_ > 0, "no monitor attached");
+  --active_monitors_;
+}
+
+void Hypervisor::RunTick() {
+  machine_.BeginTick();
+
+  const bool throttling = throttle_remaining_ > 0;
+  if (throttling) --throttle_remaining_;
+
+  const double drop_probability =
+      1.0 - std::pow(1.0 - config_.monitor_load_fraction,
+                     static_cast<double>(active_monitors_));
+
+  // Collect the VMs that may execute this tick.
+  struct Slot {
+    VirtualMachine* vm;
+    bool exhausted = false;  // no more ops this tick (or stalled on the bus)
+  };
+  std::vector<Slot> slots;
+  slots.reserve(vms_.size());
+  for (const auto& v : vms_) {
+    Tick& per_vm = vm_throttle_remaining_[v->id() - 1];
+    const bool vm_throttled_now = per_vm > 0;
+    if (vm_throttled_now) --per_vm;
+    if (!v->runnable()) continue;
+    if (throttling && v->id() != throttle_protected_) continue;
+    if (vm_throttled_now) continue;
+    v->workload().BeginTick(machine_.now());
+    slots.push_back(Slot{v.get()});
+  }
+  if (slots.empty()) return;
+
+  // Round-robin service in chunks, starting from a rotating offset.
+  const std::size_t start =
+      static_cast<std::size_t>(machine_.now()) % slots.size();
+  std::size_t remaining = slots.size();
+  while (remaining > 0) {
+    remaining = 0;
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      Slot& slot = slots[(start + i) % slots.size()];
+      if (slot.exhausted) continue;
+      Workload& w = slot.vm->workload();
+      const OwnerId owner = slot.vm->id();
+      for (std::uint32_t c = 0; c < config_.schedule_chunk; ++c) {
+        sim::MemOp op;
+        if (!w.NextOp(op)) {
+          slot.exhausted = true;
+          break;
+        }
+        if (drop_probability > 0.0 && rng_.Bernoulli(drop_probability)) {
+          // Cycles stolen by the monitoring agent: the op is deferred and
+          // does not execute this tick.
+          ++monitor_dropped_ops_;
+          w.OnOutcome(op, sim::AccessOutcome::kStalled);
+          continue;
+        }
+        const sim::AccessOutcome outcome =
+            op.atomic ? machine_.AtomicAccess(owner, op.addr)
+                      : machine_.Access(owner, op.addr);
+        w.OnOutcome(op, outcome);
+        if (outcome == sim::AccessOutcome::kStalled) {
+          slot.exhausted = true;
+          break;
+        }
+      }
+      if (!slot.exhausted) ++remaining;
+    }
+  }
+}
+
+}  // namespace sds::vm

@@ -1,0 +1,260 @@
+#include "workloads/catalog.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace sds::workloads {
+namespace {
+
+PhaseSpec Phase(std::string name, double intensity, double hot_fraction,
+                std::uint64_t hot_lines, std::uint64_t work,
+                double work_jitter = 0.0) {
+  PhaseSpec p;
+  p.name = std::move(name);
+  p.intensity = intensity;
+  p.hot_fraction = hot_fraction;
+  p.hot_lines = hot_lines;
+  p.stream_lines = 200000;  // far larger than the LLC: streaming misses
+  p.work = work;
+  p.work_jitter = work_jitter;
+  return p;
+}
+
+// ---- Machine-learning applications (HiBench) -------------------------------
+
+SyntheticSpec BayesSpec() {
+  SyntheticSpec s;
+  s.name = "bayes";
+  // Naive Bayes training: a stable scan-and-count loop over feature vectors.
+  s.phases = {Phase("count", 630.0, 0.75, 3000, 0)};
+  s.ou_tau_ticks = 300.0;
+  s.ou_sigma = 0.03;
+  s.tick_jitter = 0.13;
+  return s;
+}
+
+SyntheticSpec SvmSpec() {
+  SyntheticSpec s;
+  s.name = "svm";
+  // SGD-style updates: burstier than Bayes, slightly lower mean pressure.
+  s.phases = {Phase("sgd", 570.0, 0.70, 2500, 0)};
+  s.ou_tau_ticks = 200.0;
+  s.ou_sigma = 0.045;
+  s.tick_jitter = 0.17;
+  return s;
+}
+
+SyntheticSpec KMeansSpec() {
+  SyntheticSpec s;
+  s.name = "kmeans";
+  // Lloyd iterations: an assignment sweep (stream-heavy) then a centroid
+  // update (hot-set heavy). Iteration lengths drift, so the alternation is
+  // too irregular for the period detector — the paper treats k-means as
+  // non-periodic.
+  s.phases = {
+      Phase("assign", 620.0, 0.745, 2600, 300000, 0.50),
+      Phase("update", 590.0, 0.755, 2200, 180000, 0.50),
+  };
+  s.cycle = true;
+  s.ou_tau_ticks = 300.0;
+  s.ou_sigma = 0.035;
+  s.tick_jitter = 0.16;
+  return s;
+}
+
+SyntheticSpec PcaSpec() {
+  SyntheticSpec s;
+  s.name = "pca";
+  // Covariance accumulation over fixed-size data batches: the same
+  // load / compute / write cycle repeats every batch, giving the periodic
+  // AccessNum pattern of Figure 2(g). Nominal period ~600 ticks (6 s).
+  s.phases = {
+      Phase("load", 975.0, 0.35, 2000, 118000, 0.02),
+      Phase("compute", 450.0, 0.90, 2400, 102000, 0.02),
+      Phase("write", 750.0, 0.55, 1800, 78000, 0.02),
+  };
+  s.cycle = true;
+  s.ou_tau_ticks = 250.0;
+  s.ou_sigma = 0.04;
+  s.tick_jitter = 0.08;
+  return s;
+}
+
+// ---- Database applications (Hive OLAP queries) -----------------------------
+
+SyntheticSpec AggregationSpec() {
+  SyntheticSpec s;
+  s.name = "aggregation";
+  // GROUP BY over a fact table: stream the table, hit the accumulator map.
+  s.phases = {Phase("groupby", 750.0, 0.80, 3500, 0)};
+  s.ou_tau_ticks = 280.0;
+  s.ou_sigma = 0.04;
+  s.tick_jitter = 0.14;
+  return s;
+}
+
+SyntheticSpec JoinSpec() {
+  SyntheticSpec s;
+  s.name = "join";
+  // Hash join: build the hash table (hot writes), then probe it while
+  // streaming the outer relation. Irregular build/probe durations.
+  s.phases = {
+      Phase("build", 640.0, 0.76, 3200, 200000, 0.50),
+      Phase("probe", 680.0, 0.72, 3200, 350000, 0.50),
+  };
+  s.cycle = true;
+  s.ou_tau_ticks = 260.0;
+  s.ou_sigma = 0.035;
+  s.tick_jitter = 0.15;
+  return s;
+}
+
+SyntheticSpec ScanSpec() {
+  SyntheticSpec s;
+  s.name = "scan";
+  // SELECT * WHERE ...: stream-dominated (highest baseline miss rate), with
+  // hot index pages and row buffers providing the reusable working set.
+  s.phases = {Phase("scan", 1100.0, 0.45, 2600, 0)};
+  s.ou_tau_ticks = 320.0;
+  s.ou_sigma = 0.03;
+  s.tick_jitter = 0.12;
+  return s;
+}
+
+// ---- Data-intensive application --------------------------------------------
+
+SyntheticSpec TeraSortSpec() {
+  SyntheticSpec s;
+  s.name = "terasort";
+  // Hadoop TeraSort: map, shuffle, sort and reduce phases with sharply
+  // different LLC behaviour and long, strongly jittered dwell times. The
+  // cache statistics do NOT follow one distribution over time — this is the
+  // application on which Figure 1 shows KStest raising false alarms.
+  // Phase dwell times (~8-10 s) are kept below H_C * dW * T_PCM = 15 s so a
+  // single extreme phase cannot sustain 30 consecutive EWMA violations.
+  s.phases = {
+      Phase("map", 825.0, 0.50, 2800, 350000, 0.40),
+      Phase("shuffle", 1140.0, 0.30, 1800, 450000, 0.40),
+      Phase("sort", 510.0, 0.86, 3600, 380000, 0.40),
+      Phase("reduce", 750.0, 0.62, 2600, 400000, 0.40),
+  };
+  s.cycle = true;
+  s.ou_tau_ticks = 260.0;
+  s.ou_sigma = 0.05;
+  s.tick_jitter = 0.10;
+  return s;
+}
+
+// ---- Web search application -------------------------------------------------
+
+SyntheticSpec PageRankSpec() {
+  SyntheticSpec s;
+  s.name = "pagerank";
+  // Power iteration over a web graph whose in-link popularity is Zipfian
+  // (Section 3.1): most rank mass hits a few hub pages.
+  s.phases = {Phase("iterate", 780.0, 0.80, 12000, 0)};
+  s.zipf_exponent = 0.9;
+  s.ou_tau_ticks = 300.0;
+  s.ou_sigma = 0.03;
+  s.tick_jitter = 0.13;
+  return s;
+}
+
+// ---- Deep learning application ----------------------------------------------
+
+SyntheticSpec FaceNetSpec() {
+  SyntheticSpec s;
+  s.name = "facenet";
+  // Mini-batch training: load a batch, forward pass, backward pass — the
+  // same computation on every batch, Figure 6's periodic pattern. Nominal
+  // period ~850 ticks = 17 moving-average steps, matching Figure 8's
+  // computed period of ~17.
+  s.phases = {
+      Phase("load", 1050.0, 0.30, 1600, 158000, 0.02),
+      Phase("forward", 525.0, 0.88, 2600, 159000, 0.02),
+      Phase("backward", 675.0, 0.85, 2600, 150000, 0.02),
+  };
+  s.cycle = true;
+  s.ou_tau_ticks = 250.0;
+  s.ou_sigma = 0.04;
+  s.tick_jitter = 0.08;
+  return s;
+}
+
+SyntheticSpec BenignUtilitySpec() {
+  SyntheticSpec s;
+  s.name = "utility";
+  // sysstat/dstat-style housekeeping: negligible, slightly noisy pressure.
+  s.phases = {Phase("idle", 25.0, 0.90, 300, 0)};
+  s.ou_tau_ticks = 150.0;
+  s.ou_sigma = 0.05;
+  s.tick_jitter = 0.20;
+  return s;
+}
+
+struct CatalogEntry {
+  AppInfo info;
+  SyntheticSpec (*spec)();
+};
+
+const std::vector<CatalogEntry>& Entries() {
+  static const std::vector<CatalogEntry> kEntries = {
+      {{"bayes", "machine-learning", false, 0}, &BayesSpec},
+      {{"svm", "machine-learning", false, 0}, &SvmSpec},
+      {{"kmeans", "machine-learning", false, 0}, &KMeansSpec},
+      {{"pca", "machine-learning", true, 600}, &PcaSpec},
+      {{"aggregation", "database", false, 0}, &AggregationSpec},
+      {{"join", "database", false, 0}, &JoinSpec},
+      {{"scan", "database", false, 0}, &ScanSpec},
+      {{"terasort", "data-intensive", false, 0}, &TeraSortSpec},
+      {{"pagerank", "web-search", false, 0}, &PageRankSpec},
+      {{"facenet", "deep-learning", true, 850}, &FaceNetSpec},
+  };
+  return kEntries;
+}
+
+const CatalogEntry* FindEntry(std::string_view name) {
+  const auto& entries = Entries();
+  const auto it =
+      std::find_if(entries.begin(), entries.end(),
+                   [&](const CatalogEntry& e) { return e.info.name == name; });
+  return it == entries.end() ? nullptr : &*it;
+}
+
+}  // namespace
+
+const std::vector<AppInfo>& AppCatalog() {
+  static const std::vector<AppInfo> kInfos = [] {
+    std::vector<AppInfo> infos;
+    for (const auto& e : Entries()) infos.push_back(e.info);
+    return infos;
+  }();
+  return kInfos;
+}
+
+const AppInfo& AppInfoFor(std::string_view name) {
+  const CatalogEntry* e = FindEntry(name);
+  SDS_CHECK(e != nullptr, "unknown application");
+  return e->info;
+}
+
+bool IsKnownApp(std::string_view name) { return FindEntry(name) != nullptr; }
+
+std::unique_ptr<vm::Workload> MakeApp(std::string_view name) {
+  const CatalogEntry* e = FindEntry(name);
+  SDS_CHECK(e != nullptr, "unknown application");
+  return std::make_unique<SyntheticWorkload>(e->spec());
+}
+
+SyntheticSpec SpecForApp(std::string_view name) {
+  const CatalogEntry* e = FindEntry(name);
+  SDS_CHECK(e != nullptr, "unknown application");
+  return e->spec();
+}
+
+std::unique_ptr<vm::Workload> MakeBenignUtility() {
+  return std::make_unique<SyntheticWorkload>(BenignUtilitySpec());
+}
+
+}  // namespace sds::workloads

@@ -1,0 +1,48 @@
+// The application catalog: the ten cloud applications of the paper's
+// measurement study (Section 3.1) plus the benign Linux-utility VMs used as
+// background tenants in the evaluation (Section 5.1).
+//
+// Each entry maps a real application to a SyntheticSpec whose LLC time-series
+// shape matches the paper's observations: which apps are periodic (PCA,
+// FaceNet), which switch phases hard enough to break KStest (TeraSort), and
+// roughly how much LLC pressure each exerts.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "vm/workload.h"
+#include "workloads/synthetic.h"
+
+namespace sds::workloads {
+
+struct AppInfo {
+  std::string name;
+  std::string category;  // "machine-learning", "database", ...
+  bool periodic = false;
+  // Nominal period of the MA series in ticks (0 for non-periodic apps);
+  // documentation only — detectors measure the period themselves.
+  Tick nominal_period_ticks = 0;
+};
+
+// All ten applications, in the paper's presentation order.
+const std::vector<AppInfo>& AppCatalog();
+
+// Looks up catalog info; aborts on unknown name.
+const AppInfo& AppInfoFor(std::string_view name);
+
+// True when `name` names a catalog application.
+bool IsKnownApp(std::string_view name);
+
+// Instantiates the application model. Aborts on unknown name.
+std::unique_ptr<vm::Workload> MakeApp(std::string_view name);
+
+// The spec behind an application (exposed for tests and calibration).
+SyntheticSpec SpecForApp(std::string_view name);
+
+// A background tenant running light Linux utilities (sysstat/dstat).
+std::unique_ptr<vm::Workload> MakeBenignUtility();
+
+}  // namespace sds::workloads

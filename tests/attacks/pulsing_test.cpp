@@ -1,0 +1,105 @@
+#include "attacks/pulsing_workload.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "attacks/bus_lock_attacker.h"
+
+namespace sds::attacks {
+namespace {
+
+class TickCounter final : public vm::Workload {
+ public:
+  void Bind(LineAddr, Rng) override {}
+  void BeginTick(Tick) override {
+    ++ticks_;
+    left_ = 1;
+  }
+  bool NextOp(sim::MemOp& op) override {
+    if (left_ == 0) return false;
+    --left_;
+    op = sim::MemOp{};
+    return true;
+  }
+  void OnOutcome(const sim::MemOp&, sim::AccessOutcome) override {
+    ++outcomes_;
+  }
+  std::uint64_t work_completed() const override { return outcomes_; }
+  std::string_view name() const override { return "counter"; }
+
+  int ticks_ = 0;
+  int left_ = 0;
+  std::uint64_t outcomes_ = 0;
+};
+
+TEST(PulsingWorkloadTest, DutyCycleComputed) {
+  PulsingWorkload p(std::make_unique<TickCounter>(), 30, 70);
+  EXPECT_DOUBLE_EQ(p.duty_cycle(), 0.3);
+  PulsingWorkload full(std::make_unique<TickCounter>(), 10, 0);
+  EXPECT_DOUBLE_EQ(full.duty_cycle(), 1.0);
+}
+
+TEST(PulsingWorkloadTest, RunsOnlyDuringOnWindow) {
+  auto inner = std::make_unique<TickCounter>();
+  auto* raw = inner.get();
+  PulsingWorkload p(std::move(inner), 3, 2);
+  p.Bind(0, Rng(1));
+  sim::MemOp op;
+  for (Tick t = 0; t < 10; ++t) {
+    p.BeginTick(t);
+    // Cycle is 5 ticks: positions 0,1,2 active; 3,4 idle.
+    EXPECT_EQ(p.active(), t % 5 < 3) << t;
+    while (p.NextOp(op)) p.OnOutcome(op, sim::AccessOutcome::kHit);
+  }
+  EXPECT_EQ(raw->ticks_, 6);
+  EXPECT_EQ(raw->outcomes_, 6u);
+}
+
+TEST(PulsingWorkloadTest, ZeroOffIsAlwaysOn) {
+  auto inner = std::make_unique<TickCounter>();
+  auto* raw = inner.get();
+  PulsingWorkload p(std::move(inner), 4, 0);
+  p.Bind(0, Rng(2));
+  for (Tick t = 0; t < 20; ++t) {
+    p.BeginTick(t);
+    EXPECT_TRUE(p.active());
+  }
+  EXPECT_EQ(raw->ticks_, 20);
+}
+
+TEST(PulsingWorkloadTest, PhaseShiftsTheWindow) {
+  PulsingWorkload p(std::make_unique<TickCounter>(), 2, 2, /*phase=*/1);
+  p.Bind(0, Rng(3));
+  p.BeginTick(0);
+  // Position of tick 0 with phase 1 is (0-1) mod 4 = 3: idle.
+  EXPECT_FALSE(p.active());
+  p.BeginTick(1);
+  EXPECT_TRUE(p.active());
+  p.BeginTick(2);
+  EXPECT_TRUE(p.active());
+  p.BeginTick(3);
+  EXPECT_FALSE(p.active());
+}
+
+TEST(PulsingWorkloadTest, WrapsRealAttacker) {
+  BusLockConfig cfg;
+  cfg.atomics_per_tick = 5;
+  PulsingWorkload p(std::make_unique<BusLockAttacker>(cfg), 1, 1);
+  p.Bind(0, Rng(4));
+  sim::MemOp op;
+  std::uint64_t ops = 0;
+  for (Tick t = 0; t < 10; ++t) {
+    p.BeginTick(t);
+    while (p.NextOp(op)) {
+      EXPECT_TRUE(op.atomic);
+      p.OnOutcome(op, sim::AccessOutcome::kHit);
+      ++ops;
+    }
+  }
+  EXPECT_EQ(ops, 25u);  // 5 active ticks x 5 atomics
+  EXPECT_EQ(p.work_completed(), 25u);
+}
+
+}  // namespace
+}  // namespace sds::attacks

@@ -1,0 +1,104 @@
+#include "attacks/scheduled_workload.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+namespace sds::attacks {
+namespace {
+
+class CountingWorkload final : public vm::Workload {
+ public:
+  void Bind(LineAddr base, Rng) override {
+    base_ = base;
+    bound_ = true;
+  }
+  void BeginTick(Tick now) override {
+    ++ticks_;
+    last_tick_ = now;
+    left_ = 2;
+  }
+  bool NextOp(sim::MemOp& op) override {
+    if (left_ == 0) return false;
+    --left_;
+    op.addr = base_;
+    op.atomic = false;
+    return true;
+  }
+  void OnOutcome(const sim::MemOp&, sim::AccessOutcome) override {
+    ++outcomes_;
+  }
+  std::uint64_t work_completed() const override { return outcomes_; }
+  std::string_view name() const override { return "counting"; }
+
+  bool bound_ = false;
+  int ticks_ = 0;
+  Tick last_tick_ = -1;
+  int left_ = 0;
+  std::uint64_t outcomes_ = 0;
+
+ private:
+  LineAddr base_ = 0;
+};
+
+TEST(ScheduledWorkloadTest, ForwardsBind) {
+  auto inner = std::make_unique<CountingWorkload>();
+  auto* raw = inner.get();
+  ScheduledWorkload s(std::move(inner), 5, -1);
+  s.Bind(7, Rng(1));
+  EXPECT_TRUE(raw->bound_);
+}
+
+TEST(ScheduledWorkloadTest, IdleBeforeStart) {
+  auto inner = std::make_unique<CountingWorkload>();
+  auto* raw = inner.get();
+  ScheduledWorkload s(std::move(inner), 5, -1);
+  s.Bind(0, Rng(2));
+  sim::MemOp op;
+  for (Tick t = 0; t < 5; ++t) {
+    s.BeginTick(t);
+    EXPECT_FALSE(s.active());
+    EXPECT_FALSE(s.NextOp(op));
+  }
+  EXPECT_EQ(raw->ticks_, 0);
+}
+
+TEST(ScheduledWorkloadTest, ActiveInsideWindow) {
+  auto inner = std::make_unique<CountingWorkload>();
+  auto* raw = inner.get();
+  ScheduledWorkload s(std::move(inner), 5, 8);
+  s.Bind(0, Rng(3));
+  sim::MemOp op;
+  for (Tick t = 0; t < 12; ++t) {
+    s.BeginTick(t);
+    while (s.NextOp(op)) s.OnOutcome(op, sim::AccessOutcome::kHit);
+  }
+  EXPECT_EQ(raw->ticks_, 3);       // ticks 5, 6, 7
+  EXPECT_EQ(raw->outcomes_, 6u);   // 2 ops per active tick
+  EXPECT_EQ(s.work_completed(), 6u);
+}
+
+TEST(ScheduledWorkloadTest, NeverStopsWhenStopNegative) {
+  auto inner = std::make_unique<CountingWorkload>();
+  auto* raw = inner.get();
+  ScheduledWorkload s(std::move(inner), 2, -1);
+  s.Bind(0, Rng(4));
+  for (Tick t = 0; t < 100; ++t) s.BeginTick(t);
+  EXPECT_EQ(raw->ticks_, 98);
+  EXPECT_TRUE(s.active());
+}
+
+TEST(ScheduledWorkloadTest, StartAtZeroImmediatelyActive) {
+  ScheduledWorkload s(std::make_unique<CountingWorkload>(), 0, -1);
+  s.Bind(0, Rng(5));
+  s.BeginTick(0);
+  EXPECT_TRUE(s.active());
+}
+
+TEST(ScheduledWorkloadTest, RejectsInvalidWindow) {
+  EXPECT_DEATH(ScheduledWorkload(std::make_unique<CountingWorkload>(), 10, 5),
+               "stop must come after start");
+}
+
+}  // namespace
+}  // namespace sds::attacks

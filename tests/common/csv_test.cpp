@@ -1,0 +1,89 @@
+#include "common/csv.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace sds {
+namespace {
+
+TEST(CsvWriterTest, PlainFields) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.Row("a", 1, 2.5);
+  EXPECT_EQ(os.str(), "a,1,2.5\n");
+}
+
+TEST(CsvWriterTest, QuotesFieldsWithCommas) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.Row("x,y", "plain");
+  EXPECT_EQ(os.str(), "\"x,y\",plain\n");
+}
+
+TEST(CsvWriterTest, EscapesEmbeddedQuotes) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.Row(std::string("he said \"hi\""));
+  EXPECT_EQ(os.str(), "\"he said \"\"hi\"\"\"\n");
+}
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable t;
+  t.SetHeader({"name", "value"});
+  t.Row("x", 1);
+  t.Row("longer", 22);
+  std::ostringstream os;
+  t.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  EXPECT_NE(out.find("------"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TextTableTest, NoHeaderJustRows) {
+  TextTable t;
+  t.Row("a", "b");
+  std::ostringstream os;
+  t.Print(os);
+  EXPECT_EQ(os.str(), "a  b\n");
+}
+
+TEST(FormatFixedTest, Decimals) {
+  EXPECT_EQ(FormatFixed(1.23456, 2), "1.23");
+  EXPECT_EQ(FormatFixed(1.0, 3), "1.000");
+  EXPECT_EQ(FormatFixed(-0.5, 1), "-0.5");
+}
+
+TEST(SparklineTest, EmptyInput) {
+  EXPECT_EQ(Sparkline({}, 10), "");
+}
+
+TEST(SparklineTest, WidthRespected) {
+  std::vector<double> v(100);
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] = static_cast<double>(i);
+  EXPECT_EQ(Sparkline(v, 20).size(), 20u);
+}
+
+TEST(SparklineTest, ShortSeriesKeepsLength) {
+  std::vector<double> v = {1.0, 2.0, 3.0};
+  EXPECT_EQ(Sparkline(v, 80).size(), 3u);
+}
+
+TEST(SparklineTest, MonotoneSeriesEndsHigh) {
+  std::vector<double> v(50);
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] = static_cast<double>(i);
+  const std::string s = Sparkline(v, 10);
+  EXPECT_EQ(s.front(), ' ');
+  EXPECT_EQ(s.back(), '@');
+}
+
+TEST(SparklineTest, ConstantSeriesDoesNotCrash) {
+  std::vector<double> v(10, 3.0);
+  const std::string s = Sparkline(v, 10);
+  EXPECT_EQ(s.size(), 10u);
+}
+
+}  // namespace
+}  // namespace sds

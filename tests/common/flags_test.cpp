@@ -1,0 +1,78 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace sds {
+namespace {
+
+std::vector<char*> MakeArgv(std::vector<std::string>& storage) {
+  std::vector<char*> argv;
+  for (auto& s : storage) argv.push_back(s.data());
+  return argv;
+}
+
+TEST(FlagsTest, ParsesEqualsForm) {
+  std::vector<std::string> args = {"prog", "--runs=5", "--app=kmeans"};
+  auto argv = MakeArgv(args);
+  Flags f;
+  ASSERT_TRUE(f.Parse(static_cast<int>(argv.size()), argv.data(),
+                      {"runs", "app"}));
+  EXPECT_EQ(f.GetInt("runs", 0), 5);
+  EXPECT_EQ(f.GetString("app", ""), "kmeans");
+}
+
+TEST(FlagsTest, ParsesSpaceForm) {
+  std::vector<std::string> args = {"prog", "--runs", "7"};
+  auto argv = MakeArgv(args);
+  Flags f;
+  ASSERT_TRUE(f.Parse(static_cast<int>(argv.size()), argv.data(), {"runs"}));
+  EXPECT_EQ(f.GetInt("runs", 0), 7);
+}
+
+TEST(FlagsTest, BareFlagIsBooleanTrue) {
+  std::vector<std::string> args = {"prog", "--csv"};
+  auto argv = MakeArgv(args);
+  Flags f;
+  ASSERT_TRUE(f.Parse(static_cast<int>(argv.size()), argv.data(), {"csv"}));
+  EXPECT_TRUE(f.GetBool("csv", false));
+}
+
+TEST(FlagsTest, UnknownFlagFails) {
+  std::vector<std::string> args = {"prog", "--bogus=1"};
+  auto argv = MakeArgv(args);
+  Flags f;
+  EXPECT_FALSE(f.Parse(static_cast<int>(argv.size()), argv.data(), {"runs"}));
+}
+
+TEST(FlagsTest, DefaultsWhenAbsent) {
+  std::vector<std::string> args = {"prog"};
+  auto argv = MakeArgv(args);
+  Flags f;
+  ASSERT_TRUE(f.Parse(static_cast<int>(argv.size()), argv.data(), {"x"}));
+  EXPECT_EQ(f.GetInt("x", 42), 42);
+  EXPECT_EQ(f.GetString("x", "d"), "d");
+  EXPECT_DOUBLE_EQ(f.GetDouble("x", 1.5), 1.5);
+  EXPECT_FALSE(f.GetBool("x", false));
+  EXPECT_FALSE(f.Has("x"));
+}
+
+TEST(FlagsTest, PositionalArgumentsCollected) {
+  std::vector<std::string> args = {"prog", "pos1", "--runs=1", "pos2"};
+  auto argv = MakeArgv(args);
+  Flags f;
+  ASSERT_TRUE(f.Parse(static_cast<int>(argv.size()), argv.data(), {"runs"}));
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "pos1");
+  EXPECT_EQ(f.positional()[1], "pos2");
+}
+
+TEST(FlagsTest, DoubleParsing) {
+  std::vector<std::string> args = {"prog", "--alpha=0.25"};
+  auto argv = MakeArgv(args);
+  Flags f;
+  ASSERT_TRUE(f.Parse(static_cast<int>(argv.size()), argv.data(), {"alpha"}));
+  EXPECT_DOUBLE_EQ(f.GetDouble("alpha", 0.0), 0.25);
+}
+
+}  // namespace
+}  // namespace sds

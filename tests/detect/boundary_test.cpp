@@ -1,0 +1,173 @@
+#include "detect/boundary.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "signal/moving_average.h"
+#include "stats/descriptive.h"
+
+namespace sds::detect {
+namespace {
+
+DetectorParams FastParams() {
+  // Small windows so unit tests run on short series: W=10, dW=5, H_C=3.
+  DetectorParams p;
+  p.window = 10;
+  p.step = 5;
+  p.alpha = 0.2;
+  p.boundary_k = 1.125;
+  p.h_c = 3;
+  return p;
+}
+
+std::vector<double> NoisySeries(std::size_t n, double mean, double sd,
+                                std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.Normal(mean, sd);
+  return v;
+}
+
+TEST(BuildBoundaryProfileTest, MatchesManualPipeline) {
+  const auto raw = NoisySeries(500, 100.0, 10.0, 1);
+  const DetectorParams p = FastParams();
+  const BoundaryProfile profile = BuildBoundaryProfile(raw, p);
+  const auto ma = MovingAverageSeries(raw, p.window, p.step);
+  const auto ewma = EwmaSeries(ma, p.alpha);
+  EXPECT_NEAR(profile.mean, Mean(ewma), 1e-9);
+  EXPECT_NEAR(profile.stddev, StdDev(ewma), 1e-9);
+}
+
+TEST(BuildBoundaryProfileTest, ConstantSeriesZeroSigma) {
+  const std::vector<double> raw(100, 50.0);
+  const BoundaryProfile profile = BuildBoundaryProfile(raw, FastParams());
+  EXPECT_DOUBLE_EQ(profile.mean, 50.0);
+  EXPECT_DOUBLE_EQ(profile.stddev, 0.0);
+}
+
+TEST(BoundaryAnalyzerTest, BoundsFromProfile) {
+  BoundaryProfile profile{100.0, 8.0};
+  const DetectorParams p = FastParams();
+  BoundaryAnalyzer a(profile, p);
+  EXPECT_DOUBLE_EQ(a.lower_bound(), 100.0 - 1.125 * 8.0);
+  EXPECT_DOUBLE_EQ(a.upper_bound(), 100.0 + 1.125 * 8.0);
+}
+
+TEST(BoundaryAnalyzerTest, EmitsEwmaPerStep) {
+  BoundaryProfile profile{0.0, 1.0};
+  const DetectorParams p = FastParams();
+  BoundaryAnalyzer a(profile, p);
+  int emitted = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Observe(0.0)) ++emitted;
+  }
+  // First window at sample 10, then every 5 samples: 1 + 18 = 19.
+  EXPECT_EQ(emitted, 19);
+}
+
+TEST(BoundaryAnalyzerTest, InRangeSeriesNeverAlarms) {
+  const auto raw = NoisySeries(2000, 100.0, 10.0, 2);
+  const DetectorParams p = FastParams();
+  const BoundaryProfile profile = BuildBoundaryProfile(raw, p);
+  BoundaryAnalyzer a(profile, p);
+  // Same distribution: the Chebyshev-bounded condition with H_C=3 may have
+  // occasional single violations, but we verify the alarm does not latch
+  // permanently; count alarmed steps.
+  int alarmed_steps = 0;
+  int steps = 0;
+  Rng rng(3);
+  for (int i = 0; i < 5000; ++i) {
+    if (a.Observe(rng.Normal(100.0, 10.0))) {
+      ++steps;
+      if (a.attack_active()) ++alarmed_steps;
+    }
+  }
+  EXPECT_LT(alarmed_steps, steps / 10);
+}
+
+TEST(BoundaryAnalyzerTest, ConstantExactlyAtMeanNeverViolates) {
+  BoundaryProfile profile{5.0, 0.0};  // degenerate sigma
+  BoundaryAnalyzer a(profile, FastParams());
+  for (int i = 0; i < 200; ++i) a.Observe(5.0);
+  EXPECT_EQ(a.consecutive_violations(), 0);
+  EXPECT_FALSE(a.attack_active());
+}
+
+TEST(BoundaryAnalyzerTest, DropBelowRangeAlarmsAfterHc) {
+  BoundaryProfile profile{100.0, 5.0};
+  const DetectorParams p = FastParams();
+  BoundaryAnalyzer a(profile, p);
+  // Feed the mean until the pipeline is warm, then collapse to 10.
+  for (int i = 0; i < 50; ++i) a.Observe(100.0);
+  EXPECT_FALSE(a.attack_active());
+  int steps_to_alarm = 0;
+  for (int i = 0; i < 500 && !a.attack_active(); ++i) {
+    if (a.Observe(10.0)) ++steps_to_alarm;
+  }
+  EXPECT_TRUE(a.attack_active());
+  // Needs at least H_C out-of-range EWMA values (EWMA inertia adds more).
+  EXPECT_GE(steps_to_alarm, p.h_c);
+}
+
+TEST(BoundaryAnalyzerTest, SpikeAboveRangeAlarms) {
+  BoundaryProfile profile{100.0, 5.0};
+  BoundaryAnalyzer a(profile, FastParams());
+  for (int i = 0; i < 50; ++i) a.Observe(100.0);
+  for (int i = 0; i < 500 && !a.attack_active(); ++i) a.Observe(400.0);
+  EXPECT_TRUE(a.attack_active());
+}
+
+TEST(BoundaryAnalyzerTest, RecoveryClearsAlarm) {
+  BoundaryProfile profile{100.0, 5.0};
+  BoundaryAnalyzer a(profile, FastParams());
+  for (int i = 0; i < 50; ++i) a.Observe(100.0);
+  for (int i = 0; i < 500 && !a.attack_active(); ++i) a.Observe(10.0);
+  ASSERT_TRUE(a.attack_active());
+  for (int i = 0; i < 500 && a.attack_active(); ++i) a.Observe(100.0);
+  EXPECT_FALSE(a.attack_active());
+  EXPECT_EQ(a.consecutive_violations(), 0);
+}
+
+TEST(BoundaryAnalyzerTest, BriefExcursionDoesNotAlarm) {
+  BoundaryProfile profile{100.0, 5.0};
+  const DetectorParams p = FastParams();
+  BoundaryAnalyzer a(profile, p);
+  for (int i = 0; i < 50; ++i) a.Observe(100.0);
+  // A short, moderate burst: the EWMA exceeds the bound only briefly (fewer
+  // than H_C consecutive steps), so no alarm fires. (A LARGE brief burst
+  // would still alarm: with alpha = 0.2 the EWMA holds big excursions for
+  // many steps — the intended smoothing behaviour.)
+  for (int i = 0; i < 5; ++i) a.Observe(140.0);
+  for (int i = 0; i < 50; ++i) a.Observe(100.0);
+  EXPECT_FALSE(a.attack_active());
+}
+
+// Property: detection delay in EWMA steps shrinks as the drop grows deeper.
+class BoundaryDepthTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(BoundaryDepthTest, DeeperDropsDetectNoSlower) {
+  const double drop_to = GetParam();
+  BoundaryProfile profile{100.0, 5.0};
+  const DetectorParams p = FastParams();
+
+  auto steps_to_alarm = [&](double level) {
+    BoundaryAnalyzer a(profile, p);
+    for (int i = 0; i < 50; ++i) a.Observe(100.0);
+    int steps = 0;
+    for (int i = 0; i < 2000 && !a.attack_active(); ++i) {
+      if (a.Observe(level)) ++steps;
+    }
+    EXPECT_TRUE(a.attack_active()) << "level=" << level;
+    return steps;
+  };
+
+  EXPECT_LE(steps_to_alarm(drop_to), steps_to_alarm(drop_to + 30.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, BoundaryDepthTest,
+                         ::testing::Values(10.0, 30.0, 50.0));
+
+}  // namespace
+}  // namespace sds::detect

@@ -1,0 +1,167 @@
+#include "detect/period.h"
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace sds::detect {
+namespace {
+
+DetectorParams FastParams() {
+  DetectorParams p;
+  p.window = 10;
+  p.step = 5;   // one MA value per 5 raw samples
+  p.delta_wp = 2;
+  p.h_p = 3;
+  p.period_tolerance = 0.20;
+  p.wp_multiplier = 2.0;
+  return p;
+}
+
+// Raw series whose MA (W=10, dW=5) has the given period in MA steps.
+std::vector<double> PeriodicRaw(std::size_t n, double period_ma_steps,
+                                std::uint64_t seed, double noise = 0.5) {
+  Rng rng(seed);
+  const double period_raw = period_ma_steps * 5.0;
+  std::vector<double> v(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    const double phase =
+        std::fmod(static_cast<double>(t), period_raw) / period_raw;
+    v[t] = 100.0 + 30.0 * (phase < 0.45 ? 1.0 : -1.0) + noise * rng.Normal();
+  }
+  return v;
+}
+
+std::vector<double> StationaryRaw(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.Normal(100.0, 10.0);
+  return v;
+}
+
+TEST(ClassifyPeriodicityTest, PeriodicSeriesClassified) {
+  const auto raw = PeriodicRaw(4000, 20.0, 1);
+  const auto profile = ClassifyPeriodicity(raw, FastParams());
+  ASSERT_TRUE(profile.has_value());
+  EXPECT_NEAR(profile->period, 20.0, 3.0);
+  EXPECT_GT(profile->strength, 0.3);
+}
+
+TEST(ClassifyPeriodicityTest, StationaryNoiseRejected) {
+  const auto raw = StationaryRaw(4000, 2);
+  EXPECT_FALSE(ClassifyPeriodicity(raw, FastParams()).has_value());
+}
+
+TEST(ClassifyPeriodicityTest, TooShortSeriesRejected) {
+  const auto raw = PeriodicRaw(100, 4.0, 3);
+  EXPECT_FALSE(ClassifyPeriodicity(raw, FastParams()).has_value());
+}
+
+TEST(ClassifyPeriodicityTest, OneOffTransientNotPeriodic) {
+  // Periodic in the first half, flat in the second: halves disagree.
+  auto raw = PeriodicRaw(2000, 15.0, 4);
+  for (std::size_t i = 2000; i < 4000; ++i) raw.push_back(100.0);
+  EXPECT_FALSE(ClassifyPeriodicity(raw, FastParams()).has_value());
+}
+
+TEST(PeriodAnalyzerTest, WindowSizeIsTwicePeriod) {
+  PeriodProfile profile{20.0, 0.8};
+  PeriodAnalyzer a(profile, FastParams());
+  EXPECT_EQ(a.window_size(), 40u);
+}
+
+TEST(PeriodAnalyzerTest, ChecksRunEveryDeltaWp) {
+  PeriodProfile profile{10.0, 0.8};
+  const DetectorParams p = FastParams();
+  PeriodAnalyzer a(profile, p);
+  const auto raw = PeriodicRaw(4000, 10.0, 5);
+  int checks = 0;
+  for (double v : raw) {
+    if (a.Observe(v)) ++checks;
+  }
+  // MA values: (4000-10)/5 + 1 = 799; window fills at 20 MA values; then a
+  // check every delta_wp = 2 new values.
+  EXPECT_NEAR(checks, (799 - 20) / 2, 4);
+  EXPECT_EQ(a.checks().size(), static_cast<std::size_t>(checks));
+}
+
+TEST(PeriodAnalyzerTest, StablePeriodNeverAlarms) {
+  PeriodProfile profile{20.0, 0.8};
+  PeriodAnalyzer a(profile, FastParams());
+  const auto raw = PeriodicRaw(8000, 20.0, 6);
+  for (double v : raw) a.Observe(v);
+  EXPECT_FALSE(a.attack_active());
+  // Most checks should report a near-profile period.
+  int normal = 0;
+  for (const auto& c : a.checks()) {
+    if (!c.abnormal) ++normal;
+  }
+  EXPECT_GT(normal, static_cast<int>(a.checks().size()) * 8 / 10);
+}
+
+TEST(PeriodAnalyzerTest, StretchedPeriodAlarms) {
+  PeriodProfile profile{20.0, 0.8};
+  const DetectorParams p = FastParams();
+  PeriodAnalyzer a(profile, p);
+  // Clean phase, then the period stretches by 60% (an attacked batch app).
+  for (double v : PeriodicRaw(4000, 20.0, 7)) a.Observe(v);
+  ASSERT_FALSE(a.attack_active());
+  const auto stretched = PeriodicRaw(6000, 32.0, 8);
+  bool alarmed = false;
+  for (double v : stretched) {
+    a.Observe(v);
+    alarmed |= a.attack_active();
+  }
+  EXPECT_TRUE(alarmed);
+}
+
+TEST(PeriodAnalyzerTest, DestroyedPatternAlarms) {
+  PeriodProfile profile{20.0, 0.8};
+  PeriodAnalyzer a(profile, FastParams());
+  for (double v : PeriodicRaw(4000, 20.0, 9)) a.Observe(v);
+  ASSERT_FALSE(a.attack_active());
+  // Attack flattens the signal entirely: period checks find nothing.
+  bool alarmed = false;
+  for (double v : StationaryRaw(4000, 10)) {
+    a.Observe(v);
+    alarmed |= a.attack_active();
+  }
+  EXPECT_TRUE(alarmed);
+}
+
+TEST(PeriodAnalyzerTest, WithinToleranceNotAbnormal) {
+  // 15% deviation is inside the paper's 20% tolerance.
+  PeriodProfile profile{20.0, 0.8};
+  PeriodAnalyzer a(profile, FastParams());
+  for (double v : PeriodicRaw(4000, 20.0, 11)) a.Observe(v);
+  for (double v : PeriodicRaw(6000, 23.0, 12)) a.Observe(v);
+  EXPECT_FALSE(a.attack_active());
+}
+
+TEST(PeriodAnalyzerTest, ChecksRecordComputedPeriods) {
+  PeriodProfile profile{20.0, 0.8};
+  PeriodAnalyzer a(profile, FastParams());
+  for (double v : PeriodicRaw(6000, 20.0, 13)) a.Observe(v);
+  ASSERT_FALSE(a.checks().empty());
+  int with_period = 0;
+  for (const auto& c : a.checks()) {
+    if (c.period.has_value()) {
+      ++with_period;
+      EXPECT_NEAR(*c.period, 20.0, 6.0);
+    }
+  }
+  EXPECT_GT(with_period, static_cast<int>(a.checks().size()) / 2);
+}
+
+TEST(PeriodAnalyzerTest, RequiresPositiveProfilePeriod) {
+  PeriodProfile profile{0.0, 0.0};
+  EXPECT_DEATH(PeriodAnalyzer(profile, FastParams()),
+               "period profile must be positive");
+}
+
+}  // namespace
+}  // namespace sds::detect

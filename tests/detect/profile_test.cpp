@@ -1,0 +1,83 @@
+#include "detect/profile.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/experiment.h"
+
+namespace sds::detect {
+namespace {
+
+std::vector<pcm::PcmSample> CleanSamples(const std::string& app, Tick ticks,
+                                         std::uint64_t seed) {
+  eval::ScenarioConfig base;
+  base.app = app;
+  return eval::CollectCleanSamples(base, ticks, seed);
+}
+
+TEST(ChannelSeriesTest, ExtractsChannels) {
+  std::vector<pcm::PcmSample> samples(3);
+  samples[0].access_num = 10;
+  samples[0].miss_num = 1;
+  samples[1].access_num = 20;
+  samples[1].miss_num = 2;
+  samples[2].access_num = 30;
+  samples[2].miss_num = 3;
+  const auto access = ChannelSeries(samples, pcm::Channel::kAccessNum);
+  const auto miss = ChannelSeries(samples, pcm::Channel::kMissNum);
+  EXPECT_EQ(access, (std::vector<double>{10.0, 20.0, 30.0}));
+  EXPECT_EQ(miss, (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+TEST(BuildSdsProfileTest, StationaryAppNotPeriodic) {
+  const auto samples = CleanSamples("bayes", 8000, 1);
+  DetectorParams params;
+  const SdsProfile profile = BuildSdsProfile(samples, params);
+  EXPECT_FALSE(profile.periodic());
+  EXPECT_GT(profile.access_boundary.mean, 0.0);
+  EXPECT_GT(profile.access_boundary.stddev, 0.0);
+  EXPECT_GT(profile.miss_boundary.mean, 0.0);
+  // Misses are a strict subset of accesses.
+  EXPECT_LT(profile.miss_boundary.mean, profile.access_boundary.mean);
+}
+
+TEST(BuildSdsProfileTest, FacenetIsPeriodicWithExpectedPeriod) {
+  const auto samples = CleanSamples("facenet", 12000, 2);
+  DetectorParams params;
+  const SdsProfile profile = BuildSdsProfile(samples, params);
+  ASSERT_TRUE(profile.periodic());
+  // Nominal period 850 ticks / step 50 = 17 MA steps (Figure 8 shows ~17).
+  const auto& pp =
+      profile.access_period ? profile.access_period : profile.miss_period;
+  ASSERT_TRUE(pp.has_value());
+  EXPECT_NEAR(pp->period, 17.0, 3.5);
+}
+
+TEST(BuildSdsProfileTest, PcaIsPeriodic) {
+  const auto samples = CleanSamples("pca", 12000, 3);
+  DetectorParams params;
+  EXPECT_TRUE(BuildSdsProfile(samples, params).periodic());
+}
+
+TEST(BuildSdsProfileTest, KmeansAndJoinNotPeriodic) {
+  // The paper treats these iterative apps as non-periodic: their cycle
+  // lengths drift too much for a stable period.
+  DetectorParams params;
+  for (const char* app : {"kmeans", "join", "terasort"}) {
+    const auto samples = CleanSamples(app, 12000, 4);
+    EXPECT_FALSE(BuildSdsProfile(samples, params).periodic()) << app;
+  }
+}
+
+TEST(BuildSdsProfileTest, DeterministicAcrossCalls) {
+  const auto a = CleanSamples("svm", 6000, 5);
+  const auto b = CleanSamples("svm", 6000, 5);
+  DetectorParams params;
+  const SdsProfile pa = BuildSdsProfile(a, params);
+  const SdsProfile pb = BuildSdsProfile(b, params);
+  EXPECT_DOUBLE_EQ(pa.access_boundary.mean, pb.access_boundary.mean);
+  EXPECT_DOUBLE_EQ(pa.access_boundary.stddev, pb.access_boundary.stddev);
+  EXPECT_DOUBLE_EQ(pa.miss_boundary.mean, pb.miss_boundary.mean);
+}
+
+}  // namespace
+}  // namespace sds::detect

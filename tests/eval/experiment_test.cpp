@@ -1,0 +1,83 @@
+#include "eval/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/descriptive.h"
+
+namespace sds::eval {
+namespace {
+
+TEST(CollectCleanSamplesTest, ReturnsRequestedCount) {
+  ScenarioConfig base;
+  base.app = "bayes";
+  const auto samples = CollectCleanSamples(base, 1234, 1);
+  EXPECT_EQ(samples.size(), 1234u);
+}
+
+TEST(CollectCleanSamplesTest, WarmupExcludesColdStart) {
+  // The first returned sample must already be near steady state: without
+  // warmup the cold cache would make early MissNum hugely inflated.
+  ScenarioConfig base;
+  base.app = "bayes";
+  const auto samples = CollectCleanSamples(base, 3000, 2);
+  const auto miss = detect::ChannelSeries(samples, pcm::Channel::kMissNum);
+  const std::vector<double> head(miss.begin(), miss.begin() + 300);
+  const std::vector<double> tail(miss.end() - 300, miss.end());
+  EXPECT_LT(Mean(head), 2.0 * Mean(tail));
+}
+
+TEST(CollectCleanSamplesTest, IgnoresAttackInBaseConfig) {
+  ScenarioConfig base;
+  base.app = "bayes";
+  base.attack = AttackKind::kBusLock;  // must be stripped
+  base.attack_start = 0;
+  const auto samples = CollectCleanSamples(base, 2000, 3);
+  const auto access = detect::ChannelSeries(samples, pcm::Channel::kAccessNum);
+  // Under a live bus-lock the mean would collapse; clean bayes sits much
+  // higher.
+  EXPECT_GT(Mean(access), 250.0);
+}
+
+TEST(RunMeasurementStudyTest, SampleCountAndDeterminism) {
+  const auto a =
+      RunMeasurementStudy("svm", AttackKind::kBusLock, 3000, 1500, 4);
+  const auto b =
+      RunMeasurementStudy("svm", AttackKind::kBusLock, 3000, 1500, 4);
+  ASSERT_EQ(a.size(), 3000u);
+  ASSERT_EQ(b.size(), 3000u);
+  for (std::size_t i = 0; i < a.size(); i += 97) {
+    EXPECT_EQ(a[i].access_num, b[i].access_num);
+    EXPECT_EQ(a[i].miss_num, b[i].miss_num);
+  }
+}
+
+TEST(RunKsFalseAlarmStudyTest, IntervalCountRespected) {
+  detect::KsTestParams params;
+  params.l_r = 1000;
+  params.w_r = 50;
+  params.l_m = 100;
+  params.w_m = 50;
+  const auto result = RunKsFalseAlarmStudy("bayes", params, 4, 5);
+  EXPECT_EQ(result.interval_decisions.size(), 4u);
+  EXPECT_GE(result.alarm_fraction, 0.0);
+  EXPECT_LE(result.alarm_fraction, 1.0);
+  // Each interval should contain several decisions.
+  for (const auto& interval : result.interval_decisions) {
+    EXPECT_GE(interval.size(), 3u);
+  }
+}
+
+TEST(DetectionRunResultTest, SpecificityArithmetic) {
+  DetectionRunResult r;
+  r.true_negative_intervals = 9;
+  r.false_positive_intervals = 1;
+  EXPECT_DOUBLE_EQ(r.specificity(), 0.9);
+  EXPECT_DOUBLE_EQ(r.recall(), 0.0);
+  r.detected = true;
+  EXPECT_DOUBLE_EQ(r.recall(), 1.0);
+  DetectionRunResult empty;
+  EXPECT_DOUBLE_EQ(empty.specificity(), 1.0);  // vacuous
+}
+
+}  // namespace
+}  // namespace sds::eval

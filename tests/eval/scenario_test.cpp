@@ -1,0 +1,129 @@
+#include "eval/scenario.h"
+
+#include <gtest/gtest.h>
+
+namespace sds::eval {
+namespace {
+
+TEST(ScenarioTest, AttackNames) {
+  EXPECT_STREQ(AttackName(AttackKind::kNone), "none");
+  EXPECT_STREQ(AttackName(AttackKind::kBusLock), "bus-lock");
+  EXPECT_STREQ(AttackName(AttackKind::kLlcCleansing), "llc-cleansing");
+}
+
+TEST(ScenarioTest, NoAttackLayout) {
+  ScenarioConfig cfg;
+  cfg.app = "kmeans";
+  cfg.attack = AttackKind::kNone;
+  Scenario s = BuildScenario(cfg);
+  EXPECT_EQ(s.victim, 1u);
+  EXPECT_EQ(s.attacker, 0u);
+  // Victim + 7 benign.
+  EXPECT_EQ(s.hypervisor->vm_count(), 8u);
+}
+
+TEST(ScenarioTest, AttackLayoutMatchesPaperDeployment) {
+  ScenarioConfig cfg;
+  cfg.app = "facenet";
+  cfg.attack = AttackKind::kBusLock;
+  cfg.attack_start = 100;
+  Scenario s = BuildScenario(cfg);
+  EXPECT_EQ(s.victim, 1u);
+  EXPECT_EQ(s.attacker, 2u);
+  // Victim + attacker + 7 benign = 9 VMs sharing the server (Section 5.1).
+  EXPECT_EQ(s.hypervisor->vm_count(), 9u);
+  EXPECT_EQ(s.hypervisor->vm(s.victim).name(), "victim-facenet");
+  EXPECT_EQ(s.hypervisor->vm(s.attacker).name(), "attacker");
+}
+
+TEST(ScenarioTest, BenignVmCountConfigurable) {
+  ScenarioConfig cfg;
+  cfg.benign_vms = 2;
+  Scenario s = BuildScenario(cfg);
+  EXPECT_EQ(s.hypervisor->vm_count(), 3u);
+}
+
+TEST(ScenarioTest, RunTicksAdvancesClock) {
+  ScenarioConfig cfg;
+  Scenario s = BuildScenario(cfg);
+  s.RunTicks(25);
+  EXPECT_EQ(s.hypervisor->now(), 25);
+}
+
+TEST(ScenarioTest, AttackIdleUntilStart) {
+  ScenarioConfig cfg;
+  cfg.attack = AttackKind::kBusLock;
+  cfg.attack_start = 50;
+  Scenario s = BuildScenario(cfg);
+  // Machine tick `t` executes during the t-th RunTicks step, so the attack
+  // window [50, ...) opens during the 50th call.
+  s.RunTicks(49);
+  EXPECT_EQ(s.machine->counters(s.attacker).atomic_ops, 0u);
+  s.RunTicks(10);
+  EXPECT_GT(s.machine->counters(s.attacker).atomic_ops, 0u);
+}
+
+TEST(ScenarioTest, AttackStopsAtStopTick) {
+  ScenarioConfig cfg;
+  cfg.attack = AttackKind::kBusLock;
+  cfg.attack_start = 10;
+  cfg.attack_stop = 20;
+  Scenario s = BuildScenario(cfg);
+  s.RunTicks(20);
+  const auto during = s.machine->counters(s.attacker).atomic_ops;
+  EXPECT_GT(during, 0u);
+  s.RunTicks(30);
+  EXPECT_EQ(s.machine->counters(s.attacker).atomic_ops, during);
+}
+
+TEST(ScenarioTest, CleansingConfigInheritsCacheGeometry) {
+  ScenarioConfig cfg;
+  cfg.attack = AttackKind::kLlcCleansing;
+  cfg.attack_start = 0;
+  cfg.machine.cache.sets = 256;
+  cfg.machine.cache.ways = 8;
+  // Deliberately wrong values that must be overwritten at build time.
+  cfg.cleansing.cache_sets = 4;
+  cfg.cleansing.cache_ways = 1;
+  Scenario s = BuildScenario(cfg);
+  s.RunTicks(200);
+  // If geometry were wrong the attacker would never touch most sets; with
+  // the inherited geometry its recon+cleanse traffic spans the cache.
+  EXPECT_GT(s.machine->counters(s.attacker).llc_accesses, 1000u);
+}
+
+TEST(ScenarioTest, SameSeedSameTrajectory) {
+  ScenarioConfig cfg;
+  cfg.app = "svm";
+  cfg.seed = 77;
+  Scenario a = BuildScenario(cfg);
+  Scenario b = BuildScenario(cfg);
+  a.RunTicks(500);
+  b.RunTicks(500);
+  EXPECT_EQ(a.machine->counters(1).llc_accesses,
+            b.machine->counters(1).llc_accesses);
+  EXPECT_EQ(a.machine->counters(1).llc_misses,
+            b.machine->counters(1).llc_misses);
+}
+
+TEST(ScenarioTest, DifferentSeedsDiffer) {
+  ScenarioConfig cfg;
+  cfg.app = "svm";
+  cfg.seed = 1;
+  Scenario a = BuildScenario(cfg);
+  cfg.seed = 2;
+  Scenario b = BuildScenario(cfg);
+  a.RunTicks(500);
+  b.RunTicks(500);
+  EXPECT_NE(a.machine->counters(1).llc_accesses,
+            b.machine->counters(1).llc_accesses);
+}
+
+TEST(ScenarioTest, UnknownAppAborts) {
+  ScenarioConfig cfg;
+  cfg.app = "nosuchapp";
+  EXPECT_DEATH(BuildScenario(cfg), "unknown application");
+}
+
+}  // namespace
+}  // namespace sds::eval

@@ -1,0 +1,136 @@
+// Integration: the full three-stage detection protocol end to end, plus the
+// KStest false-positive reproduction (paper Figure 1 / Section 3.2) and
+// failure-injection cases.
+#include <gtest/gtest.h>
+
+#include "eval/experiment.h"
+
+namespace sds::eval {
+namespace {
+
+DetectionRunConfig ShortConfig(const std::string& app, AttackKind attack,
+                               Scheme scheme) {
+  DetectionRunConfig cfg;
+  cfg.app = app;
+  cfg.attack = attack;
+  cfg.scheme = scheme;
+  cfg.profile_ticks = 9000;
+  cfg.clean_ticks = 8000;
+  cfg.attack_ticks = 10000;
+  return cfg;
+}
+
+TEST(DetectionE2eTest, SdsDetectsBusLockOnKmeans) {
+  const auto r =
+      RunDetectionRun(ShortConfig("kmeans", AttackKind::kBusLock,
+                                  Scheme::kSds),
+                      1);
+  EXPECT_TRUE(r.detected);
+  ASSERT_TRUE(r.detection_delay_ticks.has_value());
+  EXPECT_GT(*r.detection_delay_ticks, 0);
+  EXPECT_LT(*r.detection_delay_ticks, 6000);  // < 60 s
+  EXPECT_GE(r.specificity(), 0.7);
+}
+
+TEST(DetectionE2eTest, SdsDetectsCleansingOnKmeans) {
+  const auto r = RunDetectionRun(
+      ShortConfig("kmeans", AttackKind::kLlcCleansing, Scheme::kSds), 2);
+  EXPECT_TRUE(r.detected);
+}
+
+TEST(DetectionE2eTest, KstestDetectsBusLockOnBayes) {
+  const auto r = RunDetectionRun(
+      ShortConfig("bayes", AttackKind::kBusLock, Scheme::kKsTest), 3);
+  EXPECT_TRUE(r.detected);
+}
+
+TEST(DetectionE2eTest, SdsBAndSdsPDetectOnPeriodicApp) {
+  for (Scheme scheme : {Scheme::kSdsB, Scheme::kSdsP}) {
+    DetectionRunConfig cfg =
+        ShortConfig("facenet", AttackKind::kBusLock, scheme);
+    cfg.attack_ticks = 12000;
+    const auto r = RunDetectionRun(cfg, 4);
+    EXPECT_TRUE(r.detected) << SchemeName(scheme);
+  }
+}
+
+TEST(DetectionE2eTest, SpecificityIntervalsAccounted) {
+  DetectionRunConfig cfg =
+      ShortConfig("bayes", AttackKind::kBusLock, Scheme::kSds);
+  cfg.eval_interval = 1000;
+  const auto r = RunDetectionRun(cfg, 5);
+  EXPECT_EQ(r.true_negative_intervals + r.false_positive_intervals,
+            static_cast<int>(cfg.clean_ticks / cfg.eval_interval));
+  EXPECT_GE(r.specificity(), 0.0);
+  EXPECT_LE(r.specificity(), 1.0);
+}
+
+TEST(DetectionE2eTest, TerasortBreaksKstestSpecificity) {
+  // The paper's central negative result (Figure 1): KStest false-alarms on
+  // TeraSort's phase-switching statistics; SDS does not.
+  DetectionRunConfig ks =
+      ShortConfig("terasort", AttackKind::kBusLock, Scheme::kKsTest);
+  DetectionRunConfig sds =
+      ShortConfig("terasort", AttackKind::kBusLock, Scheme::kSds);
+  const auto rks = RunDetectionRun(ks, 6);
+  const auto rsds = RunDetectionRun(sds, 6);
+  EXPECT_LT(rks.specificity(), rsds.specificity());
+  EXPECT_GE(rsds.specificity(), 0.7);
+}
+
+TEST(DetectionE2eTest, KsFalseAlarmStudyTerasortAboveHalf) {
+  // Section 3.2: >60% of TeraSort's L_R intervals declare a (false) attack.
+  detect::KsTestParams params;
+  const auto result = RunKsFalseAlarmStudy("terasort", params, 8, 7);
+  EXPECT_EQ(result.interval_decisions.size(), 8u);
+  EXPECT_GE(result.alarm_fraction, 0.5);
+}
+
+TEST(DetectionE2eTest, KsFalseAlarmStudyStationaryAppLower) {
+  detect::KsTestParams params;
+  const auto terasort = RunKsFalseAlarmStudy("terasort", params, 6, 8);
+  const auto bayes = RunKsFalseAlarmStudy("bayes", params, 6, 8);
+  EXPECT_LE(bayes.alarm_fraction, terasort.alarm_fraction);
+}
+
+TEST(DetectionE2eTest, DeterministicForSameSeed) {
+  const DetectionRunConfig cfg =
+      ShortConfig("svm", AttackKind::kBusLock, Scheme::kSds);
+  const auto a = RunDetectionRun(cfg, 42);
+  const auto b = RunDetectionRun(cfg, 42);
+  EXPECT_EQ(a.detected, b.detected);
+  EXPECT_EQ(a.detection_delay_ticks, b.detection_delay_ticks);
+  EXPECT_EQ(a.false_positive_intervals, b.false_positive_intervals);
+}
+
+// Failure injection: attack starting mid-EWMA-window must still be caught.
+TEST(DetectionE2eTest, AttackStartMisalignedWithWindows) {
+  DetectionRunConfig cfg =
+      ShortConfig("aggregation", AttackKind::kBusLock, Scheme::kSds);
+  cfg.clean_ticks = 8137;  // deliberately not a multiple of W or dW
+  const auto r = RunDetectionRun(cfg, 9);
+  EXPECT_TRUE(r.detected);
+}
+
+// Failure injection: a very short attack stage (attack barely underway).
+TEST(DetectionE2eTest, ShortAttackStageMayMissButNeverCrashes) {
+  DetectionRunConfig cfg =
+      ShortConfig("bayes", AttackKind::kBusLock, Scheme::kSds);
+  cfg.attack_ticks = 600;  // 6 s: below SDS's minimum detection delay
+  const auto r = RunDetectionRun(cfg, 10);
+  EXPECT_FALSE(r.detected);  // H_C * dW * T_PCM = 15 s minimum
+}
+
+TEST(DetectionE2eTest, PeriodicProfileFlagPropagates) {
+  DetectionRunConfig cfg =
+      ShortConfig("facenet", AttackKind::kBusLock, Scheme::kSds);
+  cfg.profile_ticks = 12000;
+  const auto r = RunDetectionRun(cfg, 11);
+  EXPECT_TRUE(r.profile_periodic);
+  const auto r2 = RunDetectionRun(
+      ShortConfig("bayes", AttackKind::kBusLock, Scheme::kSds), 11);
+  EXPECT_FALSE(r2.profile_periodic);
+}
+
+}  // namespace
+}  // namespace sds::eval

@@ -1,0 +1,125 @@
+#include "pcm/pcm_sampler.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "eval/scenario.h"
+#include "workloads/catalog.h"
+
+namespace sds::pcm {
+namespace {
+
+struct Rig {
+  std::unique_ptr<sim::Machine> machine;
+  std::unique_ptr<vm::Hypervisor> hypervisor;
+  OwnerId victim;
+
+  Rig() {
+    sim::MachineConfig mc;
+    machine = std::make_unique<sim::Machine>(mc);
+    vm::HypervisorConfig hc;
+    hypervisor = std::make_unique<vm::Hypervisor>(*machine, hc, Rng(3));
+    victim = hypervisor->CreateVm("victim", workloads::MakeApp("bayes"));
+  }
+};
+
+TEST(PcmSamplerTest, StartsStopped) {
+  Rig rig;
+  PcmSampler sampler(*rig.hypervisor, rig.victim);
+  EXPECT_FALSE(sampler.started());
+  EXPECT_EQ(rig.hypervisor->active_monitors(), 0);
+}
+
+TEST(PcmSamplerTest, StartAttachesMonitor) {
+  Rig rig;
+  PcmSampler sampler(*rig.hypervisor, rig.victim);
+  sampler.Start();
+  EXPECT_EQ(rig.hypervisor->active_monitors(), 1);
+  sampler.Stop();
+  EXPECT_EQ(rig.hypervisor->active_monitors(), 0);
+}
+
+TEST(PcmSamplerTest, DestructorDetaches) {
+  Rig rig;
+  {
+    PcmSampler sampler(*rig.hypervisor, rig.victim);
+    sampler.Start();
+  }
+  EXPECT_EQ(rig.hypervisor->active_monitors(), 0);
+}
+
+TEST(PcmSamplerTest, DeltasSumToCumulativeCounters) {
+  Rig rig;
+  PcmSampler sampler(*rig.hypervisor, rig.victim);
+  sampler.Start();
+  const auto start_acc =
+      rig.machine->counters(rig.victim).llc_accesses;
+  std::uint64_t sum_access = 0;
+  std::uint64_t sum_miss = 0;
+  for (int t = 0; t < 100; ++t) {
+    rig.hypervisor->RunTick();
+    const PcmSample s = sampler.Sample();
+    sum_access += s.access_num;
+    sum_miss += s.miss_num;
+  }
+  EXPECT_EQ(sum_access,
+            rig.machine->counters(rig.victim).llc_accesses - start_acc);
+  EXPECT_EQ(sum_miss, rig.machine->counters(rig.victim).llc_misses);
+}
+
+TEST(PcmSamplerTest, SamplesCarryTickStamps) {
+  Rig rig;
+  PcmSampler sampler(*rig.hypervisor, rig.victim);
+  sampler.Start();
+  rig.hypervisor->RunTick();
+  const PcmSample a = sampler.Sample();
+  rig.hypervisor->RunTick();
+  const PcmSample b = sampler.Sample();
+  EXPECT_EQ(b.tick, a.tick + 1);
+}
+
+TEST(PcmSamplerTest, RestartResetsBaseline) {
+  Rig rig;
+  PcmSampler sampler(*rig.hypervisor, rig.victim);
+  sampler.Start();
+  rig.hypervisor->RunTick();
+  sampler.Sample();
+  sampler.Stop();
+  // Activity while not sampling must not leak into the next delta.
+  for (int t = 0; t < 10; ++t) rig.hypervisor->RunTick();
+  sampler.Start();
+  rig.hypervisor->RunTick();
+  const PcmSample s = sampler.Sample();
+  // One tick of a ~400-600 ops/tick workload, not eleven.
+  EXPECT_LT(s.access_num, 1500u);
+  EXPECT_GT(s.access_num, 0u);
+}
+
+TEST(PcmSamplerTest, CollectSamplesLength) {
+  Rig rig;
+  PcmSampler sampler(*rig.hypervisor, rig.victim);
+  sampler.Start();
+  const auto samples = CollectSamples(*rig.hypervisor, sampler, 50);
+  EXPECT_EQ(samples.size(), 50u);
+}
+
+TEST(PcmSamplerTest, ChannelHelpers) {
+  PcmSample s;
+  s.access_num = 7;
+  s.miss_num = 3;
+  EXPECT_DOUBLE_EQ(SampleValue(s, Channel::kAccessNum), 7.0);
+  EXPECT_DOUBLE_EQ(SampleValue(s, Channel::kMissNum), 3.0);
+  EXPECT_STREQ(ChannelName(Channel::kAccessNum), "AccessNum");
+  EXPECT_STREQ(ChannelName(Channel::kMissNum), "MissNum");
+}
+
+TEST(PcmSamplerTest, DoubleStartAborts) {
+  Rig rig;
+  PcmSampler sampler(*rig.hypervisor, rig.victim);
+  sampler.Start();
+  EXPECT_DEATH(sampler.Start(), "already started");
+}
+
+}  // namespace
+}  // namespace sds::pcm

@@ -1,0 +1,92 @@
+#include "pcm/trace.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace sds::pcm {
+namespace {
+
+std::vector<PcmSample> MakeSamples(int n) {
+  std::vector<PcmSample> samples;
+  for (int i = 0; i < n; ++i) {
+    PcmSample s;
+    s.tick = i + 1;
+    s.access_num = static_cast<std::uint64_t>(100 + i);
+    s.miss_num = static_cast<std::uint64_t>(10 + i % 7);
+    samples.push_back(s);
+  }
+  return samples;
+}
+
+TEST(TraceTest, RoundTrip) {
+  const auto samples = MakeSamples(50);
+  std::stringstream ss;
+  ASSERT_TRUE(WriteTrace(ss, samples));
+  const auto back = ReadTrace(ss);
+  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(back->size(), samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_EQ((*back)[i].tick, samples[i].tick);
+    EXPECT_EQ((*back)[i].access_num, samples[i].access_num);
+    EXPECT_EQ((*back)[i].miss_num, samples[i].miss_num);
+  }
+}
+
+TEST(TraceTest, EmptyTraceRoundTrips) {
+  std::stringstream ss;
+  ASSERT_TRUE(WriteTrace(ss, {}));
+  const auto back = ReadTrace(ss);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->empty());
+}
+
+TEST(TraceTest, RejectsMissingHeader) {
+  std::stringstream ss("1,2,3\n");
+  EXPECT_FALSE(ReadTrace(ss).has_value());
+}
+
+TEST(TraceTest, RejectsWrongHeader) {
+  std::stringstream ss("time,hits,misses\n1,2,3\n");
+  EXPECT_FALSE(ReadTrace(ss).has_value());
+}
+
+TEST(TraceTest, RejectsNonNumericField) {
+  std::stringstream ss("tick,access_num,miss_num\n1,abc,3\n");
+  EXPECT_FALSE(ReadTrace(ss).has_value());
+}
+
+TEST(TraceTest, RejectsMissingField) {
+  std::stringstream ss("tick,access_num,miss_num\n1,2\n");
+  EXPECT_FALSE(ReadTrace(ss).has_value());
+}
+
+TEST(TraceTest, RejectsNonMonotoneTicks) {
+  std::stringstream ss("tick,access_num,miss_num\n5,1,1\n5,2,2\n");
+  EXPECT_FALSE(ReadTrace(ss).has_value());
+  std::stringstream ss2("tick,access_num,miss_num\n5,1,1\n4,2,2\n");
+  EXPECT_FALSE(ReadTrace(ss2).has_value());
+}
+
+TEST(TraceTest, SkipsBlankLines) {
+  std::stringstream ss("tick,access_num,miss_num\n1,2,3\n\n2,4,5\n");
+  const auto back = ReadTrace(ss);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->size(), 2u);
+}
+
+TEST(TraceTest, FileRoundTrip) {
+  const auto samples = MakeSamples(10);
+  const std::string path = ::testing::TempDir() + "/sds_trace_test.csv";
+  ASSERT_TRUE(WriteTraceFile(path, samples));
+  const auto back = ReadTraceFile(path);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->size(), 10u);
+}
+
+TEST(TraceTest, MissingFileFails) {
+  EXPECT_FALSE(ReadTraceFile("/nonexistent/path/trace.csv").has_value());
+}
+
+}  // namespace
+}  // namespace sds::pcm

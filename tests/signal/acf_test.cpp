@@ -1,0 +1,119 @@
+#include "signal/acf.h"
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace sds {
+namespace {
+
+std::vector<double> Sine(std::size_t n, double period) {
+  std::vector<double> x(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    x[t] = std::sin(2.0 * std::numbers::pi * static_cast<double>(t) / period);
+  }
+  return x;
+}
+
+TEST(AcfTest, LagZeroIsOne) {
+  Rng rng(31);
+  std::vector<double> x(100);
+  for (auto& v : x) v = rng.Normal();
+  const auto acf = Autocorrelation(x, 10);
+  EXPECT_NEAR(acf[0], 1.0, 1e-12);
+}
+
+TEST(AcfTest, ConstantSeriesAllZero) {
+  std::vector<double> x(50, 3.0);
+  const auto acf = Autocorrelation(x, 10);
+  for (double v : acf) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(AcfTest, PeriodicSeriesPeaksAtPeriod) {
+  const auto x = Sine(200, 20.0);
+  const auto acf = Autocorrelation(x, 60);
+  // ACF of a sinusoid peaks near its period (and multiples).
+  std::size_t best = 5;
+  for (std::size_t lag = 5; lag <= 35; ++lag) {
+    if (acf[lag] > acf[best]) best = lag;
+  }
+  EXPECT_NEAR(static_cast<double>(best), 20.0, 1.0);
+  EXPECT_GT(acf[20], 0.9);
+}
+
+TEST(AcfTest, WhiteNoiseDecorrelates) {
+  Rng rng(32);
+  std::vector<double> x(5000);
+  for (auto& v : x) v = rng.Normal();
+  const auto acf = Autocorrelation(x, 20);
+  for (std::size_t lag = 1; lag <= 20; ++lag) {
+    EXPECT_LT(std::abs(acf[lag]), 0.06) << "lag=" << lag;
+  }
+}
+
+TEST(AcfTest, ValuesBoundedByOne) {
+  Rng rng(33);
+  std::vector<double> x(300);
+  for (auto& v : x) v = rng.Exponential(1.0);
+  for (double v : Autocorrelation(x, 100)) {
+    EXPECT_LE(std::abs(v), 1.0 + 1e-9);
+  }
+}
+
+// Cross-validation: the FFT path must equal the direct path exactly.
+class AcfFftEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AcfFftEquivalenceTest, MatchesDirect) {
+  const auto n = static_cast<std::size_t>(GetParam());
+  Rng rng(300 + n);
+  std::vector<double> x(n);
+  for (auto& v : x) v = rng.Normal(5.0, 2.0);
+  const std::size_t max_lag = n / 2;
+  const auto direct = Autocorrelation(x, max_lag);
+  const auto fft = AutocorrelationFft(x, max_lag);
+  ASSERT_EQ(direct.size(), fft.size());
+  for (std::size_t lag = 0; lag <= max_lag; ++lag) {
+    EXPECT_NEAR(direct[lag], fft[lag], 1e-9) << "n=" << n << " lag=" << lag;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, AcfFftEquivalenceTest,
+                         ::testing::Values(8, 13, 32, 51, 100, 256));
+
+TEST(AcfHillTest, DetectsPeakOnSinusoid) {
+  const auto x = Sine(200, 25.0);
+  const auto acf = Autocorrelation(x, 80);
+  EXPECT_TRUE(IsOnAcfHill(acf, 25, 6));
+  // The trough at half-period is NOT a hill.
+  EXPECT_FALSE(IsOnAcfHill(acf, 12, 4));
+}
+
+TEST(AcfHillTest, LagZeroNeverOnHill) {
+  const auto x = Sine(100, 10.0);
+  const auto acf = Autocorrelation(x, 40);
+  EXPECT_FALSE(IsOnAcfHill(acf, 0, 3));
+}
+
+TEST(AcfHillTest, OutOfRangeLagRejected) {
+  const auto x = Sine(100, 10.0);
+  const auto acf = Autocorrelation(x, 40);
+  EXPECT_FALSE(IsOnAcfHill(acf, 1000, 3));
+}
+
+TEST(AcfHillTest, MonotoneDecayHasNoInteriorHill) {
+  // AR(1)-like exponential ACF decays monotonically: no interior local max.
+  std::vector<double> acf(50);
+  for (std::size_t lag = 0; lag < acf.size(); ++lag) {
+    acf[lag] = std::pow(0.9, static_cast<double>(lag));
+  }
+  for (std::size_t lag = 5; lag < 45; ++lag) {
+    EXPECT_FALSE(IsOnAcfHill(acf, lag, 4)) << "lag=" << lag;
+  }
+}
+
+}  // namespace
+}  // namespace sds

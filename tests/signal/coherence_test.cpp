@@ -1,0 +1,94 @@
+#include "signal/coherence.h"
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace sds {
+namespace {
+
+TEST(CoherenceTest, IdenticalSignalsFullyCoherent) {
+  Rng rng(61);
+  std::vector<double> x(512);
+  for (auto& v : x) v = rng.Normal();
+  CoherenceOptions opts;
+  const auto c = SpectralCoherence(x, x, opts);
+  for (std::size_t k = 1; k < c.size(); ++k) {
+    EXPECT_NEAR(c[k], 1.0, 1e-9) << "bin=" << k;
+  }
+}
+
+TEST(CoherenceTest, IndependentNoiseLowCoherence) {
+  Rng rng(62);
+  std::vector<double> x(4096);
+  std::vector<double> y(4096);
+  for (auto& v : x) v = rng.Normal();
+  for (auto& v : y) v = rng.Normal();
+  CoherenceOptions opts;
+  opts.segment_length = 64;
+  opts.overlap = 32;
+  EXPECT_LT(MeanCoherence(x, y, opts), 0.35);
+}
+
+TEST(CoherenceTest, ScaledSignalStillCoherent) {
+  Rng rng(63);
+  std::vector<double> x(1024);
+  std::vector<double> y(1024);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.Normal();
+    y[i] = -3.5 * x[i];
+  }
+  CoherenceOptions opts;
+  EXPECT_GT(MeanCoherence(x, y, opts), 0.99);
+}
+
+TEST(CoherenceTest, SignalPlusNoiseIntermediate) {
+  Rng rng(64);
+  std::vector<double> x(4096);
+  std::vector<double> y(4096);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = std::sin(2.0 * std::numbers::pi * static_cast<double>(i) / 16.0) +
+           0.2 * rng.Normal();
+    y[i] = std::sin(2.0 * std::numbers::pi * static_cast<double>(i) / 16.0) +
+           2.0 * rng.Normal();
+  }
+  CoherenceOptions opts;
+  const auto c = SpectralCoherence(x, y, opts);
+  // At the tone's bin (64/16 = 4) coherence is high; broadband it is low.
+  EXPECT_GT(c[4], 0.5);
+  const double mean = MeanCoherence(x, y, opts);
+  EXPECT_LT(mean, 0.6);
+}
+
+TEST(CoherenceTest, OutputSizeIsSegmentHalfPlusOne) {
+  std::vector<double> x(256, 0.0);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<double>(i % 7);
+  }
+  CoherenceOptions opts;
+  opts.segment_length = 32;
+  opts.overlap = 16;
+  EXPECT_EQ(SpectralCoherence(x, x, opts).size(), 17u);
+}
+
+TEST(CoherenceTest, ValuesInUnitInterval) {
+  Rng rng(65);
+  std::vector<double> x(1024);
+  std::vector<double> y(1024);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.Exponential(1.0);
+    y[i] = 0.5 * x[i] + rng.Normal();
+  }
+  CoherenceOptions opts;
+  for (double v : SpectralCoherence(x, y, opts)) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0 + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace sds

@@ -1,0 +1,165 @@
+#include "signal/fft.h"
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace sds {
+namespace {
+
+// Brute-force O(N^2) DFT for cross-validation.
+std::vector<Complex> NaiveDft(const std::vector<Complex>& x) {
+  const std::size_t n = x.size();
+  std::vector<Complex> out(n, Complex(0.0, 0.0));
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t t = 0; t < n; ++t) {
+      const double angle = -2.0 * std::numbers::pi *
+                           static_cast<double>(k * t) /
+                           static_cast<double>(n);
+      out[k] += x[t] * Complex(std::cos(angle), std::sin(angle));
+    }
+  }
+  return out;
+}
+
+TEST(FftTest, PowerOfTwoHelpers) {
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(2));
+  EXPECT_TRUE(IsPowerOfTwo(1024));
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_FALSE(IsPowerOfTwo(3));
+  EXPECT_FALSE(IsPowerOfTwo(1000));
+  EXPECT_EQ(NextPowerOfTwo(1), 1u);
+  EXPECT_EQ(NextPowerOfTwo(3), 4u);
+  EXPECT_EQ(NextPowerOfTwo(17), 32u);
+  EXPECT_EQ(NextPowerOfTwo(64), 64u);
+}
+
+TEST(FftTest, ImpulseHasFlatSpectrum) {
+  std::vector<Complex> x(8, Complex(0.0, 0.0));
+  x[0] = Complex(1.0, 0.0);
+  const auto spec = Fft(x);
+  for (const auto& v : spec) {
+    EXPECT_NEAR(v.real(), 1.0, 1e-12);
+    EXPECT_NEAR(v.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(FftTest, ConstantConcentratesAtDc) {
+  std::vector<Complex> x(16, Complex(2.0, 0.0));
+  const auto spec = Fft(x);
+  EXPECT_NEAR(spec[0].real(), 32.0, 1e-9);
+  for (std::size_t k = 1; k < spec.size(); ++k) {
+    EXPECT_NEAR(std::abs(spec[k]), 0.0, 1e-9);
+  }
+}
+
+TEST(FftTest, SineConcentratesAtItsBin) {
+  const std::size_t n = 64;
+  std::vector<double> x(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    x[t] = std::sin(2.0 * std::numbers::pi * 5.0 * static_cast<double>(t) /
+                    static_cast<double>(n));
+  }
+  const auto spec = FftReal(x);
+  // Bin 5 (and its mirror n-5) carry all energy: |X_5| = n/2.
+  EXPECT_NEAR(std::abs(spec[5]), static_cast<double>(n) / 2.0, 1e-9);
+  EXPECT_NEAR(std::abs(spec[n - 5]), static_cast<double>(n) / 2.0, 1e-9);
+  for (std::size_t k = 0; k < n; ++k) {
+    if (k != 5 && k != n - 5) EXPECT_NEAR(std::abs(spec[k]), 0.0, 1e-9);
+  }
+}
+
+TEST(FftTest, MatchesNaiveDftPowerOfTwo) {
+  Rng rng(21);
+  std::vector<Complex> x(32);
+  for (auto& v : x) v = Complex(rng.Normal(), rng.Normal());
+  const auto fast = Fft(x);
+  const auto slow = NaiveDft(x);
+  for (std::size_t k = 0; k < x.size(); ++k) {
+    EXPECT_NEAR(fast[k].real(), slow[k].real(), 1e-9);
+    EXPECT_NEAR(fast[k].imag(), slow[k].imag(), 1e-9);
+  }
+}
+
+// Bluestein path: arbitrary (non power-of-two) sizes against the naive DFT.
+class BluesteinTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BluesteinTest, MatchesNaiveDft) {
+  const auto n = static_cast<std::size_t>(GetParam());
+  Rng rng(100 + n);
+  std::vector<Complex> x(n);
+  for (auto& v : x) v = Complex(rng.Normal(), rng.Normal());
+  const auto fast = Fft(x);
+  const auto slow = NaiveDft(x);
+  ASSERT_EQ(fast.size(), n);
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(fast[k].real(), slow[k].real(), 1e-8) << "n=" << n;
+    EXPECT_NEAR(fast[k].imag(), slow[k].imag(), 1e-8) << "n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BluesteinTest,
+                         ::testing::Values(1, 2, 3, 5, 7, 12, 17, 34, 63, 100,
+                                           127));
+
+// Property: InverseFft(Fft(x)) == x for many sizes.
+class RoundTripTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RoundTripTest, InverseRecoversInput) {
+  const auto n = static_cast<std::size_t>(GetParam());
+  Rng rng(200 + n);
+  std::vector<Complex> x(n);
+  for (auto& v : x) v = Complex(rng.Normal(), rng.Normal());
+  const auto back = InverseFft(Fft(x));
+  ASSERT_EQ(back.size(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(back[i].real(), x[i].real(), 1e-8);
+    EXPECT_NEAR(back[i].imag(), x[i].imag(), 1e-8);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RoundTripTest,
+                         ::testing::Values(1, 2, 4, 8, 9, 15, 16, 33, 50, 128,
+                                           257));
+
+TEST(FftTest, LinearityProperty) {
+  Rng rng(23);
+  const std::size_t n = 24;
+  std::vector<Complex> a(n);
+  std::vector<Complex> b(n);
+  std::vector<Complex> sum(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = Complex(rng.Normal(), 0.0);
+    b[i] = Complex(rng.Normal(), 0.0);
+    sum[i] = a[i] + 2.0 * b[i];
+  }
+  const auto fa = Fft(a);
+  const auto fb = Fft(b);
+  const auto fs = Fft(sum);
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(std::abs(fs[k] - (fa[k] + 2.0 * fb[k])), 0.0, 1e-8);
+  }
+}
+
+TEST(FftTest, ParsevalEnergyConservation) {
+  Rng rng(24);
+  const std::size_t n = 64;
+  std::vector<double> x(n);
+  double time_energy = 0.0;
+  for (auto& v : x) {
+    v = rng.Normal();
+    time_energy += v * v;
+  }
+  const auto spec = FftReal(x);
+  double freq_energy = 0.0;
+  for (const auto& v : spec) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy / static_cast<double>(n), time_energy, 1e-8);
+}
+
+}  // namespace
+}  // namespace sds

@@ -1,0 +1,170 @@
+#include "signal/moving_average.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace sds {
+namespace {
+
+TEST(SlidingWindowAverageTest, EmitsAfterFirstWindow) {
+  SlidingWindowAverage ma(4, 2);
+  EXPECT_FALSE(ma.Push(1.0).has_value());
+  EXPECT_FALSE(ma.Push(2.0).has_value());
+  EXPECT_FALSE(ma.Push(3.0).has_value());
+  const auto m0 = ma.Push(4.0);
+  ASSERT_TRUE(m0.has_value());
+  EXPECT_DOUBLE_EQ(*m0, 2.5);
+}
+
+TEST(SlidingWindowAverageTest, StepControlsEmissionRate) {
+  SlidingWindowAverage ma(4, 2);
+  for (double v : {1.0, 2.0, 3.0, 4.0}) ma.Push(v);
+  EXPECT_FALSE(ma.Push(5.0).has_value());
+  const auto m1 = ma.Push(6.0);
+  ASSERT_TRUE(m1.has_value());
+  EXPECT_DOUBLE_EQ(*m1, (3.0 + 4.0 + 5.0 + 6.0) / 4.0);
+}
+
+TEST(SlidingWindowAverageTest, StepEqualWindowIsTumbling) {
+  SlidingWindowAverage ma(2, 2);
+  ma.Push(1.0);
+  auto m = ma.Push(3.0);
+  ASSERT_TRUE(m);
+  EXPECT_DOUBLE_EQ(*m, 2.0);
+  EXPECT_FALSE(ma.Push(5.0).has_value());
+  m = ma.Push(7.0);
+  ASSERT_TRUE(m);
+  EXPECT_DOUBLE_EQ(*m, 6.0);
+}
+
+TEST(SlidingWindowAverageTest, MatchesPaperEquationOne) {
+  // M_n = mean of {A_{1+n*dW} ... A_{W+n*dW}} with W=6, dW=3.
+  std::vector<double> raw;
+  for (int i = 1; i <= 18; ++i) raw.push_back(static_cast<double>(i));
+  const auto ma = MovingAverageSeries(raw, 6, 3);
+  ASSERT_EQ(ma.size(), 5u);
+  EXPECT_DOUBLE_EQ(ma[0], 3.5);   // mean of 1..6
+  EXPECT_DOUBLE_EQ(ma[1], 6.5);   // mean of 4..9
+  EXPECT_DOUBLE_EQ(ma[2], 9.5);   // mean of 7..12
+  EXPECT_DOUBLE_EQ(ma[4], 15.5);  // mean of 13..18
+}
+
+TEST(SlidingWindowAverageTest, ResetStartsOver) {
+  SlidingWindowAverage ma(2, 1);
+  ma.Push(1.0);
+  ma.Push(2.0);
+  ma.Reset();
+  EXPECT_EQ(ma.windows_emitted(), 0u);
+  EXPECT_FALSE(ma.Push(10.0).has_value());
+  const auto m = ma.Push(20.0);
+  ASSERT_TRUE(m);
+  EXPECT_DOUBLE_EQ(*m, 15.0);
+}
+
+TEST(SlidingWindowAverageTest, WindowsEmittedCounter) {
+  SlidingWindowAverage ma(3, 1);
+  std::size_t emitted = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (ma.Push(static_cast<double>(i))) ++emitted;
+  }
+  EXPECT_EQ(ma.windows_emitted(), emitted);
+  EXPECT_EQ(emitted, 8u);
+}
+
+TEST(EwmaTest, FirstValuePassesThrough) {
+  Ewma e(0.2);
+  EXPECT_DOUBLE_EQ(e.Push(10.0), 10.0);
+}
+
+TEST(EwmaTest, MatchesPaperEquationTwo) {
+  // S_n = (1-alpha) S_{n-1} + alpha M_n.
+  Ewma e(0.25);
+  e.Push(8.0);
+  EXPECT_DOUBLE_EQ(e.Push(4.0), 0.75 * 8.0 + 0.25 * 4.0);
+  EXPECT_DOUBLE_EQ(e.value(), 7.0);
+  EXPECT_DOUBLE_EQ(e.Push(7.0), 0.75 * 7.0 + 0.25 * 7.0);
+}
+
+TEST(EwmaTest, AlphaOneIsIdentity) {
+  // Paper Section 5.3: alpha = 1 makes EWMA equal the MA series.
+  Ewma e(1.0);
+  for (double v : {3.0, 9.0, 1.0, 4.0}) EXPECT_DOUBLE_EQ(e.Push(v), v);
+}
+
+TEST(EwmaTest, ConvergesToConstantInput) {
+  Ewma e(0.2);
+  for (int i = 0; i < 200; ++i) e.Push(5.0);
+  EXPECT_NEAR(e.value(), 5.0, 1e-9);
+}
+
+TEST(EwmaTest, SmallerAlphaSmoothsMore) {
+  // After a step change, small alpha lags further behind.
+  Ewma slow(0.1);
+  Ewma fast(0.5);
+  slow.Push(0.0);
+  fast.Push(0.0);
+  for (int i = 0; i < 5; ++i) {
+    slow.Push(10.0);
+    fast.Push(10.0);
+  }
+  EXPECT_LT(slow.value(), fast.value());
+}
+
+TEST(EwmaTest, ResetClearsState) {
+  Ewma e(0.3);
+  e.Push(100.0);
+  e.Reset();
+  EXPECT_FALSE(e.has_value());
+  EXPECT_DOUBLE_EQ(e.Push(1.0), 1.0);
+}
+
+TEST(EwmaSeriesTest, BatchMatchesStreaming) {
+  Rng rng(55);
+  std::vector<double> m(100);
+  for (auto& v : m) v = rng.Normal(10.0, 2.0);
+  const auto batch = EwmaSeries(m, 0.2);
+  Ewma e(0.2);
+  ASSERT_EQ(batch.size(), m.size());
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    EXPECT_DOUBLE_EQ(batch[i], e.Push(m[i]));
+  }
+}
+
+// Property: MA output bounded by input range; variance reduced.
+class MaPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(MaPropertyTest, OutputBoundedAndSmoother) {
+  const auto [window, step] = GetParam();
+  if (step > window) GTEST_SKIP();
+  Rng rng(static_cast<std::uint64_t>(window * 100 + step));
+  std::vector<double> raw(2000);
+  for (auto& v : raw) v = rng.UniformDouble(-5.0, 5.0);
+  const auto ma = MovingAverageSeries(raw, static_cast<std::size_t>(window),
+                                      static_cast<std::size_t>(step));
+  ASSERT_FALSE(ma.empty());
+  for (double v : ma) {
+    EXPECT_GE(v, -5.0);
+    EXPECT_LE(v, 5.0);
+  }
+  if (window > 1) {
+    double raw_var = 0.0;
+    double ma_var = 0.0;
+    for (double v : raw) raw_var += v * v;
+    for (double v : ma) ma_var += v * v;
+    raw_var /= static_cast<double>(raw.size());
+    ma_var /= static_cast<double>(ma.size());
+    EXPECT_LT(ma_var, raw_var);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MaPropertyTest,
+    ::testing::Combine(::testing::Values(1, 10, 50, 200),
+                       ::testing::Values(1, 10, 50)));
+
+}  // namespace
+}  // namespace sds

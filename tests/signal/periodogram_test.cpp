@@ -1,0 +1,110 @@
+#include "signal/periodogram.h"
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace sds {
+namespace {
+
+std::vector<double> Sine(std::size_t n, double period, double amp = 1.0,
+                         double offset = 0.0) {
+  std::vector<double> x(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    x[t] = offset + amp * std::sin(2.0 * std::numbers::pi *
+                                   static_cast<double>(t) / period);
+  }
+  return x;
+}
+
+TEST(PeriodogramTest, SizeIsHalfPlusOne) {
+  std::vector<double> x(64, 0.0);
+  x[0] = 1.0;
+  EXPECT_EQ(Periodogram(x, false).size(), 33u);
+  std::vector<double> y(63, 0.0);
+  y[0] = 1.0;
+  EXPECT_EQ(Periodogram(y, false).size(), 32u);
+}
+
+TEST(PeriodogramTest, MeanRemovalKillsDc) {
+  const auto x = Sine(128, 16.0, 1.0, /*offset=*/100.0);
+  const auto p = Periodogram(x, false);
+  EXPECT_NEAR(p[0], 0.0, 1e-9);
+}
+
+TEST(PeriodogramTest, PeakAtSineBin) {
+  const std::size_t n = 128;
+  const auto x = Sine(n, 16.0);  // bin 8
+  const auto p = Periodogram(x, false);
+  std::size_t best = 1;
+  for (std::size_t k = 1; k < p.size(); ++k) {
+    if (p[k] > p[best]) best = k;
+  }
+  EXPECT_EQ(best, 8u);
+}
+
+TEST(PeriodogramTest, HannWindowStillFindsPeak) {
+  const std::size_t n = 100;  // period 12.5: non-integer bin, leakage-prone
+  const auto x = Sine(n, 12.5);
+  const auto p = Periodogram(x, true);
+  std::size_t best = 1;
+  for (std::size_t k = 1; k < p.size(); ++k) {
+    if (p[k] > p[best]) best = k;
+  }
+  EXPECT_EQ(best, 8u);  // 100 / 12.5
+}
+
+TEST(FindSpectrumPeaksTest, SingleToneSingleCandidate) {
+  const std::size_t n = 128;
+  const auto x = Sine(n, 16.0);
+  const auto p = Periodogram(x, true);
+  const auto peaks = FindSpectrumPeaks(p, n, 3.0, 8);
+  ASSERT_GE(peaks.size(), 1u);
+  EXPECT_EQ(peaks[0].bin, 8u);
+  EXPECT_NEAR(peaks[0].period, 16.0, 1e-9);
+}
+
+TEST(FindSpectrumPeaksTest, TwoTonesRankedByPower) {
+  const std::size_t n = 256;
+  auto x = Sine(n, 32.0, 2.0);
+  const auto weak = Sine(n, 8.0, 0.8);
+  for (std::size_t i = 0; i < n; ++i) x[i] += weak[i];
+  const auto p = Periodogram(x, true);
+  const auto peaks = FindSpectrumPeaks(p, n, 2.0, 8);
+  ASSERT_GE(peaks.size(), 2u);
+  EXPECT_EQ(peaks[0].bin, 8u);   // period 32
+  EXPECT_EQ(peaks[1].bin, 32u);  // period 8
+  EXPECT_GT(peaks[0].power, peaks[1].power);
+}
+
+TEST(FindSpectrumPeaksTest, WhiteNoiseYieldsFewCandidates) {
+  Rng rng(41);
+  std::vector<double> x(512);
+  for (auto& v : x) v = rng.Normal();
+  const auto p = Periodogram(x, true);
+  const auto peaks = FindSpectrumPeaks(p, x.size(), 5.0, 8);
+  // White noise has no structure: at threshold 5x mean power we expect few
+  // (usually zero) spurious candidates.
+  EXPECT_LE(peaks.size(), 2u);
+}
+
+TEST(FindSpectrumPeaksTest, MaxPeaksRespected) {
+  Rng rng(42);
+  std::vector<double> x(256);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.Normal();
+    for (double period : {5.0, 9.0, 13.0, 21.0, 33.0}) {
+      x[i] += std::sin(2.0 * std::numbers::pi * static_cast<double>(i) /
+                       period);
+    }
+  }
+  const auto p = Periodogram(x, true);
+  EXPECT_LE(FindSpectrumPeaks(p, x.size(), 1.0, 3).size(), 3u);
+}
+
+}  // namespace
+}  // namespace sds

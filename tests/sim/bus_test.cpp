@@ -1,0 +1,85 @@
+#include "sim/bus.h"
+
+#include <gtest/gtest.h>
+
+namespace sds::sim {
+namespace {
+
+BusConfig SmallBus() {
+  BusConfig c;
+  c.slots_per_tick = 100;
+  c.access_slots = 1;
+  c.miss_extra_slots = 3;
+  c.atomic_lock_slots = 40;
+  return c;
+}
+
+TEST(BusTest, BudgetRefillsEachTick) {
+  MemoryBus bus(SmallBus());
+  EXPECT_EQ(bus.slots_remaining(), 100u);
+  EXPECT_TRUE(bus.TryConsume(60));
+  EXPECT_EQ(bus.slots_remaining(), 40u);
+  bus.BeginTick();
+  EXPECT_EQ(bus.slots_remaining(), 100u);
+}
+
+TEST(BusTest, ExhaustionRejectsWithoutConsuming) {
+  MemoryBus bus(SmallBus());
+  EXPECT_TRUE(bus.TryConsume(99));
+  EXPECT_FALSE(bus.TryConsume(2));
+  EXPECT_EQ(bus.slots_remaining(), 1u);
+  EXPECT_TRUE(bus.TryConsume(1));
+  EXPECT_EQ(bus.slots_remaining(), 0u);
+}
+
+TEST(BusTest, AtomicLockConsumesLockWindow) {
+  MemoryBus bus(SmallBus());
+  EXPECT_TRUE(bus.TryAtomicLock());
+  EXPECT_EQ(bus.slots_remaining(), 60u);
+  EXPECT_EQ(bus.stats().atomic_locks, 1u);
+}
+
+TEST(BusTest, AtomicLocksStarveTheBus) {
+  // The essence of the bus locking attack: a few atomics exhaust a budget
+  // that would serve dozens of normal accesses.
+  MemoryBus bus(SmallBus());
+  int locks = 0;
+  while (bus.TryAtomicLock()) ++locks;
+  EXPECT_EQ(locks, 2);  // 2*40 = 80 <= 100 < 3*40
+  int accesses = 0;
+  while (bus.TryConsume(1)) ++accesses;
+  EXPECT_EQ(accesses, 20);
+}
+
+TEST(BusTest, StatsTrackConsumptionAndStalls) {
+  MemoryBus bus(SmallBus());
+  bus.TryConsume(50);
+  bus.TryConsume(60);  // fails
+  bus.TryConsume(10);
+  EXPECT_EQ(bus.stats().slots_consumed, 60u);
+  EXPECT_EQ(bus.stats().stalled_requests, 1u);
+  EXPECT_EQ(bus.stats().saturated_ticks, 1u);
+}
+
+TEST(BusTest, SaturationCountedOncePerTick) {
+  MemoryBus bus(SmallBus());
+  bus.TryConsume(100);
+  bus.TryConsume(1);
+  bus.TryConsume(1);
+  bus.TryConsume(1);
+  EXPECT_EQ(bus.stats().saturated_ticks, 1u);
+  EXPECT_EQ(bus.stats().stalled_requests, 3u);
+  bus.BeginTick();
+  bus.TryConsume(100);
+  bus.TryConsume(1);
+  EXPECT_EQ(bus.stats().saturated_ticks, 2u);
+}
+
+TEST(BusTest, ZeroSlotConsumeAlwaysSucceeds) {
+  MemoryBus bus(SmallBus());
+  bus.TryConsume(100);
+  EXPECT_TRUE(bus.TryConsume(0));
+}
+
+}  // namespace
+}  // namespace sds::sim

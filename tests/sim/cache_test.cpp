@@ -1,0 +1,171 @@
+#include "sim/cache.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace sds::sim {
+namespace {
+
+CacheConfig SmallCache(std::uint32_t sets = 8, std::uint32_t ways = 4) {
+  CacheConfig c;
+  c.sets = sets;
+  c.ways = ways;
+  return c;
+}
+
+TEST(CacheTest, FirstAccessMisses) {
+  LastLevelCache cache(SmallCache());
+  const auto r = cache.Access(1, 0x100);
+  EXPECT_FALSE(r.hit);
+  EXPECT_FALSE(r.evicted_valid);
+}
+
+TEST(CacheTest, SecondAccessHits) {
+  LastLevelCache cache(SmallCache());
+  cache.Access(1, 0x100);
+  EXPECT_TRUE(cache.Access(1, 0x100).hit);
+}
+
+TEST(CacheTest, ContainsReflectsResidency) {
+  LastLevelCache cache(SmallCache());
+  EXPECT_FALSE(cache.Contains(42));
+  cache.Access(1, 42);
+  EXPECT_TRUE(cache.Contains(42));
+}
+
+TEST(CacheTest, SetIndexUsesLowBits) {
+  LastLevelCache cache(SmallCache(8, 4));
+  EXPECT_EQ(cache.SetIndexOf(0), 0u);
+  EXPECT_EQ(cache.SetIndexOf(7), 7u);
+  EXPECT_EQ(cache.SetIndexOf(8), 0u);
+  EXPECT_EQ(cache.SetIndexOf(0x123456789), 1u);
+}
+
+TEST(CacheTest, SetFillsUpToAssociativity) {
+  LastLevelCache cache(SmallCache(8, 4));
+  // 4 distinct lines mapping to set 0 all fit.
+  for (LineAddr a : {0ull, 8ull, 16ull, 24ull}) cache.Access(1, a);
+  for (LineAddr a : {0ull, 8ull, 16ull, 24ull}) {
+    EXPECT_TRUE(cache.Contains(a));
+  }
+  EXPECT_EQ(cache.OwnerLinesInSet(0, 1), 4u);
+}
+
+TEST(CacheTest, LruEvictionOrder) {
+  LastLevelCache cache(SmallCache(8, 2));
+  cache.Access(1, 0);   // set 0
+  cache.Access(1, 8);   // set 0
+  cache.Access(1, 0);   // refresh 0: LRU is now 8
+  const auto r = cache.Access(1, 16);  // evicts 8
+  EXPECT_FALSE(r.hit);
+  EXPECT_TRUE(r.evicted_valid);
+  EXPECT_TRUE(cache.Contains(0));
+  EXPECT_FALSE(cache.Contains(8));
+  EXPECT_TRUE(cache.Contains(16));
+}
+
+TEST(CacheTest, EvictionReportsVictimOwner) {
+  LastLevelCache cache(SmallCache(8, 2));
+  cache.Access(7, 0);
+  cache.Access(7, 8);
+  const auto r = cache.Access(3, 16);
+  EXPECT_TRUE(r.evicted_valid);
+  EXPECT_EQ(r.evicted_owner, 7u);
+}
+
+TEST(CacheTest, DistinctSetsDoNotInterfere) {
+  LastLevelCache cache(SmallCache(8, 2));
+  // Fill set 0 beyond capacity; set 1 lines must be untouched.
+  cache.Access(1, 1);
+  cache.Access(1, 9);
+  for (LineAddr a : {0ull, 8ull, 16ull, 24ull}) cache.Access(1, a);
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_TRUE(cache.Contains(9));
+}
+
+TEST(CacheTest, CountOwnerLines) {
+  LastLevelCache cache(SmallCache(8, 4));
+  for (LineAddr a = 0; a < 10; ++a) cache.Access(2, a);
+  for (LineAddr a = 100; a < 103; ++a) cache.Access(5, a);
+  EXPECT_EQ(cache.CountOwnerLines(2), 10u);
+  EXPECT_EQ(cache.CountOwnerLines(5), 3u);
+  EXPECT_EQ(cache.CountOwnerLines(9), 0u);
+}
+
+TEST(CacheTest, FlushEmptiesEverything) {
+  LastLevelCache cache(SmallCache());
+  for (LineAddr a = 0; a < 20; ++a) cache.Access(1, a);
+  cache.Flush();
+  EXPECT_EQ(cache.CountOwnerLines(1), 0u);
+  EXPECT_FALSE(cache.Contains(0));
+  EXPECT_FALSE(cache.Access(1, 0).hit);
+}
+
+TEST(CacheTest, CleansingPattern) {
+  // The attack's core primitive: filling a set with `ways` fresh lines must
+  // evict every pre-existing line in it.
+  LastLevelCache cache(SmallCache(4, 4));
+  cache.Access(1, 0);  // victim line, set 0
+  cache.Access(1, 4);  // victim line, set 0
+  for (std::uint32_t w = 0; w < 4; ++w) {
+    cache.Access(2, 1000 * 4 + static_cast<LineAddr>(w) * 4);  // set 0 lines
+  }
+  EXPECT_FALSE(cache.Contains(0));
+  EXPECT_FALSE(cache.Contains(4));
+  EXPECT_EQ(cache.OwnerLinesInSet(0, 2), 4u);
+}
+
+// Invariant sweep: occupancy per set never exceeds associativity; the total
+// number of valid lines never exceeds capacity; hits never evict.
+class CacheInvariantTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CacheInvariantTest, RandomWorkloadInvariants) {
+  const auto [sets, ways] = GetParam();
+  LastLevelCache cache(SmallCache(static_cast<std::uint32_t>(sets),
+                                  static_cast<std::uint32_t>(ways)));
+  Rng rng(static_cast<std::uint64_t>(sets * 31 + ways));
+  for (int i = 0; i < 20000; ++i) {
+    const OwnerId owner = 1 + static_cast<OwnerId>(rng.UniformInt(3ull));
+    const LineAddr addr = rng.UniformInt(static_cast<std::uint64_t>(
+        sets * ways * 3));
+    const bool was_resident = cache.Contains(addr);
+    const auto r = cache.Access(owner, addr);
+    EXPECT_EQ(r.hit, was_resident);
+    if (r.hit) EXPECT_FALSE(r.evicted_valid);
+    EXPECT_TRUE(cache.Contains(addr));
+  }
+  std::size_t total = 0;
+  for (OwnerId o = 1; o <= 3; ++o) total += cache.CountOwnerLines(o);
+  EXPECT_LE(total, cache.total_lines());
+  for (std::uint32_t s = 0; s < static_cast<std::uint32_t>(sets); ++s) {
+    std::uint32_t in_set = 0;
+    for (OwnerId o = 1; o <= 3; ++o) in_set += cache.OwnerLinesInSet(s, o);
+    EXPECT_LE(in_set, static_cast<std::uint32_t>(ways));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, CacheInvariantTest,
+                         ::testing::Combine(::testing::Values(4, 16, 64),
+                                            ::testing::Values(1, 2, 8, 16)));
+
+TEST(CacheTest, WorkingSetSmallerThanCacheAlwaysHitsEventually) {
+  LastLevelCache cache(SmallCache(64, 8));
+  Rng rng(77);
+  const std::uint64_t wss = 64 * 8 / 2;  // half the cache
+  // Warm up.
+  for (int i = 0; i < 5000; ++i) cache.Access(1, rng.UniformInt(wss));
+  // A working set with uniform reuse and no contention stays resident
+  // almost entirely.
+  int misses = 0;
+  for (int i = 0; i < 5000; ++i) {
+    if (!cache.Access(1, rng.UniformInt(wss)).hit) ++misses;
+  }
+  EXPECT_LT(misses, 50);
+}
+
+}  // namespace
+}  // namespace sds::sim

@@ -1,0 +1,53 @@
+#include "sim/dram.h"
+
+#include <gtest/gtest.h>
+
+namespace sds::sim {
+namespace {
+
+TEST(DramTest, BaseLatencyPerRead) {
+  DramConfig cfg;
+  cfg.access_latency_ns = 80.0;
+  cfg.queue_latency_ns = 0.0;
+  Dram dram(cfg);
+  dram.BeginTick();
+  EXPECT_DOUBLE_EQ(dram.Read(), 80.0);
+  EXPECT_DOUBLE_EQ(dram.Read(), 80.0);
+  EXPECT_EQ(dram.stats().reads, 2u);
+  EXPECT_DOUBLE_EQ(dram.stats().total_latency_ns, 160.0);
+}
+
+TEST(DramTest, QueueingGrowsWithinTick) {
+  DramConfig cfg;
+  cfg.access_latency_ns = 80.0;
+  cfg.queue_latency_ns = 2.0;
+  Dram dram(cfg);
+  dram.BeginTick();
+  EXPECT_DOUBLE_EQ(dram.Read(), 80.0);
+  EXPECT_DOUBLE_EQ(dram.Read(), 82.0);
+  EXPECT_DOUBLE_EQ(dram.Read(), 84.0);
+}
+
+TEST(DramTest, QueueResetsEachTick) {
+  DramConfig cfg;
+  cfg.queue_latency_ns = 5.0;
+  Dram dram(cfg);
+  dram.BeginTick();
+  dram.Read();
+  dram.Read();
+  dram.BeginTick();
+  EXPECT_DOUBLE_EQ(dram.Read(), cfg.access_latency_ns);
+}
+
+TEST(DramTest, StatsAccumulateAcrossTicks) {
+  Dram dram(DramConfig{});
+  for (int t = 0; t < 5; ++t) {
+    dram.BeginTick();
+    dram.Read();
+  }
+  EXPECT_EQ(dram.stats().reads, 5u);
+  EXPECT_GT(dram.stats().total_latency_ns, 0.0);
+}
+
+}  // namespace
+}  // namespace sds::sim

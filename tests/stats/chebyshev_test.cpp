@@ -1,0 +1,112 @@
+#include "stats/chebyshev.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "stats/descriptive.h"
+
+namespace sds {
+namespace {
+
+TEST(ChebyshevTest, TailBoundValues) {
+  EXPECT_DOUBLE_EQ(ChebyshevTailBound(2.0), 0.25);
+  EXPECT_DOUBLE_EQ(ChebyshevTailBound(1.0), 1.0);
+  // Bound is capped at 1 for k < 1.
+  EXPECT_DOUBLE_EQ(ChebyshevTailBound(0.5), 1.0);
+}
+
+TEST(ChebyshevTest, ConsecutiveBound) {
+  EXPECT_NEAR(ConsecutiveViolationBound(2.0, 6), std::pow(0.25, 6), 1e-15);
+  EXPECT_DOUBLE_EQ(ConsecutiveViolationBound(1.0, 10), 1.0);
+}
+
+TEST(ChebyshevTest, PaperExampleK2H6) {
+  // Paper Section 4.2.1: k=2, H_C=6 gives 99.9% confidence.
+  EXPECT_LE(ConsecutiveViolationBound(2.0, 6), 0.001);
+  EXPECT_EQ(RequiredConsecutiveViolations(2.0, 0.999), 5);
+  // 5 also suffices mathematically ((1/4)^5 = 0.00098), so the paper's 6 is
+  // conservative; our solver returns the tight value.
+}
+
+TEST(ChebyshevTest, PaperExampleK1125H30) {
+  // Paper Table 1: k=1.125, H_C=30 gives 99.9% confidence.
+  EXPECT_LE(ConsecutiveViolationBound(1.125, 30), 0.001);
+  const int h = RequiredConsecutiveViolations(1.125, 0.999);
+  EXPECT_LE(h, 30);
+  EXPECT_GE(h, 25);
+  // The returned H_C must itself satisfy the bound.
+  EXPECT_LE(ConsecutiveViolationBound(1.125, h), 0.001);
+}
+
+TEST(ChebyshevTest, RequiredViolationsDecreasesWithK) {
+  int prev = RequiredConsecutiveViolations(1.05, 0.999);
+  for (double k : {1.1, 1.2, 1.5, 2.0, 3.0}) {
+    const int cur = RequiredConsecutiveViolations(k, 0.999);
+    EXPECT_LE(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(ChebyshevTest, RequiredBoundaryFactorInvertsViolations) {
+  for (int h : {1, 5, 10, 30, 50}) {
+    const double k = RequiredBoundaryFactor(h, 0.999);
+    EXPECT_LE(ConsecutiveViolationBound(k, h), 0.001 + 1e-12);
+    // Slightly smaller k must not satisfy the bound (tightness).
+    EXPECT_GT(ConsecutiveViolationBound(k * 0.99, h), 0.001);
+  }
+}
+
+// Property: the Chebyshev tail bound actually holds for wildly different
+// distributions (this is the inequality SDS/B's accuracy guarantee rests on).
+class ChebyshevHoldsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChebyshevHoldsTest, EmpiricalTailBelowBound) {
+  const int dist = GetParam();
+  Rng rng(static_cast<std::uint64_t>(dist) * 11 + 1);
+  std::vector<double> xs;
+  const int n = 200000;
+  xs.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    double v = 0.0;
+    switch (dist) {
+      case 0:  // normal
+        v = rng.Normal(5.0, 2.0);
+        break;
+      case 1:  // uniform
+        v = rng.UniformDouble(-3.0, 9.0);
+        break;
+      case 2:  // exponential (skewed)
+        v = rng.Exponential(0.5);
+        break;
+      case 3:  // bimodal
+        v = rng.Bernoulli(0.3) ? rng.Normal(-4.0, 1.0) : rng.Normal(6.0, 1.5);
+        break;
+      case 4:  // heavy-ish tail: exp squared
+        v = rng.Exponential(1.0);
+        v = v * v;
+        break;
+      default:
+        break;
+    }
+    xs.push_back(v);
+  }
+  const double mu = Mean(xs);
+  const double sigma = StdDev(xs);
+  for (double k : {1.2, 1.5, 2.0, 3.0}) {
+    int outside = 0;
+    for (double v : xs) {
+      if (std::abs(v - mu) >= k * sigma) ++outside;
+    }
+    const double frequency = static_cast<double>(outside) / n;
+    EXPECT_LE(frequency, ChebyshevTailBound(k) * 1.02)
+        << "dist=" << dist << " k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Distributions, ChebyshevHoldsTest,
+                         ::testing::Values(0, 1, 2, 3, 4));
+
+}  // namespace
+}  // namespace sds

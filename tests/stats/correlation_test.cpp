@@ -1,0 +1,111 @@
+#include "stats/correlation.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace sds {
+namespace {
+
+TEST(PearsonTest, PerfectPositive) {
+  std::vector<double> x = {1.0, 2.0, 3.0, 4.0};
+  std::vector<double> y = {2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(PearsonCorrelation(x, y), 1.0, 1e-12);
+}
+
+TEST(PearsonTest, PerfectNegative) {
+  std::vector<double> x = {1.0, 2.0, 3.0};
+  std::vector<double> y = {3.0, 2.0, 1.0};
+  EXPECT_NEAR(PearsonCorrelation(x, y), -1.0, 1e-12);
+}
+
+TEST(PearsonTest, ZeroVarianceGivesZero) {
+  std::vector<double> x = {1.0, 1.0, 1.0};
+  std::vector<double> y = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(x, y), 0.0);
+}
+
+TEST(PearsonTest, IndependentSeriesNearZero) {
+  Rng rng(8);
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 5000; ++i) {
+    x.push_back(rng.Normal());
+    y.push_back(rng.Normal());
+  }
+  EXPECT_NEAR(PearsonCorrelation(x, y), 0.0, 0.05);
+}
+
+TEST(PearsonTest, InvariantToAffineTransform) {
+  Rng rng(9);
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 200; ++i) {
+    const double v = rng.Normal();
+    x.push_back(v);
+    y.push_back(3.0 * v + rng.Normal(0.0, 0.5));
+  }
+  const double r1 = PearsonCorrelation(x, y);
+  std::vector<double> x2;
+  for (double v : x) x2.push_back(10.0 * v - 7.0);
+  EXPECT_NEAR(PearsonCorrelation(x2, y), r1, 1e-12);
+}
+
+TEST(CrossCorrelationTest, ZeroLagMatchesPearsonShape) {
+  std::vector<double> x = {1.0, 3.0, 2.0, 5.0, 4.0};
+  const auto cc = CrossCorrelation(x, x, 0);
+  ASSERT_EQ(cc.size(), 1u);
+  EXPECT_NEAR(cc[0], 1.0, 1e-12);
+}
+
+TEST(CrossCorrelationTest, DetectsShift) {
+  // y is x delayed by 3 samples; peak correlation should be at lag +3.
+  Rng rng(10);
+  std::vector<double> x(200);
+  for (auto& v : x) v = rng.Normal();
+  std::vector<double> y(200, 0.0);
+  for (std::size_t i = 3; i < y.size(); ++i) y[i] = x[i - 3];
+  const int max_lag = 6;
+  // Element [max_lag + lag] is corr(x[t], y[t + lag]); y lags x by 3, so the
+  // peak sits at lag +3.
+  const auto cc = CrossCorrelation(x, y, max_lag);
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < cc.size(); ++i) {
+    if (cc[i] > cc[best]) best = i;
+  }
+  EXPECT_EQ(static_cast<int>(best) - max_lag, 3);
+}
+
+TEST(CrossCorrelationTest, SymmetricSize) {
+  std::vector<double> x = {1.0, 2.0, 3.0, 4.0, 5.0};
+  const auto cc = CrossCorrelation(x, x, 2);
+  EXPECT_EQ(cc.size(), 5u);
+}
+
+TEST(CrossCorrelationTest, ValuesBounded) {
+  Rng rng(11);
+  std::vector<double> x(100);
+  std::vector<double> y(100);
+  for (auto& v : x) v = rng.Normal();
+  for (auto& v : y) v = rng.Normal();
+  for (double v : CrossCorrelation(x, y, 20)) {
+    EXPECT_LE(std::abs(v), 1.0 + 1e-9);
+  }
+}
+
+TEST(MaxAbsCrossCorrelationTest, IdenticalSeriesIsOne) {
+  std::vector<double> x = {1.0, -2.0, 3.0, 0.0, 5.0, -1.0};
+  EXPECT_NEAR(MaxAbsCrossCorrelation(x, x, 2), 1.0, 1e-12);
+}
+
+TEST(MaxAbsCrossCorrelationTest, ZeroVarianceGivesZero) {
+  std::vector<double> x(10, 2.0);
+  std::vector<double> y = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  EXPECT_DOUBLE_EQ(MaxAbsCrossCorrelation(x, y, 3), 0.0);
+}
+
+}  // namespace
+}  // namespace sds

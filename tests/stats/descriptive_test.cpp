@@ -1,0 +1,145 @@
+#include "stats/descriptive.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace sds {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats rs;
+  EXPECT_EQ(rs.count(), 0);
+  EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats rs;
+  rs.Add(5.0);
+  EXPECT_EQ(rs.count(), 1);
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.min(), 5.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 5.0);
+}
+
+TEST(RunningStatsTest, KnownValues) {
+  RunningStats rs;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) rs.Add(v);
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  // Sample variance of this classic set is 32/7.
+  EXPECT_NEAR(rs.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+}
+
+TEST(RunningStatsTest, MergeEqualsSequential) {
+  Rng rng(3);
+  RunningStats all;
+  RunningStats a;
+  RunningStats b;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Normal(10.0, 3.0);
+    all.Add(v);
+    (i < 400 ? a : b).Add(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a;
+  a.Add(1.0);
+  a.Add(2.0);
+  RunningStats empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 2);
+  RunningStats b;
+  b.Merge(a);
+  EXPECT_EQ(b.count(), 2);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+TEST(RunningStatsTest, NumericallyStableForLargeOffsets) {
+  RunningStats rs;
+  for (int i = 0; i < 1000; ++i) rs.Add(1e9 + (i % 2));
+  EXPECT_NEAR(rs.mean(), 1e9 + 0.5, 1e-3);
+  EXPECT_NEAR(rs.variance(), 0.25025, 1e-3);
+}
+
+TEST(PercentileTest, MedianOfOddCount) {
+  std::vector<double> v = {3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.5), 2.0);
+}
+
+TEST(PercentileTest, InterpolatesBetweenValues) {
+  std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.5), 2.5);
+}
+
+TEST(PercentileTest, Extremes) {
+  std::vector<double> v = {5.0, 9.0, 1.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 1.0), 9.0);
+}
+
+TEST(PercentileTest, SingleElement) {
+  std::vector<double> v = {7.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.3), 7.0);
+}
+
+TEST(PercentileTest, TenthAndNinetieth) {
+  std::vector<double> v(11);
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] = static_cast<double>(i);
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.1), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.9), 9.0);
+}
+
+TEST(SummarizeTest, OrderedTriple) {
+  std::vector<double> v;
+  for (int i = 1; i <= 100; ++i) v.push_back(static_cast<double>(i));
+  const PercentileSummary s = Summarize(v);
+  EXPECT_LT(s.p10, s.median);
+  EXPECT_LT(s.median, s.p90);
+  EXPECT_NEAR(s.median, 50.5, 1e-9);
+}
+
+TEST(MeanStdDevTest, Basics) {
+  std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Mean(v), 2.5);
+  EXPECT_NEAR(StdDev(v), std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(MeanStdDevTest, ConstantSeriesZeroDeviation) {
+  std::vector<double> v(10, 4.0);
+  EXPECT_DOUBLE_EQ(StdDev(v), 0.0);
+}
+
+// Property: percentile is monotone in q.
+class PercentileMonotoneTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PercentileMonotoneTest, MonotoneInQ) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  std::vector<double> v;
+  for (int i = 0; i < 57; ++i) v.push_back(rng.Normal(0.0, 10.0));
+  double prev = Percentile(v, 0.0);
+  for (double q = 0.05; q <= 1.0; q += 0.05) {
+    const double cur = Percentile(v, q);
+    EXPECT_GE(cur, prev - 1e-12);
+    prev = cur;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PercentileMonotoneTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace sds

@@ -1,0 +1,128 @@
+#include "stats/ks_test.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace sds {
+namespace {
+
+std::vector<double> NormalSample(Rng& rng, int n, double mean, double sd) {
+  std::vector<double> v;
+  v.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) v.push_back(rng.Normal(mean, sd));
+  return v;
+}
+
+TEST(KolmogorovSurvivalTest, KnownValues) {
+  // Q(lambda) reference values from published Kolmogorov tables.
+  EXPECT_NEAR(KolmogorovSurvival(1.36), 0.049, 0.002);
+  EXPECT_NEAR(KolmogorovSurvival(1.22), 0.102, 0.003);
+  EXPECT_NEAR(KolmogorovSurvival(1.63), 0.010, 0.002);
+}
+
+TEST(KolmogorovSurvivalTest, Monotone) {
+  double prev = KolmogorovSurvival(0.2);
+  for (double l = 0.3; l < 3.0; l += 0.1) {
+    const double cur = KolmogorovSurvival(l);
+    EXPECT_LE(cur, prev + 1e-12);
+    prev = cur;
+  }
+}
+
+TEST(KolmogorovSurvivalTest, Limits) {
+  EXPECT_DOUBLE_EQ(KolmogorovSurvival(0.0), 1.0);
+  EXPECT_NEAR(KolmogorovSurvival(5.0), 0.0, 1e-10);
+}
+
+TEST(TwoSampleKsTest, IdenticalSamplesStatisticZero) {
+  std::vector<double> a = {1.0, 2.0, 3.0, 4.0, 5.0};
+  const auto r = TwoSampleKsTest(a, a);
+  EXPECT_DOUBLE_EQ(r.statistic, 0.0);
+  EXPECT_GT(r.p_value, 0.99);
+}
+
+TEST(TwoSampleKsTest, DisjointSamplesStatisticOne) {
+  std::vector<double> a = {1.0, 2.0, 3.0};
+  std::vector<double> b = {10.0, 11.0, 12.0};
+  const auto r = TwoSampleKsTest(a, b);
+  EXPECT_DOUBLE_EQ(r.statistic, 1.0);
+  EXPECT_LT(r.p_value, 0.2);
+}
+
+TEST(TwoSampleKsTest, KnownStatistic) {
+  // Hand-computed: a={1,2,3,4}, b={3,4,5,6}: max CDF gap is 0.5 at x in [2,3).
+  std::vector<double> a = {1.0, 2.0, 3.0, 4.0};
+  std::vector<double> b = {3.0, 4.0, 5.0, 6.0};
+  EXPECT_DOUBLE_EQ(TwoSampleKsTest(a, b).statistic, 0.5);
+}
+
+TEST(TwoSampleKsTest, SameDistributionRarelyRejected) {
+  Rng rng(42);
+  int rejections = 0;
+  const int trials = 200;
+  for (int t = 0; t < trials; ++t) {
+    const auto a = NormalSample(rng, 100, 0.0, 1.0);
+    const auto b = NormalSample(rng, 100, 0.0, 1.0);
+    if (KsRejectsSameDistribution(a, b, 0.05)) ++rejections;
+  }
+  // Expected false-rejection rate is ~5%; allow generous slack.
+  EXPECT_LT(rejections, trials / 8);
+}
+
+TEST(TwoSampleKsTest, ShiftedDistributionDetected) {
+  Rng rng(43);
+  int rejections = 0;
+  const int trials = 100;
+  for (int t = 0; t < trials; ++t) {
+    const auto a = NormalSample(rng, 100, 0.0, 1.0);
+    const auto b = NormalSample(rng, 100, 1.0, 1.0);
+    if (KsRejectsSameDistribution(a, b, 0.05)) ++rejections;
+  }
+  EXPECT_GT(rejections, trials * 9 / 10);
+}
+
+TEST(TwoSampleKsTest, ScaleChangeDetected) {
+  Rng rng(44);
+  const auto a = NormalSample(rng, 500, 0.0, 1.0);
+  const auto b = NormalSample(rng, 500, 0.0, 3.0);
+  EXPECT_TRUE(KsRejectsSameDistribution(a, b, 0.05));
+}
+
+TEST(TwoSampleKsTest, UnequalSampleSizes) {
+  Rng rng(45);
+  const auto a = NormalSample(rng, 50, 0.0, 1.0);
+  const auto b = NormalSample(rng, 400, 2.0, 1.0);
+  const auto r = TwoSampleKsTest(a, b);
+  EXPECT_GT(r.statistic, 0.5);
+  EXPECT_LT(r.p_value, 0.01);
+}
+
+TEST(TwoSampleKsTest, TiedValuesHandled) {
+  std::vector<double> a = {1.0, 1.0, 1.0, 2.0};
+  std::vector<double> b = {1.0, 2.0, 2.0, 2.0};
+  const auto r = TwoSampleKsTest(a, b);
+  EXPECT_DOUBLE_EQ(r.statistic, 0.5);
+}
+
+// Property: power increases with shift magnitude.
+class KsPowerTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(KsPowerTest, LargeShiftAlwaysRejected) {
+  const double shift = GetParam();
+  Rng rng(static_cast<std::uint64_t>(shift * 100) + 7);
+  for (int t = 0; t < 20; ++t) {
+    const auto a = NormalSample(rng, 100, 0.0, 1.0);
+    const auto b = NormalSample(rng, 100, shift, 1.0);
+    EXPECT_TRUE(KsRejectsSameDistribution(a, b, 0.05))
+        << "shift=" << shift << " trial=" << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shifts, KsPowerTest,
+                         ::testing::Values(1.5, 2.0, 3.0, 5.0));
+
+}  // namespace
+}  // namespace sds

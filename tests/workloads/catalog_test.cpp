@@ -1,0 +1,111 @@
+#include "workloads/catalog.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace sds::workloads {
+namespace {
+
+TEST(CatalogTest, HasAllTenPaperApplications) {
+  const auto& catalog = AppCatalog();
+  EXPECT_EQ(catalog.size(), 10u);
+  std::set<std::string> names;
+  for (const auto& info : catalog) names.insert(info.name);
+  for (const char* expected :
+       {"bayes", "svm", "kmeans", "pca", "aggregation", "join", "scan",
+        "terasort", "pagerank", "facenet"}) {
+    EXPECT_TRUE(names.count(expected)) << expected;
+  }
+}
+
+TEST(CatalogTest, PeriodicFlagsMatchPaper) {
+  // Section 3.3: PCA and FaceNet are the periodic applications.
+  for (const auto& info : AppCatalog()) {
+    const bool expected_periodic =
+        info.name == "pca" || info.name == "facenet";
+    EXPECT_EQ(info.periodic, expected_periodic) << info.name;
+    if (info.periodic) {
+      EXPECT_GT(info.nominal_period_ticks, 0);
+    } else {
+      EXPECT_EQ(info.nominal_period_ticks, 0);
+    }
+  }
+}
+
+TEST(CatalogTest, CategoriesMatchPaperSections) {
+  EXPECT_EQ(AppInfoFor("bayes").category, "machine-learning");
+  EXPECT_EQ(AppInfoFor("aggregation").category, "database");
+  EXPECT_EQ(AppInfoFor("terasort").category, "data-intensive");
+  EXPECT_EQ(AppInfoFor("pagerank").category, "web-search");
+  EXPECT_EQ(AppInfoFor("facenet").category, "deep-learning");
+}
+
+TEST(CatalogTest, IsKnownApp) {
+  EXPECT_TRUE(IsKnownApp("kmeans"));
+  EXPECT_FALSE(IsKnownApp("notanapp"));
+  EXPECT_FALSE(IsKnownApp(""));
+}
+
+TEST(CatalogTest, MakeAppInstantiatesEveryEntry) {
+  for (const auto& info : AppCatalog()) {
+    auto w = MakeApp(info.name);
+    ASSERT_NE(w, nullptr) << info.name;
+    EXPECT_EQ(w->name(), info.name);
+  }
+}
+
+TEST(CatalogTest, SpecsAreInternallyConsistent) {
+  for (const auto& info : AppCatalog()) {
+    const SyntheticSpec spec = SpecForApp(info.name);
+    EXPECT_EQ(spec.name, info.name);
+    EXPECT_FALSE(spec.phases.empty());
+    for (const auto& p : spec.phases) {
+      EXPECT_GT(p.intensity, 0.0) << info.name << "/" << p.name;
+      EXPECT_GE(p.hot_fraction, 0.0);
+      EXPECT_LE(p.hot_fraction, 1.0);
+      EXPECT_GT(p.hot_lines, 0u);
+      EXPECT_GT(p.stream_lines, 0u);
+    }
+    // Periodic apps must cycle with finite phase work.
+    if (info.periodic) {
+      EXPECT_TRUE(spec.cycle);
+      EXPECT_GT(spec.phases.size(), 1u);
+      for (const auto& p : spec.phases) EXPECT_GT(p.work, 0u);
+    }
+  }
+}
+
+TEST(CatalogTest, PeriodicAppPhaseWorkMatchesNominalPeriod) {
+  // Sum over phases of work / completed-per-tick should approximate the
+  // catalog's nominal period (completed-per-tick = I / (1 + miss*stall)).
+  for (const char* app : {"pca", "facenet"}) {
+    const auto& info = AppInfoFor(app);
+    const SyntheticSpec spec = SpecForApp(app);
+    double ticks = 0.0;
+    for (const auto& p : spec.phases) {
+      const double miss_frac = 1.0 - p.hot_fraction;
+      const double completed_per_tick =
+          p.intensity / (1.0 + miss_frac * spec.miss_stall_cost);
+      ticks += static_cast<double>(p.work) / completed_per_tick;
+    }
+    EXPECT_NEAR(ticks, static_cast<double>(info.nominal_period_ticks),
+                0.15 * static_cast<double>(info.nominal_period_ticks))
+        << app;
+  }
+}
+
+TEST(CatalogTest, BenignUtilityIsLightweight) {
+  auto w = MakeBenignUtility();
+  ASSERT_NE(w, nullptr);
+  auto* synthetic = dynamic_cast<SyntheticWorkload*>(w.get());
+  ASSERT_NE(synthetic, nullptr);
+  EXPECT_LT(synthetic->spec().phases[0].intensity, 100.0);
+}
+
+TEST(CatalogTest, AppInfoForUnknownAborts) {
+  EXPECT_DEATH(AppInfoFor("nope"), "unknown application");
+}
+
+}  // namespace
+}  // namespace sds::workloads
