@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_mitigation.dir/ablation_mitigation.cpp.o"
+  "CMakeFiles/bench_ablation_mitigation.dir/ablation_mitigation.cpp.o.d"
+  "bench_ablation_mitigation"
+  "bench_ablation_mitigation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_mitigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

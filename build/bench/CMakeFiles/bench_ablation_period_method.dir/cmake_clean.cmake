@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_period_method.dir/ablation_period_method.cpp.o"
+  "CMakeFiles/bench_ablation_period_method.dir/ablation_period_method.cpp.o.d"
+  "bench_ablation_period_method"
+  "bench_ablation_period_method.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_period_method.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

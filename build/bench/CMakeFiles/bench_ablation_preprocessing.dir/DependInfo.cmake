@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_preprocessing.cpp" "bench/CMakeFiles/bench_ablation_preprocessing.dir/ablation_preprocessing.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_preprocessing.dir/ablation_preprocessing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/sds_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/sds_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/attacks/CMakeFiles/sds_attacks.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/sds_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/sds_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/signal/CMakeFiles/sds_signal.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/sds_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcm/CMakeFiles/sds_pcm.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/sds_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sds_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sds_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

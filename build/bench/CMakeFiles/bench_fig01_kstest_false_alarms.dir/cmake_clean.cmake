@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_kstest_false_alarms.dir/fig01_kstest_false_alarms.cpp.o"
+  "CMakeFiles/bench_fig01_kstest_false_alarms.dir/fig01_kstest_false_alarms.cpp.o.d"
+  "bench_fig01_kstest_false_alarms"
+  "bench_fig01_kstest_false_alarms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_kstest_false_alarms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

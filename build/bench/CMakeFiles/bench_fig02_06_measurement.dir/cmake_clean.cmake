@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_06_measurement.dir/fig02_06_measurement.cpp.o"
+  "CMakeFiles/bench_fig02_06_measurement.dir/fig02_06_measurement.cpp.o.d"
+  "bench_fig02_06_measurement"
+  "bench_fig02_06_measurement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_06_measurement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_sdsb_example.dir/fig07_sdsb_example.cpp.o"
+  "CMakeFiles/bench_fig07_sdsb_example.dir/fig07_sdsb_example.cpp.o.d"
+  "bench_fig07_sdsb_example"
+  "bench_fig07_sdsb_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_sdsb_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

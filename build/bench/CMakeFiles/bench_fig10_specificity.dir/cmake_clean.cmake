@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_specificity.dir/fig10_specificity.cpp.o"
+  "CMakeFiles/bench_fig10_specificity.dir/fig10_specificity.cpp.o.d"
+  "bench_fig10_specificity"
+  "bench_fig10_specificity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_specificity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec34_correlation.dir/sec34_correlation.cpp.o"
+  "CMakeFiles/bench_sec34_correlation.dir/sec34_correlation.cpp.o.d"
+  "bench_sec34_correlation"
+  "bench_sec34_correlation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec34_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloud_scenario.dir/cloud_scenario.cpp.o"
+  "CMakeFiles/cloud_scenario.dir/cloud_scenario.cpp.o.d"
+  "cloud_scenario"
+  "cloud_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloud_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

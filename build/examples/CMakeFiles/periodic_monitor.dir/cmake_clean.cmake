@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/periodic_monitor.dir/periodic_monitor.cpp.o"
+  "CMakeFiles/periodic_monitor.dir/periodic_monitor.cpp.o.d"
+  "periodic_monitor"
+  "periodic_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/periodic_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attacks/bus_lock_attacker.cpp" "src/attacks/CMakeFiles/sds_attacks.dir/bus_lock_attacker.cpp.o" "gcc" "src/attacks/CMakeFiles/sds_attacks.dir/bus_lock_attacker.cpp.o.d"
+  "/root/repo/src/attacks/llc_cleansing_attacker.cpp" "src/attacks/CMakeFiles/sds_attacks.dir/llc_cleansing_attacker.cpp.o" "gcc" "src/attacks/CMakeFiles/sds_attacks.dir/llc_cleansing_attacker.cpp.o.d"
+  "/root/repo/src/attacks/pulsing_workload.cpp" "src/attacks/CMakeFiles/sds_attacks.dir/pulsing_workload.cpp.o" "gcc" "src/attacks/CMakeFiles/sds_attacks.dir/pulsing_workload.cpp.o.d"
+  "/root/repo/src/attacks/scheduled_workload.cpp" "src/attacks/CMakeFiles/sds_attacks.dir/scheduled_workload.cpp.o" "gcc" "src/attacks/CMakeFiles/sds_attacks.dir/scheduled_workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sds_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sds_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/sds_vm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

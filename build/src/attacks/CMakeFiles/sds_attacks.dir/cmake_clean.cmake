@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sds_attacks.dir/bus_lock_attacker.cpp.o"
+  "CMakeFiles/sds_attacks.dir/bus_lock_attacker.cpp.o.d"
+  "CMakeFiles/sds_attacks.dir/llc_cleansing_attacker.cpp.o"
+  "CMakeFiles/sds_attacks.dir/llc_cleansing_attacker.cpp.o.d"
+  "CMakeFiles/sds_attacks.dir/pulsing_workload.cpp.o"
+  "CMakeFiles/sds_attacks.dir/pulsing_workload.cpp.o.d"
+  "CMakeFiles/sds_attacks.dir/scheduled_workload.cpp.o"
+  "CMakeFiles/sds_attacks.dir/scheduled_workload.cpp.o.d"
+  "libsds_attacks.a"
+  "libsds_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sds_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sds_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/sds_cluster.dir/cluster.cpp.o.d"
+  "CMakeFiles/sds_cluster.dir/mitigation.cpp.o"
+  "CMakeFiles/sds_cluster.dir/mitigation.cpp.o.d"
+  "libsds_cluster.a"
+  "libsds_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sds_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sds_common.dir/check.cpp.o"
+  "CMakeFiles/sds_common.dir/check.cpp.o.d"
+  "CMakeFiles/sds_common.dir/csv.cpp.o"
+  "CMakeFiles/sds_common.dir/csv.cpp.o.d"
+  "CMakeFiles/sds_common.dir/flags.cpp.o"
+  "CMakeFiles/sds_common.dir/flags.cpp.o.d"
+  "CMakeFiles/sds_common.dir/rng.cpp.o"
+  "CMakeFiles/sds_common.dir/rng.cpp.o.d"
+  "libsds_common.a"
+  "libsds_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sds_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

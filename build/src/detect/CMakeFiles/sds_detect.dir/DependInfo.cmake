@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/detect/boundary.cpp" "src/detect/CMakeFiles/sds_detect.dir/boundary.cpp.o" "gcc" "src/detect/CMakeFiles/sds_detect.dir/boundary.cpp.o.d"
+  "/root/repo/src/detect/kstest_detector.cpp" "src/detect/CMakeFiles/sds_detect.dir/kstest_detector.cpp.o" "gcc" "src/detect/CMakeFiles/sds_detect.dir/kstest_detector.cpp.o.d"
+  "/root/repo/src/detect/offline.cpp" "src/detect/CMakeFiles/sds_detect.dir/offline.cpp.o" "gcc" "src/detect/CMakeFiles/sds_detect.dir/offline.cpp.o.d"
+  "/root/repo/src/detect/period.cpp" "src/detect/CMakeFiles/sds_detect.dir/period.cpp.o" "gcc" "src/detect/CMakeFiles/sds_detect.dir/period.cpp.o.d"
+  "/root/repo/src/detect/profile.cpp" "src/detect/CMakeFiles/sds_detect.dir/profile.cpp.o" "gcc" "src/detect/CMakeFiles/sds_detect.dir/profile.cpp.o.d"
+  "/root/repo/src/detect/sds_detector.cpp" "src/detect/CMakeFiles/sds_detect.dir/sds_detector.cpp.o" "gcc" "src/detect/CMakeFiles/sds_detect.dir/sds_detector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sds_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/sds_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/signal/CMakeFiles/sds_signal.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sds_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/sds_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcm/CMakeFiles/sds_pcm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

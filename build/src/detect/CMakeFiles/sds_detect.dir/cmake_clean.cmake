@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sds_detect.dir/boundary.cpp.o"
+  "CMakeFiles/sds_detect.dir/boundary.cpp.o.d"
+  "CMakeFiles/sds_detect.dir/kstest_detector.cpp.o"
+  "CMakeFiles/sds_detect.dir/kstest_detector.cpp.o.d"
+  "CMakeFiles/sds_detect.dir/offline.cpp.o"
+  "CMakeFiles/sds_detect.dir/offline.cpp.o.d"
+  "CMakeFiles/sds_detect.dir/period.cpp.o"
+  "CMakeFiles/sds_detect.dir/period.cpp.o.d"
+  "CMakeFiles/sds_detect.dir/profile.cpp.o"
+  "CMakeFiles/sds_detect.dir/profile.cpp.o.d"
+  "CMakeFiles/sds_detect.dir/sds_detector.cpp.o"
+  "CMakeFiles/sds_detect.dir/sds_detector.cpp.o.d"
+  "libsds_detect.a"
+  "libsds_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sds_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sds_eval.dir/aggregate.cpp.o"
+  "CMakeFiles/sds_eval.dir/aggregate.cpp.o.d"
+  "CMakeFiles/sds_eval.dir/experiment.cpp.o"
+  "CMakeFiles/sds_eval.dir/experiment.cpp.o.d"
+  "CMakeFiles/sds_eval.dir/report.cpp.o"
+  "CMakeFiles/sds_eval.dir/report.cpp.o.d"
+  "CMakeFiles/sds_eval.dir/scenario.cpp.o"
+  "CMakeFiles/sds_eval.dir/scenario.cpp.o.d"
+  "libsds_eval.a"
+  "libsds_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sds_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pcm/pcm_sampler.cpp" "src/pcm/CMakeFiles/sds_pcm.dir/pcm_sampler.cpp.o" "gcc" "src/pcm/CMakeFiles/sds_pcm.dir/pcm_sampler.cpp.o.d"
+  "/root/repo/src/pcm/trace.cpp" "src/pcm/CMakeFiles/sds_pcm.dir/trace.cpp.o" "gcc" "src/pcm/CMakeFiles/sds_pcm.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sds_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sds_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/sds_vm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sds_pcm.dir/pcm_sampler.cpp.o"
+  "CMakeFiles/sds_pcm.dir/pcm_sampler.cpp.o.d"
+  "CMakeFiles/sds_pcm.dir/trace.cpp.o"
+  "CMakeFiles/sds_pcm.dir/trace.cpp.o.d"
+  "libsds_pcm.a"
+  "libsds_pcm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sds_pcm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

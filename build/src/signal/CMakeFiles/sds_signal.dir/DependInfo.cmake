@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/signal/acf.cpp" "src/signal/CMakeFiles/sds_signal.dir/acf.cpp.o" "gcc" "src/signal/CMakeFiles/sds_signal.dir/acf.cpp.o.d"
+  "/root/repo/src/signal/coherence.cpp" "src/signal/CMakeFiles/sds_signal.dir/coherence.cpp.o" "gcc" "src/signal/CMakeFiles/sds_signal.dir/coherence.cpp.o.d"
+  "/root/repo/src/signal/fft.cpp" "src/signal/CMakeFiles/sds_signal.dir/fft.cpp.o" "gcc" "src/signal/CMakeFiles/sds_signal.dir/fft.cpp.o.d"
+  "/root/repo/src/signal/moving_average.cpp" "src/signal/CMakeFiles/sds_signal.dir/moving_average.cpp.o" "gcc" "src/signal/CMakeFiles/sds_signal.dir/moving_average.cpp.o.d"
+  "/root/repo/src/signal/period_detect.cpp" "src/signal/CMakeFiles/sds_signal.dir/period_detect.cpp.o" "gcc" "src/signal/CMakeFiles/sds_signal.dir/period_detect.cpp.o.d"
+  "/root/repo/src/signal/periodogram.cpp" "src/signal/CMakeFiles/sds_signal.dir/periodogram.cpp.o" "gcc" "src/signal/CMakeFiles/sds_signal.dir/periodogram.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sds_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/sds_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sds_signal.dir/acf.cpp.o"
+  "CMakeFiles/sds_signal.dir/acf.cpp.o.d"
+  "CMakeFiles/sds_signal.dir/coherence.cpp.o"
+  "CMakeFiles/sds_signal.dir/coherence.cpp.o.d"
+  "CMakeFiles/sds_signal.dir/fft.cpp.o"
+  "CMakeFiles/sds_signal.dir/fft.cpp.o.d"
+  "CMakeFiles/sds_signal.dir/moving_average.cpp.o"
+  "CMakeFiles/sds_signal.dir/moving_average.cpp.o.d"
+  "CMakeFiles/sds_signal.dir/period_detect.cpp.o"
+  "CMakeFiles/sds_signal.dir/period_detect.cpp.o.d"
+  "CMakeFiles/sds_signal.dir/periodogram.cpp.o"
+  "CMakeFiles/sds_signal.dir/periodogram.cpp.o.d"
+  "libsds_signal.a"
+  "libsds_signal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sds_signal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

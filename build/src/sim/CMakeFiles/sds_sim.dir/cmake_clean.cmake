@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sds_sim.dir/bus.cpp.o"
+  "CMakeFiles/sds_sim.dir/bus.cpp.o.d"
+  "CMakeFiles/sds_sim.dir/cache.cpp.o"
+  "CMakeFiles/sds_sim.dir/cache.cpp.o.d"
+  "CMakeFiles/sds_sim.dir/dram.cpp.o"
+  "CMakeFiles/sds_sim.dir/dram.cpp.o.d"
+  "CMakeFiles/sds_sim.dir/machine.cpp.o"
+  "CMakeFiles/sds_sim.dir/machine.cpp.o.d"
+  "libsds_sim.a"
+  "libsds_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sds_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

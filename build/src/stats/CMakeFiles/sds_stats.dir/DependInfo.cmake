@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/chebyshev.cpp" "src/stats/CMakeFiles/sds_stats.dir/chebyshev.cpp.o" "gcc" "src/stats/CMakeFiles/sds_stats.dir/chebyshev.cpp.o.d"
+  "/root/repo/src/stats/correlation.cpp" "src/stats/CMakeFiles/sds_stats.dir/correlation.cpp.o" "gcc" "src/stats/CMakeFiles/sds_stats.dir/correlation.cpp.o.d"
+  "/root/repo/src/stats/descriptive.cpp" "src/stats/CMakeFiles/sds_stats.dir/descriptive.cpp.o" "gcc" "src/stats/CMakeFiles/sds_stats.dir/descriptive.cpp.o.d"
+  "/root/repo/src/stats/ks_test.cpp" "src/stats/CMakeFiles/sds_stats.dir/ks_test.cpp.o" "gcc" "src/stats/CMakeFiles/sds_stats.dir/ks_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sds_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sds_stats.dir/chebyshev.cpp.o"
+  "CMakeFiles/sds_stats.dir/chebyshev.cpp.o.d"
+  "CMakeFiles/sds_stats.dir/correlation.cpp.o"
+  "CMakeFiles/sds_stats.dir/correlation.cpp.o.d"
+  "CMakeFiles/sds_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/sds_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/sds_stats.dir/ks_test.cpp.o"
+  "CMakeFiles/sds_stats.dir/ks_test.cpp.o.d"
+  "libsds_stats.a"
+  "libsds_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sds_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

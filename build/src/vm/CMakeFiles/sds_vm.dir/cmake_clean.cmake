@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sds_vm.dir/hypervisor.cpp.o"
+  "CMakeFiles/sds_vm.dir/hypervisor.cpp.o.d"
+  "CMakeFiles/sds_vm.dir/vm.cpp.o"
+  "CMakeFiles/sds_vm.dir/vm.cpp.o.d"
+  "libsds_vm.a"
+  "libsds_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sds_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sds_workloads.dir/catalog.cpp.o"
+  "CMakeFiles/sds_workloads.dir/catalog.cpp.o.d"
+  "CMakeFiles/sds_workloads.dir/synthetic.cpp.o"
+  "CMakeFiles/sds_workloads.dir/synthetic.cpp.o.d"
+  "libsds_workloads.a"
+  "libsds_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sds_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

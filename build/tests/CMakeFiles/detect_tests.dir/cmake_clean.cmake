@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detect_tests.dir/detect/boundary_test.cpp.o"
+  "CMakeFiles/detect_tests.dir/detect/boundary_test.cpp.o.d"
+  "CMakeFiles/detect_tests.dir/detect/kstest_detector_test.cpp.o"
+  "CMakeFiles/detect_tests.dir/detect/kstest_detector_test.cpp.o.d"
+  "CMakeFiles/detect_tests.dir/detect/offline_test.cpp.o"
+  "CMakeFiles/detect_tests.dir/detect/offline_test.cpp.o.d"
+  "CMakeFiles/detect_tests.dir/detect/period_test.cpp.o"
+  "CMakeFiles/detect_tests.dir/detect/period_test.cpp.o.d"
+  "CMakeFiles/detect_tests.dir/detect/profile_test.cpp.o"
+  "CMakeFiles/detect_tests.dir/detect/profile_test.cpp.o.d"
+  "CMakeFiles/detect_tests.dir/detect/sds_detector_test.cpp.o"
+  "CMakeFiles/detect_tests.dir/detect/sds_detector_test.cpp.o.d"
+  "detect_tests"
+  "detect_tests.pdb"
+  "detect_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detect_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

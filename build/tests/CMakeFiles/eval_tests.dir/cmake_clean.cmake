@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_tests.dir/eval/aggregate_test.cpp.o"
+  "CMakeFiles/eval_tests.dir/eval/aggregate_test.cpp.o.d"
+  "CMakeFiles/eval_tests.dir/eval/experiment_test.cpp.o"
+  "CMakeFiles/eval_tests.dir/eval/experiment_test.cpp.o.d"
+  "CMakeFiles/eval_tests.dir/eval/scenario_test.cpp.o"
+  "CMakeFiles/eval_tests.dir/eval/scenario_test.cpp.o.d"
+  "eval_tests"
+  "eval_tests.pdb"
+  "eval_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcm_tests.dir/pcm/pcm_sampler_test.cpp.o"
+  "CMakeFiles/pcm_tests.dir/pcm/pcm_sampler_test.cpp.o.d"
+  "CMakeFiles/pcm_tests.dir/pcm/trace_test.cpp.o"
+  "CMakeFiles/pcm_tests.dir/pcm/trace_test.cpp.o.d"
+  "pcm_tests"
+  "pcm_tests.pdb"
+  "pcm_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcm_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/signal_tests.dir/signal/acf_test.cpp.o"
+  "CMakeFiles/signal_tests.dir/signal/acf_test.cpp.o.d"
+  "CMakeFiles/signal_tests.dir/signal/coherence_test.cpp.o"
+  "CMakeFiles/signal_tests.dir/signal/coherence_test.cpp.o.d"
+  "CMakeFiles/signal_tests.dir/signal/fft_test.cpp.o"
+  "CMakeFiles/signal_tests.dir/signal/fft_test.cpp.o.d"
+  "CMakeFiles/signal_tests.dir/signal/moving_average_test.cpp.o"
+  "CMakeFiles/signal_tests.dir/signal/moving_average_test.cpp.o.d"
+  "CMakeFiles/signal_tests.dir/signal/period_detect_test.cpp.o"
+  "CMakeFiles/signal_tests.dir/signal/period_detect_test.cpp.o.d"
+  "CMakeFiles/signal_tests.dir/signal/periodogram_test.cpp.o"
+  "CMakeFiles/signal_tests.dir/signal/periodogram_test.cpp.o.d"
+  "signal_tests"
+  "signal_tests.pdb"
+  "signal_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/signal_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_tests.dir/vm/hypervisor_test.cpp.o"
+  "CMakeFiles/vm_tests.dir/vm/hypervisor_test.cpp.o.d"
+  "vm_tests"
+  "vm_tests.pdb"
+  "vm_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_tests[1]_include.cmake")
+include("/root/repo/build/tests/stats_tests[1]_include.cmake")
+include("/root/repo/build/tests/signal_tests[1]_include.cmake")
+include("/root/repo/build/tests/sim_tests[1]_include.cmake")
+include("/root/repo/build/tests/vm_tests[1]_include.cmake")
+include("/root/repo/build/tests/workloads_tests[1]_include.cmake")
+include("/root/repo/build/tests/attacks_tests[1]_include.cmake")
+include("/root/repo/build/tests/pcm_tests[1]_include.cmake")
+include("/root/repo/build/tests/detect_tests[1]_include.cmake")
+include("/root/repo/build/tests/cluster_tests[1]_include.cmake")
+include("/root/repo/build/tests/eval_tests[1]_include.cmake")
+include("/root/repo/build/tests/integration_tests[1]_include.cmake")
