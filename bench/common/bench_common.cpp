@@ -8,6 +8,7 @@
 
 #include "common/types.h"
 #include "eval/report.h"
+#include "telemetry/telemetry.h"
 #include "workloads/catalog.h"
 
 namespace sds::bench {
@@ -73,8 +74,15 @@ bool LoadCache(const std::string& path, std::vector<AccuracyRow>& rows) {
 
 bool ParseSweepFlags(int argc, char** argv, SweepOptions& options) {
   Flags flags;
-  if (!flags.Parse(argc, argv,
-                   {"runs", "stage-seconds", "profile-seconds", "seed"})) {
+  if (!flags.Parse(
+          argc, argv,
+          {{"runs", "seeded runs per app x attack x scheme configuration"},
+           {"stage-seconds", "clean and attack stage length in virtual seconds"},
+           {"profile-seconds", "profiling stage length in virtual seconds"},
+           {"seed", "base seed for the run-index seed sequence"},
+           {"telemetry_out",
+            "write one instrumented run's telemetry JSONL to this path"}})) {
+    options.help = flags.help_requested();
     return false;
   }
   options.runs = static_cast<int>(flags.GetInt("runs", options.runs));
@@ -90,7 +98,34 @@ bool ParseSweepFlags(int argc, char** argv, SweepOptions& options) {
   }
   options.base_seed = static_cast<std::uint64_t>(
       flags.GetInt("seed", static_cast<long long>(options.base_seed)));
+  options.telemetry_out = flags.GetString("telemetry_out", "");
   return true;
+}
+
+void MaybeEmitTelemetryRun(const SweepOptions& options, std::ostream& log) {
+  if (options.telemetry_out.empty()) return;
+  // One representative run with every layer instrumented: kmeans under the
+  // bus-locking attack, combined SDS. Single-threaded, so attaching the
+  // telemetry handle to the machine config is safe.
+  telemetry::Telemetry telemetry;
+  eval::DetectionRunConfig cfg;
+  cfg.app = "kmeans";
+  cfg.attack = eval::AttackKind::kBusLock;
+  cfg.scheme = eval::Scheme::kSds;
+  cfg.profile_ticks = options.profile_ticks;
+  cfg.clean_ticks = options.clean_ticks;
+  cfg.attack_ticks = options.attack_ticks;
+  cfg.scenario.machine.telemetry = &telemetry;
+  const auto result = eval::RunDetectionRun(cfg, options.base_seed);
+  if (!telemetry.WriteJsonlFile(options.telemetry_out)) {
+    log << "telemetry: cannot write " << options.telemetry_out << "\n";
+    return;
+  }
+  log << "telemetry: wrote " << options.telemetry_out << " ("
+      << telemetry.tracer().emitted() << " events, "
+      << telemetry.audit().records().size() << " audit records; run "
+      << (result.detected ? "detected" : "missed")
+      << " the attack); inspect with tools/trace_inspect\n";
 }
 
 std::vector<AccuracyRow> RunOrLoadAccuracySweep(const SweepOptions& options,

@@ -24,11 +24,24 @@ struct SweepOptions {
   Tick clean_ticks = 15000;
   Tick attack_ticks = 15000;
   std::uint64_t base_seed = 1000;
+  // When non-empty, one representative instrumented SDS run is executed after
+  // the sweep and its telemetry stream (events + detector audit + metrics) is
+  // written here as JSONL for tools/trace_inspect.
+  std::string telemetry_out;
+  // Set when parsing stopped because --help was given (exit 0, not 1).
+  bool help = false;
 };
 
-// Parses the standard sweep flags (--runs, --stage-seconds, --seed) shared
-// by the accuracy benches. Returns false (after printing usage) on error.
+// Parses the standard sweep flags (--runs, --stage-seconds, --seed,
+// --telemetry_out) shared by the accuracy benches. Returns false (after
+// printing usage) on error or --help; check options.help to pick the exit
+// code.
 bool ParseSweepFlags(int argc, char** argv, SweepOptions& options);
+
+// Runs one fully instrumented SDS detection run (kmeans vs. bus locking by
+// default) with a telemetry handle attached and writes the JSONL stream to
+// options.telemetry_out. No-op when the path is empty.
+void MaybeEmitTelemetryRun(const SweepOptions& options, std::ostream& log);
 
 struct AccuracyRow {
   std::string app;

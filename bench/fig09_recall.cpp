@@ -9,7 +9,7 @@
 int main(int argc, char** argv) {
   using namespace sds;
   bench::SweepOptions options;
-  if (!bench::ParseSweepFlags(argc, argv, options)) return 1;
+  if (!bench::ParseSweepFlags(argc, argv, options)) return options.help ? 0 : 1;
 
   bench::PrintBenchHeader(
       std::cout, "bench_fig09_recall",
@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
       "10th/90th percentile bars over seeded runs");
 
   const auto rows = bench::RunOrLoadAccuracySweep(options, std::cout);
+  bench::MaybeEmitTelemetryRun(options, std::cout);
 
   for (eval::AttackKind attack :
        {eval::AttackKind::kBusLock, eval::AttackKind::kLlcCleansing}) {

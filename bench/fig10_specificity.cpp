@@ -9,7 +9,7 @@
 int main(int argc, char** argv) {
   using namespace sds;
   bench::SweepOptions options;
-  if (!bench::ParseSweepFlags(argc, argv, options)) return 1;
+  if (!bench::ParseSweepFlags(argc, argv, options)) return options.help ? 0 : 1;
 
   bench::PrintBenchHeader(
       std::cout, "bench_fig10_specificity",
@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
       "with 10th/90th percentile bars over seeded runs");
 
   const auto rows = bench::RunOrLoadAccuracySweep(options, std::cout);
+  bench::MaybeEmitTelemetryRun(options, std::cout);
 
   double sds_sum = 0.0;
   double ks_sum = 0.0;

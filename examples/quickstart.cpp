@@ -5,6 +5,8 @@
 //   2. Profile the victim application while it is known clean.
 //   3. Attach the SDS detector and run: 60 s clean, then a bus locking
 //      attack — and watch the alarm fire.
+//   4. Read the detector's decision audit trail back out of the attached
+//      telemetry handle (the same data --telemetry_out + trace_inspect use).
 //
 // Build & run:  ./build/examples/quickstart
 #include <cstdio>
@@ -12,10 +14,15 @@
 #include "detect/sds_detector.h"
 #include "eval/experiment.h"
 #include "eval/scenario.h"
+#include "telemetry/telemetry.h"
 
 int main() {
   using namespace sds;
   const TickClock clock;  // 1 tick = T_PCM = 0.01 s of virtual time
+
+  // One telemetry handle for the whole run: attaching it to the machine
+  // config is the only wiring observability needs.
+  telemetry::Telemetry telemetry;
 
   // -- Stage 1: profile the application while the VM is known clean. ------
   eval::ScenarioConfig base;
@@ -36,6 +43,7 @@ int main() {
   cfg.attack = eval::AttackKind::kBusLock;
   cfg.attack_start = clock.ToTicks(60.0);
   cfg.seed = 42;
+  cfg.machine.telemetry = &telemetry;
   eval::Scenario scenario = eval::BuildScenario(cfg);
 
   detect::SdsDetector detector(*scenario.hypervisor, scenario.victim, profile,
@@ -61,5 +69,21 @@ int main() {
       "(detection delay %.1fs)\n",
       clock.ToSeconds(cfg.attack_start), clock.ToSeconds(alarm_tick),
       clock.ToSeconds(alarm_tick - cfg.attack_start));
+
+  // -- Why did it fire? Ask the audit log for the decisive check. ----------
+  for (const auto& rec : telemetry.audit().records()) {
+    if (!rec.alarm || !rec.violation || rec.tick != alarm_tick) continue;
+    std::printf(
+        "decisive %s %s check on %s: value %.0f outside [%.0f, %.0f] "
+        "by %.2f sigma-margins, %d consecutive violations\n",
+        rec.detector, rec.check, rec.channel, rec.value, rec.lower, rec.upper,
+        rec.margin, rec.consecutive);
+    break;
+  }
+  std::printf(
+      "(%llu events traced, %zu decisions audited; a full JSONL stream of "
+      "this is what bench --telemetry_out writes)\n",
+      static_cast<unsigned long long>(telemetry.tracer().emitted()),
+      telemetry.audit().size());
   return 0;
 }

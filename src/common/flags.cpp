@@ -6,8 +6,28 @@
 
 namespace sds {
 
-bool Flags::Parse(int argc, char** argv,
-                  const std::vector<std::string>& known) {
+void Flags::PrintUsage(std::FILE* out) const {
+  std::fprintf(out, "usage: %s [--flag[=value]] [positional...]\n",
+               program_.c_str());
+  std::size_t width = 4;  // "help"
+  for (const auto& spec : known_) width = std::max(width, spec.name.size());
+  for (const auto& spec : known_) {
+    std::fprintf(out, "  --%-*s  %s\n", static_cast<int>(width),
+                 spec.name.c_str(),
+                 spec.description.empty() ? "(no description)"
+                                          : spec.description.c_str());
+  }
+  std::fprintf(out, "  --%-*s  %s\n", static_cast<int>(width), "help",
+               "print this usage table and exit");
+}
+
+bool Flags::Parse(int argc, char** argv, const std::vector<FlagSpec>& known) {
+  known_ = known;
+  if (argc > 0 && argv[0] != nullptr) program_ = argv[0];
+  const auto is_known = [&](const std::string& name) {
+    return std::any_of(known_.begin(), known_.end(),
+                       [&](const FlagSpec& s) { return s.name == name; });
+  };
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--", 0) != 0) {
@@ -23,17 +43,24 @@ bool Flags::Parse(int argc, char** argv,
       value = arg.substr(eq + 1);
     } else {
       name = arg;
-      // --name value form, unless the next token is another flag or absent.
-      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      // --name value form, unless the next token is another flag, absent, or
+      // this is --help (which never takes a value).
+      if (name != "help" && i + 1 < argc &&
+          std::string(argv[i + 1]).rfind("--", 0) != 0) {
         value = argv[++i];
       } else {
         value = "true";
       }
     }
-    if (std::find(known.begin(), known.end(), name) == known.end()) {
-      std::fprintf(stderr, "unknown flag --%s; known flags:", name.c_str());
-      for (const auto& k : known) std::fprintf(stderr, " --%s", k.c_str());
-      std::fprintf(stderr, "\n");
+    if (name == "help") {
+      help_requested_ = true;
+      PrintUsage(stdout);
+      return false;
+    }
+    if (!is_known(name)) {
+      std::fprintf(stderr, "%s: unknown flag --%s\n", program_.c_str(),
+                   name.c_str());
+      PrintUsage(stderr);
       return false;
     }
     values_[name] = value;

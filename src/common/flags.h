@@ -1,8 +1,11 @@
-// Minimal command-line flag parsing for the bench/example binaries.
+// Minimal command-line flag parsing for the bench/example/tool binaries.
 //
-// Supports --name=value and --name value forms plus boolean --name. Unknown
-// flags are an error so typos in experiment sweeps fail loudly instead of
-// silently running the default configuration.
+// Supports --name=value and --name value forms plus boolean --name. Each
+// known flag is registered with a description; `--help` prints a usage table
+// and Parse returns false with help_requested() set, so binaries exit 0 on
+// help and nonzero on a real parse error. Unknown flags are an error so
+// typos in experiment sweeps fail loudly (and now print the table of what IS
+// known) instead of silently running the default configuration.
 #pragma once
 
 #include <map>
@@ -11,10 +14,29 @@
 
 namespace sds {
 
+// A registered flag. Implicitly constructible from a bare name so legacy
+// call sites (`flags.Parse(argc, argv, {"runs", "seed"})`) keep working;
+// prefer the {name, description} form so --help says something useful.
+struct FlagSpec {
+  FlagSpec(const char* flag_name) : name(flag_name) {}  // NOLINT(runtime/explicit)
+  FlagSpec(std::string flag_name) : name(std::move(flag_name)) {}  // NOLINT
+  FlagSpec(std::string flag_name, std::string flag_description)
+      : name(std::move(flag_name)), description(std::move(flag_description)) {}
+
+  std::string name;
+  std::string description;
+};
+
 class Flags {
  public:
-  // Parses argv. On error prints a message to stderr and returns false.
-  bool Parse(int argc, char** argv, const std::vector<std::string>& known);
+  // Parses argv. On error prints a message plus the usage table to stderr
+  // and returns false. On --help prints the usage table to stdout, sets
+  // help_requested() and returns false; callers should then exit 0:
+  //   if (!flags.Parse(...)) return flags.help_requested() ? 0 : 1;
+  bool Parse(int argc, char** argv, const std::vector<FlagSpec>& known);
+
+  // True when parsing stopped because --help was given.
+  bool help_requested() const { return help_requested_; }
 
   bool Has(const std::string& name) const;
   std::string GetString(const std::string& name,
@@ -26,8 +48,13 @@ class Flags {
   const std::vector<std::string>& positional() const { return positional_; }
 
  private:
+  void PrintUsage(std::FILE* out) const;
+
+  std::string program_ = "program";
+  std::vector<FlagSpec> known_;
   std::map<std::string, std::string> values_;
   std::vector<std::string> positional_;
+  bool help_requested_ = false;
 };
 
 }  // namespace sds

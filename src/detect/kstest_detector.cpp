@@ -4,8 +4,52 @@
 
 #include "common/check.h"
 #include "stats/ks_test.h"
+#include "telemetry/telemetry.h"
 
 namespace sds::detect {
+
+namespace tel = sds::telemetry;
+
+void KsTestDetector::TraceDetect(const char* name, std::int64_t owner,
+                                 const char* key, double value) {
+  tel::Telemetry* t = hypervisor_.telemetry();
+  if (!t || !t->tracer().enabled(tel::Layer::kDetect)) return;
+  tel::TraceEvent e =
+      tel::MakeEvent(hypervisor_.now(), tel::Layer::kDetect, name, owner);
+  e.Str("detector", "KStest");
+  if (key) e.Num(key, value);
+  t->tracer().Emit(e);
+}
+
+void KsTestDetector::AuditKsDecision(const char* channel, double p_value,
+                                     double statistic, int consecutive) {
+  tel::Telemetry* t = hypervisor_.telemetry();
+  if (!t) return;
+  tel::AuditRecord r;
+  r.tick = hypervisor_.now();
+  r.detector = "KStest";
+  r.check = "kstest";
+  r.channel = channel;
+  r.value = p_value;
+  // The test passes while the p-value stays in [alpha, 1]. Margin is the
+  // rejection depth relative to the significance level.
+  r.lower = params_.alpha;
+  r.upper = 1.0;
+  r.violation = p_value < params_.alpha;
+  r.margin = (params_.alpha - p_value) / params_.alpha;
+  r.consecutive = consecutive;
+  r.alarm = attack_active_;
+  t->audit().Append(r);
+  if (t->tracer().enabled(tel::Layer::kDetect)) {
+    t->tracer().Emit(tel::MakeEvent(r.tick, tel::Layer::kDetect,
+                                    "ks_decision")
+                         .Str("channel", channel)
+                         .Num("p_value", p_value)
+                         .Num("statistic", statistic)
+                         .Num("rejected", r.violation ? 1.0 : 0.0)
+                         .Num("consecutive", consecutive));
+  }
+}
 
 KsTestDetector::KsTestDetector(vm::Hypervisor& hypervisor, OwnerId target,
                                const KsTestParams& params,
@@ -36,6 +80,8 @@ void KsTestDetector::StartReference() {
   staging_miss_.clear();
   hypervisor_.ThrottleAllExcept(sampler_.target(), params_.w_r);
   sampler_.Start();
+  TraceDetect("reference_start", sampler_.target(), "window",
+              static_cast<double>(params_.w_r));
 }
 
 void KsTestDetector::StartMonitored() {
@@ -56,6 +102,8 @@ void KsTestDetector::FinishReference() {
   // decisions against the new one: restart the consecutive counts.
   consecutive_access_ = 0;
   consecutive_miss_ = 0;
+  TraceDetect("reference_ready", sampler_.target(), "samples",
+              static_cast<double>(ref_access_.size()));
 }
 
 void KsTestDetector::FinishMonitored() {
@@ -74,6 +122,8 @@ void KsTestDetector::FinishMonitored() {
 
   consecutive_access_ = d.rejected_access ? consecutive_access_ + 1 : 0;
   consecutive_miss_ = d.rejected_miss ? consecutive_miss_ + 1 : 0;
+  const int audit_consecutive_access = consecutive_access_;
+  const int audit_consecutive_miss = consecutive_miss_;
 
   // A fully passing test clears any standing alarm: the statistics are back
   // to the reference distribution.
@@ -99,10 +149,19 @@ void KsTestDetector::FinishMonitored() {
   }
 
   attack_active_ = identified_alarm_;
+
+  // Audit both channels once the decision (and any resulting alarm state
+  // short of a pending identification sweep) is settled.
+  AuditKsDecision("AccessNum", res_access.p_value, res_access.statistic,
+                  audit_consecutive_access);
+  AuditKsDecision("MissNum", res_miss.p_value, res_miss.statistic,
+                  audit_consecutive_miss);
 }
 
 void KsTestDetector::StartIdentification() {
   ++sweeps_;
+  TraceDetect("identification_start", sampler_.target(), "sweep",
+              static_cast<double>(sweeps_));
   candidates_.clear();
   for (OwnerId id = 1; id <= hypervisor_.vm_count(); ++id) {
     if (id != sampler_.target()) candidates_.push_back(id);
@@ -149,6 +208,7 @@ void KsTestDetector::FinishCandidate() {
     result.statistic = std::max(result.statistic, r.statistic);
   }
   candidate_results_.push_back(result);
+  TraceDetect("candidate_result", result.vm, "p_value", result.p_value);
   if (++candidate_index_ >= candidates_.size()) {
     FinishIdentification();
   } else {
@@ -189,6 +249,11 @@ void KsTestDetector::FinishIdentification() {
   attack_active_ = true;
   ++alarm_events_;
   last_trigger_ = suspicion_tick_;
+  TraceDetect("alarm_raised",
+              identified_attacker_ == 0
+                  ? -1
+                  : static_cast<std::int64_t>(identified_attacker_),
+              "suspicion_tick", static_cast<double>(suspicion_tick_));
 }
 
 void KsTestDetector::OnTick() {

@@ -89,6 +89,12 @@ class KsTestDetector final : public Detector {
     kIdentifyCollecting,
   };
 
+  // Decision auditing (no-ops when the hypervisor has no telemetry handle).
+  void AuditKsDecision(const char* channel, double p_value, double statistic,
+                       int consecutive);
+  void TraceDetect(const char* name, std::int64_t owner, const char* key,
+                   double value);
+
   void StartReference();
   void StartMonitored();
   void FinishReference();

@@ -60,6 +60,8 @@ class PeriodAnalyzer {
   int consecutive_abnormal() const { return consecutive_; }
   const PeriodProfile& profile() const { return profile_; }
   std::size_t window_size() const { return window_size_; }
+  // Relative deviation from the profiled period considered abnormal.
+  double tolerance() const { return params_.period_tolerance; }
 
   // Full log of the checks performed (Figure 8(b) is exactly this series).
   const std::vector<PeriodCheck>& checks() const { return checks_; }

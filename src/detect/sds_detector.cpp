@@ -1,8 +1,14 @@
 #include "detect/sds_detector.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "common/check.h"
+#include "telemetry/telemetry.h"
 
 namespace sds::detect {
+
+namespace tel = sds::telemetry;
 
 const char* SdsModeName(SdsMode mode) {
   switch (mode) {
@@ -19,7 +25,8 @@ const char* SdsModeName(SdsMode mode) {
 SdsDetector::SdsDetector(vm::Hypervisor& hypervisor, OwnerId target,
                          const SdsProfile& profile,
                          const DetectorParams& params, SdsMode mode)
-    : sampler_(hypervisor, target),
+    : hypervisor_(hypervisor),
+      sampler_(hypervisor, target),
       mode_(mode),
       name_(SdsModeName(mode)),
       profile_periodic_(profile.periodic()) {
@@ -38,19 +45,115 @@ SdsDetector::SdsDetector(vm::Hypervisor& hypervisor, OwnerId target,
   sampler_.Start();
 }
 
+void SdsDetector::AuditBoundary(Tick tick, const char* channel,
+                                const BoundaryAnalyzer& analyzer, double ewma,
+                                bool alarm) {
+  tel::Telemetry* t = hypervisor_.telemetry();
+  if (!t) return;
+  tel::AuditRecord r;
+  r.tick = tick;
+  r.detector = SdsModeName(mode_);
+  r.check = "boundary";
+  r.channel = channel;
+  r.value = ewma;
+  r.lower = analyzer.lower_bound();
+  r.upper = analyzer.upper_bound();
+  r.violation = ewma < r.lower || ewma > r.upper;
+  // Margin in clean-profile sigma units: how far beyond the Chebyshev bound
+  // the EWMA value sits (negative = inside, with that much headroom).
+  const double sigma = std::max(analyzer.profile().stddev, 1e-12);
+  const double outside = std::max(r.lower - ewma, ewma - r.upper);
+  r.margin = outside / sigma;
+  r.consecutive = analyzer.consecutive_violations();
+  r.alarm = alarm;
+  t->audit().Append(r);
+  if (t->tracer().enabled(tel::Layer::kDetect)) {
+    t->tracer().Emit(tel::MakeEvent(tick, tel::Layer::kDetect,
+                                    "boundary_check")
+                         .Str("channel", channel)
+                         .Num("ewma", ewma)
+                         .Num("violation", r.violation ? 1.0 : 0.0)
+                         .Num("consecutive", r.consecutive));
+  }
+}
+
+void SdsDetector::AuditPeriod(Tick tick, const char* channel,
+                              const PeriodAnalyzer& analyzer,
+                              const PeriodCheck& check, bool alarm) {
+  tel::Telemetry* t = hypervisor_.telemetry();
+  if (!t) return;
+  const double nominal = analyzer.profile().period;
+  tel::AuditRecord r;
+  r.tick = tick;
+  r.detector = SdsModeName(mode_);
+  r.check = "period";
+  r.channel = channel;
+  r.value = check.period.value_or(0.0);
+  r.lower = nominal * (1.0 - analyzer.tolerance());
+  r.upper = nominal * (1.0 + analyzer.tolerance());
+  r.violation = check.abnormal;
+  // Margin as relative period deviation beyond the tolerance band; an
+  // undetectable period is maximally abnormal.
+  if (check.period.has_value() && nominal > 0.0) {
+    r.margin =
+        std::fabs(*check.period - nominal) / nominal - analyzer.tolerance();
+  } else {
+    r.margin = 1.0;
+  }
+  r.consecutive = analyzer.consecutive_abnormal();
+  r.alarm = alarm;
+  t->audit().Append(r);
+  if (t->tracer().enabled(tel::Layer::kDetect)) {
+    t->tracer().Emit(tel::MakeEvent(tick, tel::Layer::kDetect, "period_check")
+                         .Str("channel", channel)
+                         .Num("period", r.value)
+                         .Num("abnormal", r.violation ? 1.0 : 0.0)
+                         .Num("consecutive", r.consecutive));
+  }
+}
+
 void SdsDetector::OnTick() {
   const pcm::PcmSample s = sampler_.Sample();
   const auto access = static_cast<double>(s.access_num);
   const auto miss = static_cast<double>(s.miss_num);
-  b_access_->Observe(access);
-  b_miss_->Observe(miss);
-  if (p_access_) p_access_->Observe(access);
-  if (p_miss_) p_miss_->Observe(miss);
+  const auto ewma_access = b_access_->Observe(access);
+  const auto ewma_miss = b_miss_->Observe(miss);
+  std::optional<PeriodCheck> check_access, check_miss;
+  if (p_access_) check_access = p_access_->Observe(access);
+  if (p_miss_) check_miss = p_miss_->Observe(miss);
 
   const bool active = attack_active();
+
+  // Audit every decision made this tick. EWMA windows on both channels
+  // complete together (same W/dW), so this is one audit pair per decision
+  // interval.
+  if (ewma_access) AuditBoundary(s.tick, "AccessNum", *b_access_,
+                                 *ewma_access, active);
+  if (ewma_miss) AuditBoundary(s.tick, "MissNum", *b_miss_, *ewma_miss,
+                               active);
+  if (check_access) AuditPeriod(s.tick, "AccessNum", *p_access_,
+                                *check_access, active);
+  if (check_miss) AuditPeriod(s.tick, "MissNum", *p_miss_, *check_miss,
+                              active);
+
   if (active && !was_active_) {
     ++alarm_events_;
     last_trigger_ = s.tick;
+    tel::Telemetry* t = hypervisor_.telemetry();
+    if (t && t->tracer().enabled(tel::Layer::kDetect)) {
+      t->tracer().Emit(tel::MakeEvent(s.tick, tel::Layer::kDetect,
+                                      "alarm_raised")
+                           .Str("detector", SdsModeName(mode_))
+                           .Num("boundary_active", boundary_active() ? 1 : 0)
+                           .Num("period_active", period_active() ? 1 : 0));
+    }
+  } else if (!active && was_active_) {
+    tel::Telemetry* t = hypervisor_.telemetry();
+    if (t && t->tracer().enabled(tel::Layer::kDetect)) {
+      t->tracer().Emit(tel::MakeEvent(s.tick, tel::Layer::kDetect,
+                                      "alarm_cleared")
+                           .Str("detector", SdsModeName(mode_)));
+    }
   }
   was_active_ = active;
 }

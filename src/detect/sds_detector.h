@@ -55,6 +55,15 @@ class SdsDetector final : public Detector {
   SdsMode mode() const { return mode_; }
 
  private:
+  // Decision auditing (no-ops when the hypervisor has no telemetry handle).
+  void AuditBoundary(Tick tick, const char* channel,
+                     const BoundaryAnalyzer& analyzer, double ewma,
+                     bool alarm);
+  void AuditPeriod(Tick tick, const char* channel,
+                   const PeriodAnalyzer& analyzer, const PeriodCheck& check,
+                   bool alarm);
+
+  vm::Hypervisor& hypervisor_;
   pcm::PcmSampler sampler_;
   SdsMode mode_;
   std::string name_;

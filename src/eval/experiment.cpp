@@ -1,18 +1,70 @@
 #include "eval/experiment.h"
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
 
 #include "common/check.h"
 #include "detect/sds_detector.h"
+#include "telemetry/telemetry.h"
 #include "workloads/catalog.h"
 
 namespace sds::eval {
 namespace {
 
+namespace tel = sds::telemetry;
+
 // Ticks run before any sampling so cold-cache transients do not pollute
 // profiles or ground truth.
 constexpr Tick kWarmupTicks = 500;
+
+// Emits eval-layer stage begin/end events carrying per-stage wall-clock time
+// and simulated-tick throughput, so experiment time budgets are visible in
+// the same stream as the simulator's own events. No-op without telemetry.
+class StageSpan {
+ public:
+  StageSpan(tel::Telemetry* t, const char* stage, Tick start_tick)
+      : telemetry_(t), stage_(stage), start_tick_(start_tick) {
+    if (!telemetry_) return;
+    if (telemetry_->tracer().enabled(tel::Layer::kEval)) {
+      telemetry_->tracer().Emit(
+          tel::MakeEvent(start_tick_, tel::Layer::kEval, "stage_begin")
+              .Str("stage", stage_));
+    }
+    start_ = std::chrono::steady_clock::now();
+  }
+
+  void Finish(Tick end_tick) {
+    if (!telemetry_ || finished_) return;
+    finished_ = true;
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start_)
+            .count();
+    const double ticks = static_cast<double>(end_tick - start_tick_);
+    if (telemetry_->tracer().enabled(tel::Layer::kEval)) {
+      telemetry_->tracer().Emit(
+          tel::MakeEvent(end_tick, tel::Layer::kEval, "stage_end")
+              .Str("stage", stage_)
+              .Num("ticks", ticks)
+              .Num("wall_ms", wall_ms)
+              .Num("ticks_per_sec",
+                   wall_ms > 0.0 ? ticks / (wall_ms / 1000.0) : 0.0));
+    }
+    telemetry_->metrics()
+        .GetGauge(std::string("eval.stage.") + stage_ + ".wall_ms")
+        ->Set(wall_ms);
+  }
+
+  ~StageSpan() { Finish(start_tick_); }
+
+ private:
+  tel::Telemetry* telemetry_;
+  const char* stage_;
+  Tick start_tick_;
+  bool finished_ = false;
+  std::chrono::steady_clock::time_point start_;
+};
 
 detect::SdsMode ModeFor(Scheme scheme) {
   switch (scheme) {
@@ -102,12 +154,14 @@ DetectionRunResult RunDetectionRun(const DetectionRunConfig& config,
   Rng rng(seed);
   const std::uint64_t profile_seed = rng();
   const std::uint64_t main_seed = rng();
+  tel::Telemetry* telemetry = config.scenario.machine.telemetry;
 
   DetectionRunResult result;
 
   // Stage 1: profile (SDS schemes only; KStest self-calibrates online).
   detect::SdsProfile profile;
   if (config.scheme != Scheme::kKsTest) {
+    StageSpan span(telemetry, "profile", 0);
     ScenarioConfig base = config.scenario;
     base.app = config.app;
     const auto clean =
@@ -121,6 +175,7 @@ DetectionRunResult RunDetectionRun(const DetectionRunConfig& config,
       SDS_CHECK(profile.periodic(),
                 "SDS/P requested for a non-periodic application");
     }
+    span.Finish(config.profile_ticks);
   }
 
   // Stages 2 + 3: clean then attacked.
@@ -148,6 +203,7 @@ DetectionRunResult RunDetectionRun(const DetectionRunConfig& config,
   }
 
   // Stage 2: clean. Specificity over fixed decision intervals.
+  StageSpan clean_span(telemetry, "clean", s.hypervisor->now());
   bool interval_false_positive = false;
   Tick interval_elapsed = 0;
   for (Tick t = 0; t < config.clean_ticks; ++t) {
@@ -164,6 +220,7 @@ DetectionRunResult RunDetectionRun(const DetectionRunConfig& config,
       interval_elapsed = 0;
     }
   }
+  clean_span.Finish(s.hypervisor->now());
 
   // Stage 3: under attack. The first NEW alarm event gives the detection
   // delay; a false-positive alarm state latched across the attack start must
@@ -174,6 +231,7 @@ DetectionRunResult RunDetectionRun(const DetectionRunConfig& config,
   const std::uint64_t events_at_attack_start = detector->alarm_events();
   const bool active_at_attack_start = detector->attack_active();
   bool ever_inactive_during_attack = false;
+  StageSpan attack_span(telemetry, "attack", s.hypervisor->now());
   for (Tick t = 0; t < config.attack_ticks; ++t) {
     s.hypervisor->RunTick();
     detector->OnTick();
@@ -185,10 +243,21 @@ DetectionRunResult RunDetectionRun(const DetectionRunConfig& config,
       result.detection_delay_ticks = s.hypervisor->now() - attack_start;
     }
   }
+  attack_span.Finish(s.hypervisor->now());
   if (!result.detected && active_at_attack_start &&
       !ever_inactive_during_attack) {
     result.detected = true;
     result.detection_delay_ticks = 0;
+  }
+  if (telemetry && telemetry->tracer().enabled(tel::Layer::kEval)) {
+    telemetry->tracer().Emit(
+        tel::MakeEvent(s.hypervisor->now(), tel::Layer::kEval, "run_result")
+            .Str("scheme", SchemeName(config.scheme))
+            .Num("detected", result.detected ? 1.0 : 0.0)
+            .Num("delay_ticks",
+                 static_cast<double>(result.detection_delay_ticks.value_or(-1)))
+            .Num("false_positive_intervals", result.false_positive_intervals)
+            .Num("true_negative_intervals", result.true_negative_intervals));
   }
   return result;
 }

@@ -1,24 +1,41 @@
 #include "pcm/pcm_sampler.h"
 
 #include "common/check.h"
+#include "telemetry/telemetry.h"
 
 namespace sds::pcm {
+
+namespace tel = sds::telemetry;
 
 const char* ChannelName(Channel c) {
   return c == Channel::kAccessNum ? "AccessNum" : "MissNum";
 }
 
 PcmSampler::PcmSampler(vm::Hypervisor& hypervisor, OwnerId target)
-    : hypervisor_(hypervisor), target_(target) {}
+    : hypervisor_(hypervisor), target_(target) {
+  if (tel::Telemetry* t = hypervisor_.telemetry()) {
+    t_samples_ = t->metrics().GetCounter("pcm.samples");
+    t_sessions_ = t->metrics().GetCounter("pcm.monitor_sessions");
+  }
+}
 
 PcmSampler::~PcmSampler() {
   if (started_) Stop();
+}
+
+void PcmSampler::TracePcm(const char* name) {
+  tel::Telemetry* t = hypervisor_.telemetry();
+  if (!t || !t->tracer().enabled(tel::Layer::kPcm)) return;
+  t->tracer().Emit(tel::MakeEvent(hypervisor_.now(), tel::Layer::kPcm, name,
+                                  target_));
 }
 
 void PcmSampler::Start() {
   SDS_CHECK(!started_, "sampler already started");
   started_ = true;
   hypervisor_.AttachMonitor();
+  if (t_sessions_) t_sessions_->Add();
+  TracePcm("sampler_start");
   // Align deltas with the start of monitoring.
   const sim::OwnerCounters& c = hypervisor_.machine().counters(target_);
   last_accesses_ = c.llc_accesses;
@@ -29,6 +46,7 @@ void PcmSampler::Stop() {
   SDS_CHECK(started_, "sampler not started");
   started_ = false;
   hypervisor_.DetachMonitor();
+  TracePcm("sampler_stop");
 }
 
 PcmSample PcmSampler::Sample() {
@@ -40,6 +58,16 @@ PcmSample PcmSampler::Sample() {
   s.miss_num = c.llc_misses - last_misses_;
   last_accesses_ = c.llc_accesses;
   last_misses_ = c.llc_misses;
+  if (t_samples_) {
+    t_samples_->Add();
+    tel::Telemetry* t = hypervisor_.telemetry();
+    if (t->tracer().enabled(tel::Layer::kPcm)) {
+      t->tracer().Emit(tel::MakeEvent(s.tick, tel::Layer::kPcm, "sample",
+                                      target_)
+                           .Num("access_num", static_cast<double>(s.access_num))
+                           .Num("miss_num", static_cast<double>(s.miss_num)));
+    }
+  }
   return s;
 }
 

@@ -62,11 +62,16 @@ class PcmSampler {
   OwnerId target() const { return target_; }
 
  private:
+  void TracePcm(const char* name);
+
   vm::Hypervisor& hypervisor_;
   OwnerId target_;
   bool started_ = false;
   std::uint64_t last_accesses_ = 0;
   std::uint64_t last_misses_ = 0;
+  // Telemetry instrument slots (resolved from the hypervisor's handle).
+  telemetry::Counter* t_samples_ = nullptr;
+  telemetry::Counter* t_sessions_ = nullptr;
 };
 
 // Convenience: runs the hypervisor for `ticks` ticks with the sampler

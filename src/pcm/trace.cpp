@@ -69,4 +69,71 @@ std::optional<std::vector<PcmSample>> ReadTraceFile(const std::string& path) {
   return ReadTrace(in);
 }
 
+namespace {
+
+// Extracts the unsigned integer following `"key":` in a flat JSON line.
+bool JsonField(std::string_view line, std::string_view key,
+               std::uint64_t& out) {
+  std::string needle = "\"";
+  needle.append(key);
+  needle.append("\":");
+  const auto pos = line.find(needle);
+  if (pos == std::string_view::npos) return false;
+  auto rest = line.substr(pos + needle.size());
+  std::size_t end = 0;
+  while (end < rest.size() && rest[end] >= '0' && rest[end] <= '9') ++end;
+  return end > 0 && ParseField(rest.substr(0, end), out);
+}
+
+bool IsPcmSampleLine(std::string_view line) {
+  return line.find("\"layer\":\"pcm\"") != std::string_view::npos &&
+         line.find("\"event\":\"sample\"") != std::string_view::npos;
+}
+
+}  // namespace
+
+bool WriteTraceJsonl(std::ostream& os, std::span<const PcmSample> samples) {
+  for (const auto& s : samples) {
+    os << "{\"type\":\"event\",\"tick\":" << s.tick
+       << ",\"layer\":\"pcm\",\"event\":\"sample\",\"access_num\":"
+       << s.access_num << ",\"miss_num\":" << s.miss_num << "}\n";
+  }
+  return static_cast<bool>(os);
+}
+
+bool WriteTraceJsonlFile(const std::string& path,
+                         std::span<const PcmSample> samples) {
+  std::ofstream out(path);
+  if (!out) return false;
+  return WriteTraceJsonl(out, samples);
+}
+
+std::optional<std::vector<PcmSample>> ReadTraceJsonl(std::istream& is) {
+  std::vector<PcmSample> samples;
+  Tick last_tick = kInvalidTick;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || !IsPcmSampleLine(line)) continue;
+    std::uint64_t tick = 0;
+    PcmSample s;
+    if (!JsonField(line, "tick", tick) ||
+        !JsonField(line, "access_num", s.access_num) ||
+        !JsonField(line, "miss_num", s.miss_num)) {
+      return std::nullopt;
+    }
+    s.tick = static_cast<Tick>(tick);
+    if (last_tick != kInvalidTick && s.tick <= last_tick) return std::nullopt;
+    last_tick = s.tick;
+    samples.push_back(s);
+  }
+  return samples;
+}
+
+std::optional<std::vector<PcmSample>> ReadTraceJsonlFile(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  return ReadTraceJsonl(in);
+}
+
 }  // namespace sds::pcm

@@ -29,4 +29,21 @@ bool WriteTraceFile(const std::string& path,
 std::optional<std::vector<PcmSample>> ReadTrace(std::istream& is);
 std::optional<std::vector<PcmSample>> ReadTraceFile(const std::string& path);
 
+// JSONL export: one telemetry-format event line per sample,
+//   {"type":"event","tick":N,"layer":"pcm","event":"sample",
+//    "access_num":A,"miss_num":M}
+// so recorded traces and live telemetry streams share one tooling format
+// (tools/trace_inspect reads both). Returns false on I/O failure.
+bool WriteTraceJsonl(std::ostream& os, std::span<const PcmSample> samples);
+bool WriteTraceJsonlFile(const std::string& path,
+                         std::span<const PcmSample> samples);
+
+// Parses the pcm "sample" event lines out of a JSONL stream — either a file
+// written by WriteTraceJsonl or a full Telemetry::WriteJsonl stream (other
+// line types are skipped). Returns nullopt on a malformed sample line or
+// non-increasing ticks.
+std::optional<std::vector<PcmSample>> ReadTraceJsonl(std::istream& is);
+std::optional<std::vector<PcmSample>> ReadTraceJsonlFile(
+    const std::string& path);
+
 }  // namespace sds::pcm

@@ -17,6 +17,12 @@
 #include "sim/cache.h"
 #include "sim/dram.h"
 
+namespace sds::telemetry {
+class Telemetry;
+class Counter;
+class Histogram;
+}  // namespace sds::telemetry
+
 namespace sds::sim {
 
 struct MachineConfig {
@@ -25,6 +31,11 @@ struct MachineConfig {
   DramConfig dram;
   // Highest owner id (exclusive) the counter file is sized for.
   OwnerId max_owners = 32;
+  // Optional observability handle (not owned; must outlive the machine).
+  // Everything running on this machine — hypervisor, samplers, detectors —
+  // shares this one handle, so wiring a run for telemetry is this single
+  // assignment. nullptr (the default) disables all instrumentation.
+  telemetry::Telemetry* telemetry = nullptr;
 };
 
 struct OwnerCounters {
@@ -48,6 +59,7 @@ enum class AccessOutcome : std::uint8_t {
 class Machine {
  public:
   explicit Machine(const MachineConfig& config);
+  ~Machine();
 
   // Advances the machine to the next tick, refilling the bus budget.
   void BeginTick();
@@ -73,8 +85,24 @@ class Machine {
   const Dram& dram() const { return dram_; }
   const MachineConfig& config() const { return config_; }
 
+  // The shared observability handle (nullptr when detached).
+  telemetry::Telemetry* telemetry() const { return config_.telemetry; }
+
  private:
   AccessOutcome FinishAccess(OwnerId owner, LineAddr addr);
+  void RecordStall(OwnerId owner);
+
+  // Cold instrumentation paths, out of line so the access fast path stays
+  // compact. Only ever called when instrumented_ is true. Counter-style
+  // metrics (hits/misses/stalls/atomic ops) are NOT updated per access;
+  // SyncTelemetry folds the per-owner counter deltas into the registry once
+  // per tick, so the uninstrumented per-access cost is zero and the
+  // instrumented cost is one saturating pass over the counter file per tick.
+  void SyncTelemetry();
+  void InstrumentMiss(OwnerId owner, LineAddr addr, bool evicted_valid,
+                      OwnerId evicted_owner, double latency);
+  void InstrumentAtomic(OwnerId owner);
+  void InstrumentStall(OwnerId owner);
 
   MachineConfig config_;
   LastLevelCache cache_;
@@ -82,6 +110,28 @@ class Machine {
   Dram dram_;
   std::vector<OwnerCounters> counters_;
   Tick now_ = 0;
+
+  // True when config_.telemetry is attached; the ONLY telemetry cost on the
+  // hot path is testing this flag.
+  bool instrumented_ = false;
+  // First bus saturation already traced this tick (one event per tick).
+  bool saturation_traced_ = false;
+
+  // Instrument slots, resolved once at construction (nullptr when detached).
+  telemetry::Counter* t_ticks_ = nullptr;
+  telemetry::Counter* t_hits_ = nullptr;
+  telemetry::Counter* t_misses_ = nullptr;
+  telemetry::Counter* t_cross_evictions_ = nullptr;
+  telemetry::Counter* t_atomic_locks_ = nullptr;
+  telemetry::Counter* t_stalls_ = nullptr;
+  telemetry::Counter* t_saturated_ticks_ = nullptr;
+  telemetry::Counter* t_dram_reads_ = nullptr;
+  telemetry::Histogram* t_dram_latency_ = nullptr;
+  // Totals already folded into the registry by SyncTelemetry.
+  std::uint64_t synced_accesses_ = 0;
+  std::uint64_t synced_misses_ = 0;
+  std::uint64_t synced_atomic_ops_ = 0;
+  std::uint64_t synced_stalls_ = 0;
 };
 
 }  // namespace sds::sim

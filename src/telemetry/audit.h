@@ -1,0 +1,66 @@
+// Detector decision audit log.
+//
+// Every decision a detector makes — each SDS/B EWMA boundary check, each
+// SDS/P period re-estimation, each KStest two-sample test — is recorded with
+// its INPUTS (the value under test, the accepted range), its VERDICT and its
+// MARGIN, so a recall/specificity/delay number in bench/fig09–fig11 can be
+// explained sample by sample instead of being a bare aggregate.
+//
+// Margin convention: signed distance to the decision boundary, normalized to
+// the check's own scale; POSITIVE means the check violated (the value sits
+// margin units beyond the accepted range), negative means it passed with
+// that much headroom. A margin of exactly 0 sits on the boundary.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "common/types.h"
+
+namespace sds::telemetry {
+
+struct AuditRecord {
+  Tick tick = 0;
+  // Detector instance name ("SDS", "SDS/B", "KStest", ...); string literal
+  // or otherwise outliving the log.
+  const char* detector = "";
+  // Which check ran: "boundary" (SDS/B), "period" (SDS/P), "kstest".
+  const char* check = "";
+  // Statistic channel the check consumed ("AccessNum" / "MissNum").
+  const char* channel = "";
+  // The value under test: the new EWMA value (boundary), the computed period
+  // in MA steps (period; 0 when none was detectable), the KS p-value.
+  double value = 0.0;
+  // Accepted range the value was tested against: [mu-k*sigma, mu+k*sigma]
+  // for boundary, the +-tolerance band around the profiled period for
+  // period, [alpha, 1] for the KS p-value.
+  double lower = 0.0;
+  double upper = 0.0;
+  double margin = 0.0;
+  bool violation = false;
+  // Consecutive violations on this channel AFTER this check.
+  int consecutive = 0;
+  // Detector-level alarm state AFTER this check was absorbed.
+  bool alarm = false;
+};
+
+class AuditLog {
+ public:
+  void Append(const AuditRecord& record) { records_.push_back(record); }
+
+  const std::vector<AuditRecord>& records() const { return records_; }
+  std::size_t size() const { return records_.size(); }
+  void Clear() { records_.clear(); }
+
+  // One JSONL line per record:
+  //   {"type":"audit","tick":...,"detector":"SDS","check":"boundary",...}
+  void WriteJsonl(std::ostream& os) const;
+
+ private:
+  std::vector<AuditRecord> records_;
+};
+
+void WriteAuditJson(std::ostream& os, const AuditRecord& record);
+
+}  // namespace sds::telemetry

@@ -1,0 +1,78 @@
+#include "telemetry/metrics.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/check.h"
+
+namespace sds::telemetry {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  SDS_CHECK(!bounds_.empty(), "histogram needs at least one bucket bound");
+  SDS_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()),
+            "histogram bounds must be sorted");
+  buckets_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::Observe(double value) {
+  std::size_t i = 0;
+  while (i < bounds_.size() && value > bounds_[i]) ++i;
+  ++buckets_[i];
+  ++count_;
+  sum_ += value;
+}
+
+std::vector<double> LatencyNsBounds() {
+  return {50.0, 80.0, 120.0, 200.0, 400.0, 800.0, 1600.0, 6400.0};
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  const auto it = counter_index_.find(name);
+  if (it != counter_index_.end()) return &counters_[it->second];
+  counter_index_[name] = counters_.size();
+  return &counters_.emplace_back();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  const auto it = gauge_index_.find(name);
+  if (it != gauge_index_.end()) return &gauges_[it->second];
+  gauge_index_[name] = gauges_.size();
+  return &gauges_.emplace_back();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds) {
+  const auto it = histogram_index_.find(name);
+  if (it != histogram_index_.end()) return &histograms_[it->second];
+  histogram_index_[name] = histograms_.size();
+  return &histograms_.emplace_back(std::move(bounds));
+}
+
+void MetricsRegistry::WriteJsonl(std::ostream& os) const {
+  for (const auto& [name, idx] : counter_index_) {
+    os << "{\"type\":\"metric\",\"metric\":\"counter\",\"name\":\"" << name
+       << "\",\"value\":" << counters_[idx].value() << "}\n";
+  }
+  for (const auto& [name, idx] : gauge_index_) {
+    os << "{\"type\":\"metric\",\"metric\":\"gauge\",\"name\":\"" << name
+       << "\",\"value\":" << gauges_[idx].value() << "}\n";
+  }
+  for (const auto& [name, idx] : histogram_index_) {
+    const Histogram& h = histograms_[idx];
+    os << "{\"type\":\"metric\",\"metric\":\"histogram\",\"name\":\"" << name
+       << "\",\"count\":" << h.count() << ",\"sum\":" << h.sum()
+       << ",\"bounds\":[";
+    for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+      if (i) os << ',';
+      os << h.bounds()[i];
+    }
+    os << "],\"buckets\":[";
+    for (std::size_t i = 0; i < h.buckets().size(); ++i) {
+      if (i) os << ',';
+      os << h.buckets()[i];
+    }
+    os << "]}\n";
+  }
+}
+
+}  // namespace sds::telemetry

@@ -4,8 +4,11 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "telemetry/telemetry.h"
 
 namespace sds::vm {
+
+namespace tel = sds::telemetry;
 
 Hypervisor::Hypervisor(sim::Machine& machine, const HypervisorConfig& config,
                        Rng rng)
@@ -14,6 +17,23 @@ Hypervisor::Hypervisor(sim::Machine& machine, const HypervisorConfig& config,
   SDS_CHECK(config.monitor_load_fraction >= 0.0 &&
                 config.monitor_load_fraction < 1.0,
             "monitor load fraction must be in [0, 1)");
+  if (tel::Telemetry* t = machine_.telemetry()) {
+    tel::MetricsRegistry& m = t->metrics();
+    t_scheduled_ops_ = m.GetCounter("vm.scheduled_ops");
+    t_monitor_dropped_ = m.GetCounter("vm.monitor_dropped_ops");
+    t_throttle_windows_ = m.GetCounter("vm.throttle_windows");
+    t_runnable_vms_ = m.GetGauge("vm.runnable_vms");
+  }
+}
+
+void Hypervisor::TraceEventVm(const char* name, std::int64_t owner,
+                              const char* key, double value) {
+  tel::Telemetry* t = machine_.telemetry();
+  if (!t || !t->tracer().enabled(tel::Layer::kVm)) return;
+  tel::TraceEvent e =
+      tel::MakeEvent(machine_.now(), tel::Layer::kVm, name, owner);
+  if (key) e.Num(key, value);
+  t->tracer().Emit(e);
 }
 
 OwnerId Hypervisor::CreateVm(std::string name,
@@ -24,6 +44,7 @@ OwnerId Hypervisor::CreateVm(std::string name,
   vms_.push_back(std::make_unique<VirtualMachine>(
       id, std::move(name), std::move(workload), rng_.Fork()));
   vm_throttle_remaining_.push_back(0);
+  TraceEventVm("vm_created", id, nullptr, 0.0);
   return id;
 }
 
@@ -31,6 +52,8 @@ void Hypervisor::ThrottleVm(OwnerId id, Tick duration) {
   SDS_CHECK(id >= 1 && id <= vms_.size(), "no such VM");
   SDS_CHECK(duration > 0, "throttle duration must be positive");
   vm_throttle_remaining_[id - 1] = duration;
+  if (t_throttle_windows_) t_throttle_windows_->Add();
+  TraceEventVm("throttle_vm", id, "duration", static_cast<double>(duration));
 }
 
 bool Hypervisor::vm_throttled(OwnerId id) const {
@@ -52,11 +75,22 @@ void Hypervisor::ThrottleAllExcept(OwnerId protected_vm, Tick duration) {
   SDS_CHECK(duration > 0, "throttle duration must be positive");
   throttle_protected_ = protected_vm;
   throttle_remaining_ = duration;
+  if (t_throttle_windows_) t_throttle_windows_->Add();
+  TraceEventVm("throttle_all_except", protected_vm, "duration",
+               static_cast<double>(duration));
+}
+
+void Hypervisor::AttachMonitor() {
+  ++active_monitors_;
+  TraceEventVm("monitor_attach", -1, "active",
+               static_cast<double>(active_monitors_));
 }
 
 void Hypervisor::DetachMonitor() {
   SDS_CHECK(active_monitors_ > 0, "no monitor attached");
   --active_monitors_;
+  TraceEventVm("monitor_detach", -1, "active",
+               static_cast<double>(active_monitors_));
 }
 
 void Hypervisor::RunTick() {
@@ -86,7 +120,13 @@ void Hypervisor::RunTick() {
     v->workload().BeginTick(machine_.now());
     slots.push_back(Slot{v.get()});
   }
+  if (t_runnable_vms_) {
+    t_runnable_vms_->Set(static_cast<double>(slots.size()));
+  }
   if (slots.empty()) return;
+
+  std::uint64_t ops_this_tick = 0;
+  std::uint64_t dropped_this_tick = 0;
 
   // Round-robin service in chunks, starting from a rotating offset.
   const std::size_t start =
@@ -105,10 +145,12 @@ void Hypervisor::RunTick() {
           slot.exhausted = true;
           break;
         }
+        ++ops_this_tick;
         if (drop_probability > 0.0 && rng_.Bernoulli(drop_probability)) {
           // Cycles stolen by the monitoring agent: the op is deferred and
           // does not execute this tick.
           ++monitor_dropped_ops_;
+          ++dropped_this_tick;
           w.OnOutcome(op, sim::AccessOutcome::kStalled);
           continue;
         }
@@ -123,6 +165,11 @@ void Hypervisor::RunTick() {
       }
       if (!slot.exhausted) ++remaining;
     }
+  }
+
+  if (t_scheduled_ops_) {
+    t_scheduled_ops_->Add(ops_this_tick);
+    t_monitor_dropped_->Add(dropped_this_tick);
   }
 }
 

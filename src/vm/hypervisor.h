@@ -25,6 +25,11 @@
 #include "sim/machine.h"
 #include "vm/vm.h"
 
+namespace sds::telemetry {
+class Counter;
+class Gauge;
+}  // namespace sds::telemetry
+
 namespace sds::vm {
 
 struct HypervisorConfig {
@@ -67,13 +72,21 @@ class Hypervisor {
 
   // -- Monitoring-load model ------------------------------------------------
   // Monitors register/deregister themselves; load stacks if several run.
-  void AttachMonitor() { ++active_monitors_; }
+  void AttachMonitor();
   void DetachMonitor();
   int active_monitors() const { return active_monitors_; }
   // Total operations deferred by the monitoring-load model.
   std::uint64_t monitor_dropped_ops() const { return monitor_dropped_ops_; }
 
+  // The machine's observability handle (nullptr when detached), so samplers
+  // and detectors constructed on this hypervisor find it without extra
+  // plumbing.
+  telemetry::Telemetry* telemetry() const { return machine_.telemetry(); }
+
  private:
+  void TraceEventVm(const char* name, std::int64_t owner, const char* key,
+                    double value);
+
   sim::Machine& machine_;
   HypervisorConfig config_;
   Rng rng_;
@@ -84,6 +97,12 @@ class Hypervisor {
   std::vector<Tick> vm_throttle_remaining_;
   int active_monitors_ = 0;
   std::uint64_t monitor_dropped_ops_ = 0;
+
+  // Telemetry instrument slots (see sim::Machine for the wiring pattern).
+  telemetry::Counter* t_scheduled_ops_ = nullptr;
+  telemetry::Counter* t_monitor_dropped_ = nullptr;
+  telemetry::Counter* t_throttle_windows_ = nullptr;
+  telemetry::Gauge* t_runnable_vms_ = nullptr;
 };
 
 }  // namespace sds::vm

@@ -74,5 +74,41 @@ TEST(FlagsTest, DoubleParsing) {
   EXPECT_DOUBLE_EQ(f.GetDouble("alpha", 0.0), 0.25);
 }
 
+TEST(FlagsTest, HelpStopsParsingAndSetsHelpRequested) {
+  std::vector<std::string> args = {"prog", "--help"};
+  auto argv = MakeArgv(args);
+  Flags f;
+  EXPECT_FALSE(f.Parse(static_cast<int>(argv.size()), argv.data(),
+                       {{"runs", "number of runs"}}));
+  EXPECT_TRUE(f.help_requested());
+}
+
+TEST(FlagsTest, UnknownFlagIsNotHelp) {
+  std::vector<std::string> args = {"prog", "--bogus"};
+  auto argv = MakeArgv(args);
+  Flags f;
+  EXPECT_FALSE(f.Parse(static_cast<int>(argv.size()), argv.data(), {"runs"}));
+  EXPECT_FALSE(f.help_requested());
+}
+
+TEST(FlagsTest, DescribedSpecsParseLikePlainNames) {
+  std::vector<std::string> args = {"prog", "--runs=5", "--app=kmeans"};
+  auto argv = MakeArgv(args);
+  Flags f;
+  ASSERT_TRUE(f.Parse(static_cast<int>(argv.size()), argv.data(),
+                      {{"runs", "number of runs"},
+                       {"app", "catalog application"}}));
+  EXPECT_EQ(f.GetInt("runs", 0), 5);
+  EXPECT_EQ(f.GetString("app", ""), "kmeans");
+}
+
+TEST(FlagsTest, HelpDoesNotConsumeFollowingToken) {
+  std::vector<std::string> args = {"prog", "--help", "positional"};
+  auto argv = MakeArgv(args);
+  Flags f;
+  EXPECT_FALSE(f.Parse(static_cast<int>(argv.size()), argv.data(), {"runs"}));
+  EXPECT_TRUE(f.help_requested());
+}
+
 }  // namespace
 }  // namespace sds

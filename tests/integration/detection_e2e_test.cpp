@@ -1,9 +1,13 @@
 // Integration: the full three-stage detection protocol end to end, plus the
 // KStest false-positive reproduction (paper Figure 1 / Section 3.2) and
 // failure-injection cases.
+#include <set>
+#include <string>
+
 #include <gtest/gtest.h>
 
 #include "eval/experiment.h"
+#include "telemetry/telemetry.h"
 
 namespace sds::eval {
 namespace {
@@ -130,6 +134,50 @@ TEST(DetectionE2eTest, PeriodicProfileFlagPropagates) {
   const auto r2 = RunDetectionRun(
       ShortConfig("bayes", AttackKind::kBusLock, Scheme::kSds), 11);
   EXPECT_FALSE(r2.profile_periodic);
+}
+
+TEST(DetectionE2eTest, TelemetryAuditsAlarmDecisionAcrossLayers) {
+  telemetry::Telemetry telemetry;
+  // The per-access sim layers emit orders of magnitude more events than the
+  // ring retains over a full run and would evict the rare early vm events;
+  // this test is about cross-layer coverage and the audit trail, so silence
+  // the two noisy layers and keep everything else.
+  telemetry.tracer().DisableLayer(telemetry::Layer::kSimCache);
+  telemetry.tracer().DisableLayer(telemetry::Layer::kSimBus);
+
+  DetectionRunConfig cfg =
+      ShortConfig("kmeans", AttackKind::kBusLock, Scheme::kSds);
+  cfg.scenario.machine.telemetry = &telemetry;
+  const auto r = RunDetectionRun(cfg, 1);
+  EXPECT_TRUE(r.detected);
+
+  // The attack run must leave >= 1 audited decision that raised the alarm,
+  // with a populated (positive = violating) margin and its inputs recorded.
+  const auto& records = telemetry.audit().records();
+  ASSERT_FALSE(records.empty());
+  bool audited_alarm = false;
+  for (const auto& rec : records) {
+    if (!rec.alarm || !rec.violation) continue;
+    audited_alarm = true;
+    EXPECT_GT(rec.margin, 0.0);
+    EXPECT_STRNE(rec.detector, "");
+    EXPECT_STRNE(rec.check, "");
+    EXPECT_GE(rec.consecutive, 1);
+    break;
+  }
+  EXPECT_TRUE(audited_alarm);
+
+  // Events from >= 4 distinct layers were retained (vm, pcm, detect, eval).
+  std::set<std::string> layers;
+  const auto& tracer = telemetry.tracer();
+  for (std::size_t i = 0; i < tracer.retained(); ++i) {
+    layers.insert(telemetry::LayerName(tracer.event(i).layer));
+  }
+  EXPECT_GE(layers.size(), 4u) << "layers seen: " << layers.size();
+  EXPECT_EQ(tracer.dropped(), 0u);
+
+  // Metrics accumulated across the run.
+  EXPECT_GT(telemetry.metrics().size(), 0u);
 }
 
 }  // namespace

@@ -88,5 +88,70 @@ TEST(TraceTest, MissingFileFails) {
   EXPECT_FALSE(ReadTraceFile("/nonexistent/path/trace.csv").has_value());
 }
 
+TEST(TraceJsonlTest, RoundTrip) {
+  const auto samples = MakeSamples(50);
+  std::stringstream ss;
+  ASSERT_TRUE(WriteTraceJsonl(ss, samples));
+  const auto back = ReadTraceJsonl(ss);
+  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(back->size(), samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_EQ((*back)[i].tick, samples[i].tick);
+    EXPECT_EQ((*back)[i].access_num, samples[i].access_num);
+    EXPECT_EQ((*back)[i].miss_num, samples[i].miss_num);
+  }
+}
+
+TEST(TraceJsonlTest, LinesUseTelemetryEventSchema) {
+  const auto samples = MakeSamples(1);
+  std::stringstream ss;
+  ASSERT_TRUE(WriteTraceJsonl(ss, samples));
+  const std::string line = ss.str();
+  EXPECT_NE(line.find("\"type\":\"event\""), std::string::npos);
+  EXPECT_NE(line.find("\"layer\":\"pcm\""), std::string::npos);
+  EXPECT_NE(line.find("\"event\":\"sample\""), std::string::npos);
+}
+
+TEST(TraceJsonlTest, SkipsNonSampleLines) {
+  std::stringstream ss(
+      "{\"type\":\"header\",\"format\":\"sds-telemetry\"}\n"
+      "{\"type\":\"event\",\"tick\":1,\"layer\":\"pcm\",\"event\":\"sample\","
+      "\"access_num\":10,\"miss_num\":2}\n"
+      "{\"type\":\"event\",\"tick\":1,\"layer\":\"vm\",\"event\":\"vm_created\","
+      "\"owner\":1}\n"
+      "{\"type\":\"metric\",\"metric\":\"counter\",\"name\":\"c\","
+      "\"value\":3}\n");
+  const auto back = ReadTraceJsonl(ss);
+  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(back->size(), 1u);
+  EXPECT_EQ((*back)[0].tick, 1);
+  EXPECT_EQ((*back)[0].access_num, 10u);
+  EXPECT_EQ((*back)[0].miss_num, 2u);
+}
+
+TEST(TraceJsonlTest, RejectsMalformedSampleLine) {
+  std::stringstream ss(
+      "{\"type\":\"event\",\"tick\":1,\"layer\":\"pcm\",\"event\":\"sample\","
+      "\"access_num\":oops,\"miss_num\":2}\n");
+  EXPECT_FALSE(ReadTraceJsonl(ss).has_value());
+}
+
+TEST(TraceJsonlTest, RejectsNonMonotoneTicks) {
+  const auto samples = MakeSamples(2);
+  std::stringstream ss;
+  ASSERT_TRUE(WriteTraceJsonl(ss, samples));
+  ASSERT_TRUE(WriteTraceJsonl(ss, samples));  // duplicate ticks
+  EXPECT_FALSE(ReadTraceJsonl(ss).has_value());
+}
+
+TEST(TraceJsonlTest, FileRoundTrip) {
+  const auto samples = MakeSamples(10);
+  const std::string path = ::testing::TempDir() + "/sds_trace_test.jsonl";
+  ASSERT_TRUE(WriteTraceJsonlFile(path, samples));
+  const auto back = ReadTraceJsonlFile(path);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->size(), 10u);
+}
+
 }  // namespace
 }  // namespace sds::pcm

@@ -1,0 +1,300 @@
+// trace_inspect: summarizes a telemetry JSONL stream (telemetry::Telemetry::
+// WriteJsonl output, written by benches via --telemetry_out or by
+// pcm::WriteTraceJsonl).
+//
+//   trace_inspect run.jsonl                  per-layer / per-event / metric
+//                                            summaries + alarm timeline
+//   trace_inspect run.jsonl --layer=detect   restrict event tables to a layer
+//   trace_inspect run.jsonl --audit          dump every audit record
+//   trace_inspect run.jsonl --events=N       also dump the first N events
+//
+// The parser handles exactly the flat one-object-per-line JSON this repo
+// emits (string/number/bool values, one optional numeric array ignored);
+// it is not a general JSON parser and does not try to be.
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/types.h"
+
+namespace {
+
+using sds::TickClock;
+
+// One parsed JSONL line: flat key -> raw value text (quotes stripped for
+// strings, arrays kept verbatim).
+using JsonObject = std::map<std::string, std::string>;
+
+bool ParseLine(const std::string& line, JsonObject& out) {
+  out.clear();
+  std::size_t i = 0;
+  const auto skip_ws = [&] {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+  };
+  skip_ws();
+  if (i >= line.size() || line[i] != '{') return false;
+  ++i;
+  while (true) {
+    skip_ws();
+    if (i < line.size() && line[i] == '}') return true;
+    // Key.
+    if (i >= line.size() || line[i] != '"') return false;
+    const auto key_end = line.find('"', i + 1);
+    if (key_end == std::string::npos) return false;
+    std::string key = line.substr(i + 1, key_end - i - 1);
+    i = key_end + 1;
+    skip_ws();
+    if (i >= line.size() || line[i] != ':') return false;
+    ++i;
+    skip_ws();
+    if (i >= line.size()) return false;
+    // Value: string, array (kept verbatim), or bare token (number/bool).
+    std::string value;
+    if (line[i] == '"') {
+      const auto end = line.find('"', i + 1);
+      if (end == std::string::npos) return false;
+      value = line.substr(i + 1, end - i - 1);
+      i = end + 1;
+    } else if (line[i] == '[') {
+      const auto end = line.find(']', i);
+      if (end == std::string::npos) return false;
+      value = line.substr(i, end - i + 1);
+      i = end + 1;
+    } else {
+      const auto end = line.find_first_of(",}", i);
+      if (end == std::string::npos) return false;
+      value = line.substr(i, end - i);
+      i = end;
+    }
+    out.emplace(std::move(key), std::move(value));
+    skip_ws();
+    if (i < line.size() && line[i] == ',') {
+      ++i;
+      continue;
+    }
+    if (i < line.size() && line[i] == '}') return true;
+    return false;
+  }
+}
+
+double NumOr(const JsonObject& o, const std::string& key, double fallback) {
+  const auto it = o.find(key);
+  if (it == o.end()) return fallback;
+  try {
+    return std::stod(it->second);
+  } catch (...) {
+    return fallback;
+  }
+}
+
+std::string StrOr(const JsonObject& o, const std::string& key,
+                  const std::string& fallback) {
+  const auto it = o.find(key);
+  return it == o.end() ? fallback : it->second;
+}
+
+struct LayerSummary {
+  std::uint64_t events = 0;
+  long long first_tick = -1;
+  long long last_tick = -1;
+};
+
+struct AuditSummary {
+  std::uint64_t records = 0;
+  std::uint64_t violations = 0;
+  std::uint64_t alarmed = 0;
+  double worst_margin = -1e300;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sds::Flags flags;
+  if (!flags.Parse(argc, argv,
+                   {{"layer", "restrict event tables to this layer"},
+                    {"audit", "dump every audit record"},
+                    {"events", "also dump the first N matching events"}})) {
+    return flags.help_requested() ? 0 : 1;
+  }
+  if (flags.positional().size() != 1) {
+    std::fprintf(stderr, "usage: trace_inspect <telemetry.jsonl> [--layer=L] "
+                         "[--audit] [--events=N]\n");
+    return 1;
+  }
+  const std::string path = flags.positional()[0];
+  const std::string layer_filter = flags.GetString("layer", "");
+  const bool dump_audit = flags.GetBool("audit", false);
+  const long long dump_events = flags.GetInt("events", 0);
+
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "trace_inspect: cannot open %s\n", path.c_str());
+    return 1;
+  }
+
+  std::map<std::string, LayerSummary> layers;
+  std::map<std::string, std::uint64_t> event_counts;  // "layer/event"
+  std::map<std::string, AuditSummary> audits;         // "detector/check"
+  std::vector<JsonObject> alarm_timeline;             // alarm events + audits
+  std::map<std::string, bool> alarm_state;            // per detector
+  std::vector<std::string> metric_lines;
+  std::vector<std::string> event_dump;
+  std::uint64_t total_events = 0, total_audits = 0, bad_lines = 0;
+  std::optional<JsonObject> header;
+
+  std::string line;
+  long long lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    JsonObject o;
+    if (!ParseLine(line, o)) {
+      ++bad_lines;
+      continue;
+    }
+    const std::string type = StrOr(o, "type", "");
+    if (type == "header") {
+      header = o;
+    } else if (type == "event") {
+      const std::string layer = StrOr(o, "layer", "?");
+      const std::string event = StrOr(o, "event", "?");
+      const auto tick = static_cast<long long>(NumOr(o, "tick", -1));
+      ++total_events;
+      auto& ls = layers[layer];
+      ++ls.events;
+      if (ls.first_tick < 0) ls.first_tick = tick;
+      ls.last_tick = tick;
+      if (layer_filter.empty() || layer == layer_filter) {
+        ++event_counts[layer + "/" + event];
+        if (dump_events > 0 &&
+            event_dump.size() < static_cast<std::size_t>(dump_events)) {
+          event_dump.push_back(line);
+        }
+      }
+      if (event == "alarm_raised" || event == "alarm_cleared") {
+        alarm_timeline.push_back(o);
+      }
+    } else if (type == "audit") {
+      ++total_audits;
+      const std::string detector = StrOr(o, "detector", "?");
+      const bool alarm = StrOr(o, "alarm", "false") == "true";
+      auto& as = audits[detector + "/" + StrOr(o, "check", "?")];
+      ++as.records;
+      if (StrOr(o, "violation", "false") == "true") ++as.violations;
+      if (alarm) ++as.alarmed;
+      as.worst_margin = std::max(as.worst_margin, NumOr(o, "margin", -1e300));
+      // Audit records survive ring overflow, so reconstruct alarm
+      // transitions from them even when the alarm_raised event itself was
+      // dropped from the retained event window.
+      const auto [state, inserted] = alarm_state.emplace(detector, false);
+      if (state->second != alarm) {
+        state->second = alarm;
+        JsonObject transition = o;
+        transition["event"] =
+            alarm ? "alarm_raised (audit)" : "alarm_cleared (audit)";
+        alarm_timeline.push_back(std::move(transition));
+      }
+      if (dump_audit) event_dump.push_back(line);
+    } else if (type == "metric") {
+      metric_lines.push_back(line);
+    } else {
+      ++bad_lines;
+    }
+  }
+
+  const TickClock clock;
+  std::printf("telemetry stream: %s\n", path.c_str());
+  if (header) {
+    std::printf("  emitted=%lld dropped=%lld audit_records=%lld\n",
+                static_cast<long long>(NumOr(*header, "events_emitted", 0)),
+                static_cast<long long>(NumOr(*header, "events_dropped", 0)),
+                static_cast<long long>(NumOr(*header, "audit_records", 0)));
+  }
+  std::printf("  parsed: %llu events, %llu audit records, %zu metrics",
+              static_cast<unsigned long long>(total_events),
+              static_cast<unsigned long long>(total_audits),
+              metric_lines.size());
+  if (bad_lines) {
+    std::printf(", %llu unparseable lines",
+                static_cast<unsigned long long>(bad_lines));
+  }
+  std::printf("\n\nper-layer summary\n");
+  std::printf("  %-12s %10s %12s %12s\n", "layer", "events", "first-tick",
+              "last-tick");
+  for (const auto& [name, ls] : layers) {
+    std::printf("  %-12s %10llu %12lld %12lld\n", name.c_str(),
+                static_cast<unsigned long long>(ls.events), ls.first_tick,
+                ls.last_tick);
+  }
+
+  std::printf("\nper-event counts%s\n",
+              layer_filter.empty() ? ""
+                                   : (" (layer=" + layer_filter + ")").c_str());
+  for (const auto& [key, count] : event_counts) {
+    std::printf("  %-40s %10llu\n", key.c_str(),
+                static_cast<unsigned long long>(count));
+  }
+
+  if (!audits.empty()) {
+    std::printf("\naudit summary (detector/check)\n");
+    std::printf("  %-24s %8s %10s %8s %12s\n", "detector/check", "records",
+                "violations", "alarmed", "worst-margin");
+    for (const auto& [key, as] : audits) {
+      std::printf("  %-24s %8llu %10llu %8llu %12.4f\n", key.c_str(),
+                  static_cast<unsigned long long>(as.records),
+                  static_cast<unsigned long long>(as.violations),
+                  static_cast<unsigned long long>(as.alarmed),
+                  as.worst_margin);
+    }
+  }
+
+  if (!alarm_timeline.empty()) {
+    // Event lines precede audit lines in the stream; interleave by tick.
+    std::stable_sort(alarm_timeline.begin(), alarm_timeline.end(),
+                     [](const JsonObject& a, const JsonObject& b) {
+                       return NumOr(a, "tick", -1) < NumOr(b, "tick", -1);
+                     });
+    std::printf("\nalarm timeline\n");
+    for (const auto& o : alarm_timeline) {
+      const auto tick = static_cast<long long>(NumOr(o, "tick", -1));
+      std::printf("  t=%8lld (%7.2fs)  %-14s %s", tick,
+                  clock.ToSeconds(tick), StrOr(o, "event", "?").c_str(),
+                  StrOr(o, "detector", "?").c_str());
+      const auto owner = o.find("owner");
+      if (owner != o.end()) std::printf(" owner=%s", owner->second.c_str());
+      std::printf("\n");
+    }
+  } else {
+    std::printf("\nalarm timeline: (no alarm events)\n");
+  }
+
+  if (!metric_lines.empty()) {
+    std::printf("\nmetrics snapshot\n");
+    for (const auto& m : metric_lines) {
+      JsonObject o;
+      if (!ParseLine(m, o)) continue;
+      const std::string kind = StrOr(o, "metric", "?");
+      if (kind == "histogram") {
+        std::printf("  %-36s count=%lld sum=%.6g buckets=%s\n",
+                    StrOr(o, "name", "?").c_str(),
+                    static_cast<long long>(NumOr(o, "count", 0)),
+                    NumOr(o, "sum", 0.0), StrOr(o, "buckets", "[]").c_str());
+      } else {
+        std::printf("  %-36s %.6g\n", StrOr(o, "name", "?").c_str(),
+                    NumOr(o, "value", 0.0));
+      }
+    }
+  }
+
+  if (!event_dump.empty()) {
+    std::printf("\ndumped lines\n");
+    for (const auto& l : event_dump) std::printf("  %s\n", l.c_str());
+  }
+  return 0;
+}
