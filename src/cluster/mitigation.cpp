@@ -1,8 +1,11 @@
 #include "cluster/mitigation.h"
 
 #include "common/check.h"
+#include "telemetry/telemetry.h"
 
 namespace sds::cluster {
+
+namespace tel = sds::telemetry;
 
 const char* MitigationPolicyName(MitigationPolicy policy) {
   switch (policy) {
@@ -32,8 +35,14 @@ MitigationEngine::MitigationEngine(Cluster& cluster, const VmRef& victim,
 void MitigationEngine::OnAlarm(OwnerId attributed_attacker) {
   if (mitigated_ || policy_ == MitigationPolicy::kNone) return;
 
-  if (policy_ == MitigationPolicy::kQuarantineAttacker &&
-      attributed_attacker != 0 && attributed_attacker != victim_.id) {
+  // Quarantine needs a culprit that is a real co-tenant; anything else
+  // falls back to migrating the victim (recorded as such, and audited — a
+  // provider reviewing a quarantine policy that keeps migrating instead
+  // needs to see WHY each alarm went unattributed).
+  const bool fallback =
+      policy_ == MitigationPolicy::kQuarantineAttacker &&
+      (attributed_attacker == 0 || attributed_attacker == victim_.id);
+  if (policy_ == MitigationPolicy::kQuarantineAttacker && !fallback) {
     VmRef attacker;
     attacker.host = victim_.host;
     attacker.id = attributed_attacker;
@@ -46,6 +55,28 @@ void MitigationEngine::OnAlarm(OwnerId attributed_attacker) {
   }
   mitigated_ = true;
   mitigation_tick_ = cluster_.now();
+
+  if (tel::Telemetry* t = cluster_.machine(victim_.host).telemetry()) {
+    if (t->tracer().enabled(tel::Layer::kEval)) {
+      t->tracer().Emit(
+          tel::MakeEvent(mitigation_tick_, tel::Layer::kEval,
+                         fallback ? "mitigation_fallback"
+                                  : "mitigation_applied",
+                         victim_.id)
+              .Str("policy", MitigationPolicyName(applied_))
+              .Num("attributed_attacker",
+                   static_cast<double>(attributed_attacker)));
+    }
+    tel::AuditRecord r;
+    r.tick = mitigation_tick_;
+    r.detector = "MitigationEngine";
+    r.check = "mitigation";
+    r.channel = MitigationPolicyName(applied_);
+    r.value = static_cast<double>(attributed_attacker);
+    r.violation = fallback;
+    r.alarm = true;
+    t->audit().Append(r);
+  }
 }
 
 }  // namespace sds::cluster

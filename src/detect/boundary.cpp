@@ -1,5 +1,7 @@
 #include "detect/boundary.h"
 
+#include <cmath>
+
 #include "common/check.h"
 #include "stats/descriptive.h"
 
@@ -18,6 +20,10 @@ BoundaryProfile BuildBoundaryProfile(std::span<const double> raw,
   BoundaryProfile profile;
   profile.mean = stats.mean();
   profile.stddev = stats.stddev();
+  // A NaN/inf profile would silently disable detection (every comparison
+  // against the bounds is false); corrupt clean samples must fail loudly.
+  SDS_CHECK(std::isfinite(profile.mean) && std::isfinite(profile.stddev),
+            "profile statistics must be finite");
   return profile;
 }
 

@@ -1,0 +1,223 @@
+#include "detect/degrade.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "telemetry/telemetry.h"
+
+namespace sds::detect {
+
+namespace tel = sds::telemetry;
+
+const char* GapPolicyName(GapPolicy policy) {
+  switch (policy) {
+    case GapPolicy::kHoldLast:
+      return "hold_last";
+    case GapPolicy::kSkipFreeze:
+      return "skip_freeze";
+    case GapPolicy::kRewarm:
+      return "rewarm";
+  }
+  return "?";
+}
+
+bool SampleIsSane(const pcm::PcmSample& sample, const SanityParams& params,
+                  Tick span_ticks) {
+  if (!params.enabled) return true;
+  const auto span =
+      static_cast<std::uint64_t>(std::max<Tick>(span_ticks, 1));
+  // max_delta_per_tick (1e6 default) * any plausible span stays far from
+  // 64-bit overflow; a tampered span cannot reach here (spans come from the
+  // sampler's own tick arithmetic).
+  const std::uint64_t ceiling = params.max_delta_per_tick * span;
+  if (sample.access_num > ceiling || sample.miss_num > ceiling) return false;
+  if (params.check_miss_le_access && sample.miss_num > sample.access_num) {
+    return false;
+  }
+  return true;
+}
+
+SamplerWatchdog::SamplerWatchdog(pcm::SampleSource& source,
+                                 const WatchdogParams& params,
+                                 vm::Hypervisor& hypervisor)
+    : source_(source), params_(params), hypervisor_(hypervisor) {
+  SDS_CHECK(params_.dead_after_misses > 0, "dead_after_misses must be >= 1");
+  SDS_CHECK(params_.backoff_initial > 0 &&
+                params_.backoff_max >= params_.backoff_initial,
+            "bad watchdog backoff range");
+}
+
+bool SamplerWatchdog::OnMissing(Tick now) {
+  if (!params_.enabled) return false;
+  ++miss_streak_;
+  // A healthy-but-lossy source is left alone until the streak says the
+  // stream is effectively dead; an unhealthy source is probed immediately.
+  const bool presumed_dead =
+      !source_.healthy() || miss_streak_ >= params_.dead_after_misses;
+  if (!presumed_dead) return false;
+  if (backoff_ == 0) {
+    // First probe of this incident: no waiting.
+    backoff_ = params_.backoff_initial;
+    next_attempt_ = now;
+  }
+  if (now < next_attempt_) return false;
+
+  ++attempts_;
+  tel::Telemetry* t = hypervisor_.telemetry();
+  const bool restarted = source_.TryRestart();
+  if (t && t->tracer().enabled(tel::Layer::kFault)) {
+    t->tracer().Emit(tel::MakeEvent(now, tel::Layer::kFault,
+                                    restarted ? "watchdog_restart"
+                                              : "watchdog_attempt",
+                                    source_.target())
+                         .Num("miss_streak", static_cast<double>(miss_streak_))
+                         .Num("backoff", static_cast<double>(backoff_)));
+  }
+  // The backoff grows across ALL attempts of the incident — including
+  // "successful" restarts after which the stream stays silent; only a
+  // delivered sample (OnDelivered) ends the incident and resets it.
+  // Otherwise a source that accepts restarts without resuming delivery
+  // would be restarted (and the consumer re-warmed) every few ticks.
+  next_attempt_ = now + backoff_;
+  backoff_ = std::min(backoff_ * 2, params_.backoff_max);
+  if (restarted) {
+    ++restarts_;
+    miss_streak_ = 0;
+    return true;
+  }
+  return false;
+}
+
+void SamplerWatchdog::OnDelivered() {
+  miss_streak_ = 0;
+  backoff_ = 0;
+}
+
+DegradingSampleGate::DegradingSampleGate(vm::Hypervisor& hypervisor,
+                                         pcm::SampleSource& source,
+                                         const DegradeConfig& config,
+                                         const char* consumer)
+    : hypervisor_(hypervisor),
+      source_(source),
+      config_(config),
+      consumer_(consumer),
+      watchdog_(source, config.watchdog, hypervisor) {
+  SDS_CHECK(config_.rewarm_gap > 0, "rewarm_gap must be >= 1");
+}
+
+void DegradingSampleGate::EmitDegrade(Tick tick, const char* action,
+                                      double value, double bound,
+                                      bool violation) {
+  tel::Telemetry* t = hypervisor_.telemetry();
+  if (!t) return;
+  if (t->tracer().enabled(tel::Layer::kFault)) {
+    t->tracer().Emit(tel::MakeEvent(tick, tel::Layer::kFault, action,
+                                    source_.target())
+                         .Str("consumer", consumer_)
+                         .Num("value", value)
+                         .Num("bound", bound));
+  }
+  // Degradation actions ride the same audit stream as detector decisions so
+  // a recall/delay shift under faults can be explained record by record.
+  tel::AuditRecord r;
+  r.tick = tick;
+  r.detector = consumer_;
+  r.check = "degrade";
+  r.channel = action;
+  r.value = value;
+  r.upper = bound;
+  r.violation = violation;
+  r.consecutive = static_cast<int>(std::min<Tick>(gap_run_, 1'000'000));
+  t->audit().Append(r);
+}
+
+DegradingSampleGate::Outcome DegradingSampleGate::OnTick() {
+  Outcome out;
+  const Tick now = hypervisor_.now();
+  std::optional<pcm::PcmSample> raw = source_.Next();
+
+  bool usable = false;
+  pcm::PcmSample s;
+  if (raw.has_value()) {
+    out.delivered = true;
+    const Tick span = std::max<Tick>(source_.last_span(), 1);
+    if (!SampleIsSane(*raw, config_.sanity, span)) {
+      // Quarantine: the sample is corrupt by construction; treat the tick
+      // as a gap so the gap policy decides what the analyzers see.
+      ++stats_.quarantined;
+      out.quarantined = true;
+      EmitDegrade(now, "quarantine",
+                  static_cast<double>(
+                      std::max(raw->access_num, raw->miss_num)),
+                  static_cast<double>(config_.sanity.max_delta_per_tick) *
+                      static_cast<double>(span),
+                  true);
+    } else {
+      s = *raw;
+      if (span > 1) {
+        // The delta coalesced `span` intervals; feed the per-interval
+        // average so one wide sample does not read as a burst.
+        s.access_num /= static_cast<std::uint64_t>(span);
+        s.miss_num /= static_cast<std::uint64_t>(span);
+      }
+      usable = true;
+    }
+  }
+
+  if (!usable) {
+    ++gap_run_;
+    ++stats_.gap_ticks;
+    if (watchdog_.OnMissing(now)) {
+      // Successful restart re-baselined the source. Under kHoldLast the
+      // substitute stream stayed continuous (per-interval values on both
+      // sides of the gap are the same units), so the analyzers keep their
+      // state; the other policies left a real discontinuity in the
+      // analyzer windows and get a fresh warm-up.
+      if (config_.gap_policy != GapPolicy::kHoldLast) {
+        out.rewarm = true;
+        rewarm_pending_ = false;
+        ++stats_.rewarms;
+        EmitDegrade(now, "rewarm", static_cast<double>(gap_run_),
+                    static_cast<double>(config_.rewarm_gap), false);
+      }
+    } else if (config_.gap_policy == GapPolicy::kRewarm && !rewarm_pending_ &&
+               gap_run_ >= config_.rewarm_gap) {
+      // Long gap: schedule one re-warm; it fires now so the consumer can
+      // discard its half-filled windows, and is not repeated while the same
+      // gap keeps running.
+      out.rewarm = true;
+      rewarm_pending_ = true;
+      ++stats_.rewarms;
+      EmitDegrade(now, "rewarm", static_cast<double>(gap_run_),
+                  static_cast<double>(config_.rewarm_gap), false);
+    }
+    if (config_.gap_policy == GapPolicy::kHoldLast && last_good_.has_value()) {
+      pcm::PcmSample held = *last_good_;
+      held.tick = now;
+      out.sample = held;
+      out.substituted = true;
+      ++stats_.substituted;
+    }
+    stats_.watchdog_attempts = watchdog_.attempts();
+    stats_.watchdog_restarts = watchdog_.restarts();
+    return out;
+  }
+
+  ++stats_.delivered;
+  gap_run_ = 0;
+  rewarm_pending_ = false;
+  watchdog_.OnDelivered();
+  last_good_ = s;
+  out.sample = s;
+  stats_.watchdog_attempts = watchdog_.attempts();
+  stats_.watchdog_restarts = watchdog_.restarts();
+  return out;
+}
+
+void DegradingSampleGate::OnSessionStart() {
+  last_good_.reset();
+  gap_run_ = 0;
+  rewarm_pending_ = false;
+}
+
+}  // namespace sds::detect

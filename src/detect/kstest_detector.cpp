@@ -54,10 +54,24 @@ void KsTestDetector::AuditKsDecision(const char* channel, double p_value,
 KsTestDetector::KsTestDetector(vm::Hypervisor& hypervisor, OwnerId target,
                                const KsTestParams& params,
                                const KsIdentificationParams& ident)
+    : KsTestDetector(hypervisor, target, params, ident, nullptr,
+                     DegradeConfig{}) {}
+
+KsTestDetector::KsTestDetector(vm::Hypervisor& hypervisor, OwnerId target,
+                               const KsTestParams& params,
+                               const KsIdentificationParams& ident,
+                               pcm::SampleSource* source,
+                               const DegradeConfig& degrade)
     : hypervisor_(hypervisor),
-      sampler_(hypervisor, target),
+      owned_sampler_(source ? nullptr
+                            : std::make_unique<pcm::PcmSampler>(hypervisor,
+                                                                target)),
+      source_(source ? *source : *owned_sampler_),
       params_(params),
-      ident_(ident) {
+      ident_(ident),
+      gate_(hypervisor, source_, degrade, "KStest") {
+  SDS_CHECK(source_.target() == target,
+            "SampleSource monitors a different VM than the detector");
   SDS_CHECK(params.w_r > 0 && params.w_m > 0, "windows must be positive");
   SDS_CHECK(params.l_r >= params.w_r, "L_R must cover W_R");
   SDS_CHECK(params.l_m >= params.w_m, "L_M must cover W_M");
@@ -73,27 +87,31 @@ KsTestDetector::KsTestDetector(vm::Hypervisor& hypervisor, OwnerId target,
 }
 
 void KsTestDetector::StartReference() {
-  if (sampler_.started()) sampler_.Stop();  // abort a monitored collection
+  if (source_.started()) source_.Stop();  // abort a monitored collection
   state_ = State::kCollectingReference;
   collected_ = 0;
+  collect_elapsed_ = 0;
   staging_access_.clear();
   staging_miss_.clear();
-  hypervisor_.ThrottleAllExcept(sampler_.target(), params_.w_r);
-  sampler_.Start();
-  TraceDetect("reference_start", sampler_.target(), "window",
+  hypervisor_.ThrottleAllExcept(source_.target(), params_.w_r);
+  source_.Start();
+  gate_.OnSessionStart();
+  TraceDetect("reference_start", source_.target(), "window",
               static_cast<double>(params_.w_r));
 }
 
 void KsTestDetector::StartMonitored() {
   state_ = State::kCollectingMonitored;
   collected_ = 0;
+  collect_elapsed_ = 0;
   staging_access_.clear();
   staging_miss_.clear();
-  sampler_.Start();
+  source_.Start();
+  gate_.OnSessionStart();
 }
 
 void KsTestDetector::FinishReference() {
-  sampler_.Stop();
+  source_.Stop();
   state_ = State::kIdle;
   ref_access_ = staging_access_;
   ref_miss_ = staging_miss_;
@@ -102,12 +120,12 @@ void KsTestDetector::FinishReference() {
   // decisions against the new one: restart the consecutive counts.
   consecutive_access_ = 0;
   consecutive_miss_ = 0;
-  TraceDetect("reference_ready", sampler_.target(), "samples",
+  TraceDetect("reference_ready", source_.target(), "samples",
               static_cast<double>(ref_access_.size()));
 }
 
 void KsTestDetector::FinishMonitored() {
-  sampler_.Stop();
+  source_.Stop();
   state_ = State::kIdle;
 
   KsDecision d;
@@ -160,11 +178,11 @@ void KsTestDetector::FinishMonitored() {
 
 void KsTestDetector::StartIdentification() {
   ++sweeps_;
-  TraceDetect("identification_start", sampler_.target(), "sweep",
+  TraceDetect("identification_start", source_.target(), "sweep",
               static_cast<double>(sweeps_));
   candidates_.clear();
   for (OwnerId id = 1; id <= hypervisor_.vm_count(); ++id) {
-    if (id != sampler_.target()) candidates_.push_back(id);
+    if (id != source_.target()) candidates_.push_back(id);
   }
   candidate_index_ = 0;
   candidate_results_.clear();
@@ -184,13 +202,17 @@ void KsTestDetector::StartNextCandidate() {
   staging_access_.clear();
   staging_miss_.clear();
   collected_ = 0;
+  collect_elapsed_ = 0;
   state_ = settle_left_ > 0 ? State::kIdentifySettling
                             : State::kIdentifyCollecting;
-  if (state_ == State::kIdentifyCollecting) sampler_.Start();
+  if (state_ == State::kIdentifyCollecting) {
+    source_.Start();
+    gate_.OnSessionStart();
+  }
 }
 
 void KsTestDetector::FinishCandidate() {
-  sampler_.Stop();
+  source_.Stop();
   // Does pausing this candidate restore the reference distribution on the
   // channel(s) that raised the suspicion?
   CandidateResult result;
@@ -256,31 +278,114 @@ void KsTestDetector::FinishIdentification() {
               "suspicion_tick", static_cast<double>(suspicion_tick_));
 }
 
+void KsTestDetector::CollectTick() {
+  ++collect_elapsed_;
+  const DegradingSampleGate::Outcome out = gate_.OnTick();
+  if (out.rewarm) {
+    // The source was re-baselined (or a long gap severed the stream):
+    // pre-gap staging no longer connects to what follows.
+    staging_access_.clear();
+    staging_miss_.clear();
+    collected_ = 0;
+  }
+  if (out.sample) {
+    staging_access_.push_back(static_cast<double>(out.sample->access_num));
+    staging_miss_.push_back(static_cast<double>(out.sample->miss_num));
+    ++collected_;
+  } else {
+    // Gap tick: the collection extends past its nominal window, so re-arm
+    // the throttle that defines its measurement conditions.
+    if (state_ == State::kCollectingReference) {
+      hypervisor_.ThrottleAllExcept(source_.target(),
+                                    params_.w_r - collected_ + 1);
+    } else if (state_ == State::kIdentifyCollecting) {
+      hypervisor_.ThrottleVm(candidates_[candidate_index_],
+                             ident_.window - collected_ + 1);
+    }
+  }
+
+  const Tick window = state_ == State::kCollectingReference ? params_.w_r
+                      : state_ == State::kCollectingMonitored
+                          ? params_.w_m
+                          : ident_.window;
+  if (collected_ >= window) {
+    if (state_ == State::kCollectingReference) {
+      FinishReference();
+    } else if (state_ == State::kCollectingMonitored) {
+      FinishMonitored();
+    } else {
+      FinishCandidate();
+    }
+  } else if (collect_elapsed_ >= kCollectSlackFactor * window) {
+    // Out of slack. A monitored/candidate window that is at least half full
+    // still supports a (weaker) KS decision; anything less — and any
+    // partial reference, which must be a full clean window — is abandoned.
+    if (state_ != State::kCollectingReference && collected_ >= (window + 1) / 2) {
+      if (state_ == State::kCollectingMonitored) {
+        FinishMonitored();
+      } else {
+        FinishCandidate();
+      }
+    } else {
+      AbandonCollection();
+    }
+  }
+}
+
+void KsTestDetector::AbandonCollection() {
+  if (source_.started()) source_.Stop();
+  const auto collected = static_cast<double>(collected_);
+  switch (state_) {
+    case State::kCollectingReference:
+      // Keep the previous reference (stale beats absent); the next L_R tick
+      // retries.
+      ++abandoned_references_;
+      TraceDetect("reference_abandoned", source_.target(), "collected",
+                  collected);
+      state_ = State::kIdle;
+      break;
+    case State::kCollectingMonitored:
+      // No decision this round: consecutive counters are left untouched.
+      ++abandoned_monitored_;
+      TraceDetect("monitored_abandoned", source_.target(), "collected",
+                  collected);
+      state_ = State::kIdle;
+      break;
+    case State::kIdentifyCollecting: {
+      // An unmeasurable candidate cannot be exonerated: score it
+      // inconclusive-worst so attribution never lands on it by default.
+      ++abandoned_candidates_;
+      CandidateResult result;
+      result.vm = candidates_[candidate_index_];
+      result.p_value = 0.0;
+      result.statistic = 1.0;
+      candidate_results_.push_back(result);
+      TraceDetect("candidate_abandoned", result.vm, "collected", collected);
+      if (++candidate_index_ >= candidates_.size()) {
+        FinishIdentification();
+      } else {
+        StartNextCandidate();
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
 void KsTestDetector::OnTick() {
   switch (state_) {
     case State::kCollectingReference:
     case State::kCollectingMonitored:
-    case State::kIdentifyCollecting: {
-      const pcm::PcmSample s = sampler_.Sample();
-      staging_access_.push_back(static_cast<double>(s.access_num));
-      staging_miss_.push_back(static_cast<double>(s.miss_num));
-      ++collected_;
-      if (state_ == State::kCollectingReference &&
-          collected_ >= params_.w_r) {
-        FinishReference();
-      } else if (state_ == State::kCollectingMonitored &&
-                 collected_ >= params_.w_m) {
-        FinishMonitored();
-      } else if (state_ == State::kIdentifyCollecting &&
-                 collected_ >= ident_.window) {
-        FinishCandidate();
-      }
+    case State::kIdentifyCollecting:
+      CollectTick();
       break;
-    }
     case State::kIdentifySettling: {
       if (--settle_left_ <= 0) {
         state_ = State::kIdentifyCollecting;
-        sampler_.Start();
+        collect_elapsed_ = 0;
+        source_.Start();
+        gate_.OnSessionStart();
       }
       break;
     }

@@ -30,9 +30,13 @@
 #include <optional>
 #include <vector>
 
+#include <memory>
+
+#include "detect/degrade.h"
 #include "detect/detector.h"
 #include "detect/params.h"
 #include "pcm/pcm_sampler.h"
+#include "pcm/sample_source.h"
 #include "vm/hypervisor.h"
 
 namespace sds::detect {
@@ -62,9 +66,24 @@ struct KsIdentificationParams {
 
 class KsTestDetector final : public Detector {
  public:
+  // Owns a perfect PcmSampler; bit-identical to the pre-seam detector
+  // (pinned by tests/integration/golden_regression_test).
   KsTestDetector(vm::Hypervisor& hypervisor, OwnerId target,
                  const KsTestParams& params,
                  const KsIdentificationParams& ident = {});
+
+  // Monitoring-plane seam: reads `source` (nullptr = own a PcmSampler)
+  // through a DegradingSampleGate. Collections tolerate gaps by extending —
+  // with their throttles re-armed so the collection conditions hold — up to
+  // kCollectSlackFactor times their window, after which they are abandoned
+  // (reference: keep the old one; monitored: test if at least half the
+  // window arrived, else skip; identification candidate: scored
+  // inconclusive-worst, since an unmeasurable candidate cannot be
+  // exonerated).
+  KsTestDetector(vm::Hypervisor& hypervisor, OwnerId target,
+                 const KsTestParams& params,
+                 const KsIdentificationParams& ident,
+                 pcm::SampleSource* source, const DegradeConfig& degrade);
 
   void OnTick() override;
   bool attack_active() const override { return attack_active_; }
@@ -79,6 +98,22 @@ class KsTestDetector final : public Detector {
   // The culprit of the most recent identified alarm (0 = unattributed).
   OwnerId identified_attacker() const { return identified_attacker_; }
   std::uint64_t identification_sweeps() const { return sweeps_; }
+
+  // Degradation introspection.
+  const DegradingSampleGate& gate() const { return gate_; }
+  // Collections that ran out of slack and were abandoned (reference /
+  // monitored / identification candidates, respectively).
+  std::uint64_t abandoned_collections() const {
+    return abandoned_references_ + abandoned_monitored_ +
+           abandoned_candidates_;
+  }
+  std::uint64_t abandoned_references() const { return abandoned_references_; }
+  std::uint64_t abandoned_monitored() const { return abandoned_monitored_; }
+  std::uint64_t abandoned_candidates() const { return abandoned_candidates_; }
+
+  // A gapped collection may extend to this multiple of its window before it
+  // is abandoned.
+  static constexpr Tick kCollectSlackFactor = 2;
 
  private:
   enum class State : std::uint8_t {
@@ -104,15 +139,28 @@ class KsTestDetector final : public Detector {
   void FinishCandidate();
   void FinishIdentification();
 
+  // One collecting-state tick: reads the gate, handles gaps (throttle
+  // re-arm, slack deadline) and finishes the collection when full.
+  void CollectTick();
+  // The current collection ran out of slack; dispose of it per state.
+  void AbandonCollection();
+
   vm::Hypervisor& hypervisor_;
-  pcm::PcmSampler sampler_;
+  std::unique_ptr<pcm::PcmSampler> owned_sampler_;
+  pcm::SampleSource& source_;
   KsTestParams params_;
   KsIdentificationParams ident_;
+  DegradingSampleGate gate_;
 
   State state_ = State::kIdle;
   Tick local_tick_ = 0;  // ticks since detector start, plus grid offset
   Tick collected_ = 0;
+  // Ticks spent in the current collection, including gap ticks.
+  Tick collect_elapsed_ = 0;
   Tick settle_left_ = 0;
+  std::uint64_t abandoned_references_ = 0;
+  std::uint64_t abandoned_monitored_ = 0;
+  std::uint64_t abandoned_candidates_ = 0;
 
   std::vector<double> ref_access_;
   std::vector<double> ref_miss_;

@@ -25,24 +25,48 @@ const char* SdsModeName(SdsMode mode) {
 SdsDetector::SdsDetector(vm::Hypervisor& hypervisor, OwnerId target,
                          const SdsProfile& profile,
                          const DetectorParams& params, SdsMode mode)
+    : SdsDetector(hypervisor, target, profile, params, mode, nullptr,
+                  DegradeConfig{}) {}
+
+SdsDetector::SdsDetector(vm::Hypervisor& hypervisor, OwnerId target,
+                         const SdsProfile& profile,
+                         const DetectorParams& params, SdsMode mode,
+                         pcm::SampleSource* source,
+                         const DegradeConfig& degrade)
     : hypervisor_(hypervisor),
-      sampler_(hypervisor, target),
+      owned_sampler_(source ? nullptr
+                            : std::make_unique<pcm::PcmSampler>(hypervisor,
+                                                                target)),
+      source_(source ? *source : *owned_sampler_),
+      profile_(profile),
+      params_(params),
       mode_(mode),
       name_(SdsModeName(mode)),
+      gate_(hypervisor, source_, degrade, SdsModeName(mode)),
       profile_periodic_(profile.periodic()) {
-  b_access_ =
-      std::make_unique<BoundaryAnalyzer>(profile.access_boundary, params);
-  b_miss_ = std::make_unique<BoundaryAnalyzer>(profile.miss_boundary, params);
-  if (profile.access_period) {
-    p_access_ =
-        std::make_unique<PeriodAnalyzer>(*profile.access_period, params);
-  }
-  if (profile.miss_period) {
-    p_miss_ = std::make_unique<PeriodAnalyzer>(*profile.miss_period, params);
-  }
+  SDS_CHECK(source_.target() == target,
+            "SampleSource monitors a different VM than the detector");
+  Rewarm();
   SDS_CHECK(mode != SdsMode::kPeriodOnly || profile_periodic_,
             "SDS/P requires a periodic profile");
-  sampler_.Start();
+  if (!source_.started()) source_.Start();
+  gate_.OnSessionStart();
+}
+
+void SdsDetector::Rewarm() {
+  b_access_ =
+      std::make_unique<BoundaryAnalyzer>(profile_.access_boundary, params_);
+  b_miss_ =
+      std::make_unique<BoundaryAnalyzer>(profile_.miss_boundary, params_);
+  p_access_.reset();
+  p_miss_.reset();
+  if (profile_.access_period) {
+    p_access_ =
+        std::make_unique<PeriodAnalyzer>(*profile_.access_period, params_);
+  }
+  if (profile_.miss_period) {
+    p_miss_ = std::make_unique<PeriodAnalyzer>(*profile_.miss_period, params_);
+  }
 }
 
 void SdsDetector::AuditBoundary(Tick tick, const char* channel,
@@ -113,7 +137,11 @@ void SdsDetector::AuditPeriod(Tick tick, const char* channel,
 }
 
 void SdsDetector::OnTick() {
-  const pcm::PcmSample s = sampler_.Sample();
+  const DegradingSampleGate::Outcome out = gate_.OnTick();
+  if (out.rewarm) Rewarm();
+  // No usable sample and nothing to substitute: analyzers freeze this tick.
+  if (!out.sample) return;
+  const pcm::PcmSample s = *out.sample;
   const auto access = static_cast<double>(s.access_num);
   const auto miss = static_cast<double>(s.miss_num);
   const auto ewma_access = b_access_->Observe(access);

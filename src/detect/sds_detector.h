@@ -15,10 +15,12 @@
 #include <string>
 
 #include "detect/boundary.h"
+#include "detect/degrade.h"
 #include "detect/detector.h"
 #include "detect/period.h"
 #include "detect/profile.h"
 #include "pcm/pcm_sampler.h"
+#include "pcm/sample_source.h"
 #include "vm/hypervisor.h"
 
 namespace sds::detect {
@@ -35,9 +37,22 @@ class SdsDetector final : public Detector {
  public:
   // The profile must come from a clean window of the same application
   // (BuildSdsProfile). For kPeriodOnly the profile must be periodic.
+  //
+  // This overload owns a perfect PcmSampler and default degradation config;
+  // it behaves bit-identically to the pre-seam detector (pinned by
+  // tests/integration/golden_regression_test).
   SdsDetector(vm::Hypervisor& hypervisor, OwnerId target,
               const SdsProfile& profile, const DetectorParams& params,
               SdsMode mode);
+
+  // Monitoring-plane seam: reads `source` (nullptr = own a PcmSampler)
+  // through a DegradingSampleGate configured by `degrade`, so the detector
+  // survives dropped samples, outages, corrupt reads and sampler death. An
+  // external `source` must outlive the detector; the detector starts it.
+  SdsDetector(vm::Hypervisor& hypervisor, OwnerId target,
+              const SdsProfile& profile, const DetectorParams& params,
+              SdsMode mode, pcm::SampleSource* source,
+              const DegradeConfig& degrade);
 
   void OnTick() override;
   bool attack_active() const override;
@@ -54,7 +69,14 @@ class SdsDetector final : public Detector {
   bool period_active() const;
   SdsMode mode() const { return mode_; }
 
+  // Degradation activity of this detector's sample gate.
+  const DegradingSampleGate& gate() const { return gate_; }
+
  private:
+  // Resets the preprocessing pipeline (EWMA/MA windows, consecutive
+  // counters) after a gap or sampler restart severed the sample stream; the
+  // clean profile itself stays valid.
+  void Rewarm();
   // Decision auditing (no-ops when the hypervisor has no telemetry handle).
   void AuditBoundary(Tick tick, const char* channel,
                      const BoundaryAnalyzer& analyzer, double ewma,
@@ -64,9 +86,16 @@ class SdsDetector final : public Detector {
                    bool alarm);
 
   vm::Hypervisor& hypervisor_;
-  pcm::PcmSampler sampler_;
+  // Set when the detector owns its (perfect) sampler; source_ then refers
+  // to it. With an external SampleSource, owned_sampler_ stays null.
+  std::unique_ptr<pcm::PcmSampler> owned_sampler_;
+  pcm::SampleSource& source_;
+  // Kept so Rewarm() can rebuild the analyzers from scratch.
+  SdsProfile profile_;
+  DetectorParams params_;
   SdsMode mode_;
   std::string name_;
+  DegradingSampleGate gate_;
   std::unique_ptr<BoundaryAnalyzer> b_access_;
   std::unique_ptr<BoundaryAnalyzer> b_miss_;
   std::unique_ptr<PeriodAnalyzer> p_access_;

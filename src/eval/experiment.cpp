@@ -6,6 +6,8 @@
 
 #include "common/check.h"
 #include "detect/sds_detector.h"
+#include "eval/robustness.h"
+#include "fault/fault_injector.h"
 #include "telemetry/telemetry.h"
 #include "workloads/catalog.h"
 
@@ -147,8 +149,18 @@ std::vector<pcm::PcmSample> RunMeasurementStudy(const std::string& app,
   return pcm::CollectSamples(*s.hypervisor, sampler, total_ticks);
 }
 
-DetectionRunResult RunDetectionRun(const DetectionRunConfig& config,
-                                   std::uint64_t seed) {
+namespace {
+
+// Shared body of RunDetectionRun and RunDetectionRunFaulted. With
+// `robust == nullptr` this is the plain accuracy protocol (and the detector
+// constructions below delegate to exactly the pre-seam behavior, pinned by
+// the golden regression test); with a RobustnessRunConfig, stages 2+3 read
+// the monitoring plane through a FaultInjector and the configured
+// degradation policies.
+DetectionRunResult RunDetectionRunImpl(const DetectionRunConfig& config,
+                                       std::uint64_t seed,
+                                       const RobustnessRunConfig* robust,
+                                       RobustnessCounters* counters) {
   SDS_CHECK(config.attack != AttackKind::kNone,
             "detection runs need an attack in stage 3");
   Rng rng(seed);
@@ -189,17 +201,32 @@ DetectionRunResult RunDetectionRun(const DetectionRunConfig& config,
   Scenario s = BuildScenario(main);
   s.RunTicks(kWarmupTicks);
 
+  std::unique_ptr<fault::FaultInjector> injector;
+  if (robust) {
+    injector = std::make_unique<fault::FaultInjector>(*s.hypervisor, s.victim,
+                                                      robust->plan);
+  }
+  const detect::DegradeConfig degrade =
+      robust ? robust->degrade : detect::DegradeConfig{};
+
   std::unique_ptr<detect::Detector> detector;
+  detect::SdsDetector* sds = nullptr;
+  detect::KsTestDetector* ks = nullptr;
   if (config.scheme == Scheme::kKsTest) {
     detect::KsTestParams kp = config.ks_params;
     kp.initial_offset = static_cast<Tick>(
         rng.UniformInt(static_cast<std::uint64_t>(kp.l_r)));
-    detector = std::make_unique<detect::KsTestDetector>(*s.hypervisor,
-                                                        s.victim, kp);
+    auto d = std::make_unique<detect::KsTestDetector>(
+        *s.hypervisor, s.victim, kp, detect::KsIdentificationParams{},
+        injector.get(), degrade);
+    ks = d.get();
+    detector = std::move(d);
   } else {
-    detector = std::make_unique<detect::SdsDetector>(
+    auto d = std::make_unique<detect::SdsDetector>(
         *s.hypervisor, s.victim, profile, config.params,
-        ModeFor(config.scheme));
+        ModeFor(config.scheme), injector.get(), degrade);
+    sds = d.get();
+    detector = std::move(d);
   }
 
   // Stage 2: clean. Specificity over fixed decision intervals.
@@ -259,7 +286,26 @@ DetectionRunResult RunDetectionRun(const DetectionRunConfig& config,
             .Num("false_positive_intervals", result.false_positive_intervals)
             .Num("true_negative_intervals", result.true_negative_intervals));
   }
+  if (counters) {
+    if (injector) counters->fault = injector->stats();
+    counters->degrade = sds ? sds->gate().stats() : ks->gate().stats();
+    if (ks) counters->ks_abandoned_collections = ks->abandoned_collections();
+  }
   return result;
+}
+
+}  // namespace
+
+DetectionRunResult RunDetectionRun(const DetectionRunConfig& config,
+                                   std::uint64_t seed) {
+  return RunDetectionRunImpl(config, seed, nullptr, nullptr);
+}
+
+DetectionRunResult RunDetectionRunFaulted(const DetectionRunConfig& config,
+                                          std::uint64_t seed,
+                                          const RobustnessRunConfig& robust,
+                                          RobustnessCounters* counters) {
+  return RunDetectionRunImpl(config, seed, &robust, counters);
 }
 
 OverheadRunResult RunOverheadRun(const OverheadRunConfig& config,

@@ -1,0 +1,101 @@
+// FaultInjector: a SampleSource that perturbs a PcmSampler's stream
+// according to a deterministic FaultPlan.
+//
+// The injector owns the underlying PcmSampler and sits between it and the
+// detector, so the detector's view of the monitoring plane — and only that
+// view — degrades. The simulated machine, the workloads and the attack all
+// run untouched; with the same simulation seed, a fault sweep compares
+// detector behavior across monitoring-plane conditions on the SAME
+// trajectory.
+//
+// Determinism: all stochastic decisions come from the plan's private RNG
+// (seeded by plan.seed), with a fixed draw order per tick. Two runs with the
+// same plan, seed and call sequence inject the same faults at the same
+// ticks.
+//
+// Fault semantics (see FaultKind for the catalog):
+//   * drop       — the interval's delta is read and discarded; the stream
+//                  has a one-tick hole and the NEXT sample is normal;
+//   * coalesce   — the read is skipped; the next read's delta spans the
+//                  hole (PcmSampler's missed-tick tolerance produces
+//                  exactly this);
+//   * outage     — like coalesce but for a drawn window; self-recovers;
+//   * death      — no samples and healthy() == false until TryRestart()
+//                  succeeds, which it refuses to do while the drawn death
+//                  window is still running (this is what gives a watchdog's
+//                  exponential backoff something to chew on); a successful
+//                  restart re-baselines the sampler;
+//   * reset      — one sample's deltas wrap to absurd values, as a real
+//                  delta computed across a counter reset would;
+//   * saturation — deltas clamp to plan.saturation_cap for a window;
+//   * corruption — one sample is zeroed or gets a high bit flipped.
+//
+// Every injection is counted in FaultStats and emitted as a Layer::kFault
+// trace event plus a `fault.injected.<kind>` metric when telemetry is
+// attached.
+#pragma once
+
+#include <optional>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "fault/fault_plan.h"
+#include "pcm/pcm_sampler.h"
+#include "pcm/sample_source.h"
+#include "vm/hypervisor.h"
+
+namespace sds::fault {
+
+class FaultInjector final : public pcm::SampleSource {
+ public:
+  FaultInjector(vm::Hypervisor& hypervisor, OwnerId target,
+                const FaultPlan& plan);
+
+  // SampleSource. Start/Stop track the consumer's session intent; a dead
+  // injector keeps the inner sampler detached until restarted.
+  void Start() override;
+  void Stop() override;
+  bool started() const override { return started_; }
+  OwnerId target() const override { return target_; }
+  std::optional<pcm::PcmSample> Next() override;
+  Tick last_span() const override { return inner_.last_span(); }
+  bool healthy() const override { return !dead_; }
+  bool TryRestart() override;
+
+  const FaultPlan& plan() const { return plan_; }
+  const FaultStats& stats() const { return stats_; }
+  bool dead() const { return dead_; }
+
+ private:
+  // Draws this tick's stochastic faults and folds in scheduled ones.
+  // Returns the dominant fault for the tick (window kinds also update the
+  // active windows), or nullopt for a clean tick.
+  std::optional<FaultKind> DecideFault(Tick now);
+  void OpenWindow(FaultKind kind, Tick now, Tick duration);
+  void RecordInjection(FaultKind kind, Tick now, double detail);
+  pcm::PcmSample Tamper(FaultKind kind, pcm::PcmSample s);
+
+  vm::Hypervisor& hypervisor_;
+  OwnerId target_;
+  FaultPlan plan_;
+  Rng rng_;
+  pcm::PcmSampler inner_;
+
+  bool started_ = false;
+  bool dead_ = false;
+  // TryRestart() fails before this tick.
+  Tick dead_until_ = 0;
+  // No samples are delivered while now < outage_until_.
+  Tick outage_until_ = 0;
+  // Deltas clamp while now < saturation_until_.
+  Tick saturation_until_ = 0;
+  // Index of the next unapplied scheduled fault (plan_.scheduled is
+  // consumed in order; entries are expected sorted by tick).
+  std::size_t next_scheduled_ = 0;
+
+  FaultStats stats_;
+  telemetry::Counter* t_injected_[kFaultKindCount] = {};
+  telemetry::Counter* t_missing_ = nullptr;
+};
+
+}  // namespace sds::fault

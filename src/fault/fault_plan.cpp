@@ -1,0 +1,42 @@
+#include "fault/fault_plan.h"
+
+namespace sds::fault {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDropSample:
+      return "drop_sample";
+    case FaultKind::kCoalesce:
+      return "coalesce";
+    case FaultKind::kOutage:
+      return "outage";
+    case FaultKind::kSamplerDeath:
+      return "sampler_death";
+    case FaultKind::kCounterReset:
+      return "counter_reset";
+    case FaultKind::kSaturation:
+      return "saturation";
+    case FaultKind::kCorruption:
+      return "corruption";
+    case FaultKind::kKindCount:
+      break;
+  }
+  return "?";
+}
+
+bool FaultPlan::enabled() const {
+  if (!scheduled.empty()) return true;
+  for (const double r : rates) {
+    if (r > 0.0) return true;
+  }
+  return false;
+}
+
+FaultPlan FaultPlan::Single(FaultKind kind, double rate, std::uint64_t seed) {
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.set_rate(kind, rate);
+  return plan;
+}
+
+}  // namespace sds::fault

@@ -16,6 +16,7 @@ PcmSampler::PcmSampler(vm::Hypervisor& hypervisor, OwnerId target)
   if (tel::Telemetry* t = hypervisor_.telemetry()) {
     t_samples_ = t->metrics().GetCounter("pcm.samples");
     t_sessions_ = t->metrics().GetCounter("pcm.monitor_sessions");
+    t_missed_ticks_ = t->metrics().GetCounter("pcm.missed_ticks");
   }
 }
 
@@ -40,6 +41,8 @@ void PcmSampler::Start() {
   const sim::OwnerCounters& c = hypervisor_.machine().counters(target_);
   last_accesses_ = c.llc_accesses;
   last_misses_ = c.llc_misses;
+  last_read_tick_ = hypervisor_.now();
+  last_span_ = 1;
 }
 
 void PcmSampler::Stop() {
@@ -51,9 +54,30 @@ void PcmSampler::Stop() {
 
 PcmSample PcmSampler::Sample() {
   SDS_CHECK(started_, "sampler not started");
+  const Tick now = hypervisor_.now();
+  SDS_CHECK(now != last_read_tick_,
+            "PcmSampler::Sample() called twice in one tick: the second delta "
+            "would be zero and skew every downstream statistic");
+  if (now > last_read_tick_ + 1) {
+    // Missed tick(s): tolerated — the delta below spans the gap. Surface the
+    // coalescing so detectors and trace readers can account for it.
+    const auto skipped = static_cast<std::uint64_t>(now - last_read_tick_ - 1);
+    missed_ticks_ += skipped;
+    if (t_missed_ticks_) {
+      t_missed_ticks_->Add(skipped);
+      tel::Telemetry* t = hypervisor_.telemetry();
+      if (t->tracer().enabled(tel::Layer::kPcm)) {
+        t->tracer().Emit(tel::MakeEvent(now, tel::Layer::kPcm, "missed_ticks",
+                                        target_)
+                             .Num("skipped", static_cast<double>(skipped)));
+      }
+    }
+  }
+  last_span_ = now - last_read_tick_;
+  last_read_tick_ = now;
   const sim::OwnerCounters& c = hypervisor_.machine().counters(target_);
   PcmSample s;
-  s.tick = hypervisor_.now();
+  s.tick = now;
   s.access_num = c.llc_accesses - last_accesses_;
   s.miss_num = c.llc_misses - last_misses_;
   last_accesses_ = c.llc_accesses;

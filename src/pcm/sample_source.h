@@ -1,0 +1,65 @@
+// The monitoring-plane seam between the PCM sampler and its consumers.
+//
+// On a real cloud host the detector never reads MSRs itself: a monitoring
+// agent does, and that agent can drop reads, coalesce intervals, return
+// garbage after a counter reset, or die outright. SampleSource abstracts
+// "whatever produces the per-interval PcmSample stream" so that detectors
+// are written against an imperfect source from the start:
+//
+//   * PcmSampler implements it directly (the perfect source — one sample per
+//     tick, always);
+//   * fault::FaultInjector wraps a PcmSampler and perturbs the stream
+//     according to a deterministic FaultPlan;
+//   * detect::* consumers handle the imperfections via degradation policies
+//     (detect/degrade.h).
+//
+// Next() replaces the bare Sample() call: nullopt means the monitoring plane
+// produced NOTHING this tick (a dropped read or an outage) — it does not
+// mean zero activity, which is a valid sample with zero deltas. A source
+// that returns nullopt may also report !healthy(), which tells the
+// SamplerWatchdog the source is dead and needs a restart rather than merely
+// lossy.
+#pragma once
+
+#include <optional>
+
+#include "common/types.h"
+
+namespace sds::pcm {
+
+struct PcmSample;
+
+class SampleSource {
+ public:
+  virtual ~SampleSource() = default;
+
+  // Session control, mirroring PcmSampler. Start()/Stop() pairs delimit a
+  // monitoring session; deltas never span a stopped gap.
+  virtual void Start() = 0;
+  virtual void Stop() = 0;
+  virtual bool started() const = 0;
+
+  // The VM whose counters this source reports.
+  virtual OwnerId target() const = 0;
+
+  // Reads this tick's sample. Call at most once per hypervisor tick while
+  // started. nullopt = the monitoring plane delivered nothing this tick.
+  virtual std::optional<PcmSample> Next() = 0;
+
+  // Number of T_PCM intervals the most recent delivered sample's delta
+  // covered: 1 for a normal read, 1 + the skipped ticks when the read
+  // coalesced a gap. Consumers use it to scale sanity bounds and normalize
+  // the delta back to a per-interval estimate.
+  virtual Tick last_span() const { return 1; }
+
+  // False while the source is dead (an outage that will not clear on its
+  // own). A watchdog should call TryRestart() until it succeeds.
+  virtual bool healthy() const { return true; }
+
+  // Attempts to revive a dead source (stop + start the underlying sampler).
+  // Returns true on success; the delta baseline is reset, so the first
+  // sample after a successful restart starts a fresh interval.
+  virtual bool TryRestart() { return true; }
+};
+
+}  // namespace sds::pcm

@@ -21,6 +21,8 @@ const char* LayerName(Layer layer) {
       return "vm";
     case Layer::kPcm:
       return "pcm";
+    case Layer::kFault:
+      return "fault";
     case Layer::kDetect:
       return "detect";
     case Layer::kEval:

@@ -31,6 +31,9 @@ enum class Layer : std::uint8_t {
   kSimDram,
   kVm,
   kPcm,
+  // Monitoring-plane fault injection and the degradation actions detectors
+  // take in response (fault/fault_injector.h, detect/degrade.h).
+  kFault,
   kDetect,
   kEval,
   kLayerCount,

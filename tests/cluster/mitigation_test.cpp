@@ -1,8 +1,11 @@
 #include "cluster/mitigation.h"
 
+#include <string_view>
+
 #include <gtest/gtest.h>
 
 #include "attacks/bus_lock_attacker.h"
+#include "telemetry/telemetry.h"
 #include "workloads/catalog.h"
 
 namespace sds::cluster {
@@ -124,6 +127,84 @@ TEST(MitigationTest, RecordsMitigationTick) {
                           MitigationPolicy::kMigrateVictim, /*spare=*/1);
   engine.OnAlarm(0);
   EXPECT_EQ(engine.mitigation_tick(), 25);
+}
+
+// -- Mitigation audit trail ---------------------------------------------------
+
+struct AuditedRig {
+  telemetry::Telemetry telemetry;
+  Cluster cluster;
+  VmRef victim;
+  VmRef attacker;
+
+  AuditedRig() : cluster(2, TelemetryHostConfig(&telemetry), 11) {
+    victim = cluster.Deploy(0, "victim", AppFactory("kmeans"));
+    attacker = cluster.Deploy(0, "attacker", AttackerFactory());
+  }
+
+  static HostConfig TelemetryHostConfig(telemetry::Telemetry* t) {
+    HostConfig config;
+    config.machine.telemetry = t;
+    return config;
+  }
+
+  // The single mitigation audit record of the run.
+  const telemetry::AuditRecord& MitigationRecord() {
+    const telemetry::AuditRecord* found = nullptr;
+    for (const auto& r : telemetry.audit().records()) {
+      if (std::string_view(r.check) == "mitigation") {
+        EXPECT_EQ(found, nullptr) << "mitigation audited more than once";
+        found = &r;
+      }
+    }
+    EXPECT_NE(found, nullptr) << "no mitigation audit record";
+    return *found;
+  }
+};
+
+TEST(MitigationTest, UnattributedFallbackIsAudited) {
+  // The regression this pins: a provider reviewing a quarantine policy that
+  // keeps migrating instead must find each unattributed alarm in the audit
+  // stream, flagged as a fallback.
+  AuditedRig rig;
+  MitigationEngine engine(rig.cluster, rig.victim,
+                          MitigationPolicy::kQuarantineAttacker, /*spare=*/1);
+  engine.OnAlarm(/*attributed=*/0);
+  ASSERT_TRUE(engine.mitigated());
+  EXPECT_EQ(engine.applied_policy(), MitigationPolicy::kMigrateVictim);
+
+  const telemetry::AuditRecord& r = rig.MitigationRecord();
+  EXPECT_STREQ(r.detector, "MitigationEngine");
+  EXPECT_STREQ(r.channel, "migrate-victim");  // the APPLIED policy
+  EXPECT_TRUE(r.violation);                   // fallback, not the intent
+  EXPECT_TRUE(r.alarm);
+  EXPECT_DOUBLE_EQ(r.value, 0.0);  // the (absent) attributed attacker
+}
+
+TEST(MitigationTest, SelfAttributedAlarmAlsoFallsBack) {
+  // Identification can land on the victim itself (KStest scores the victim
+  // too); quarantining the victim would complete the denial of service.
+  AuditedRig rig;
+  MitigationEngine engine(rig.cluster, rig.victim,
+                          MitigationPolicy::kQuarantineAttacker, /*spare=*/1);
+  engine.OnAlarm(rig.victim.id);
+  EXPECT_EQ(engine.applied_policy(), MitigationPolicy::kMigrateVictim);
+  EXPECT_EQ(engine.victim().host, 1);
+  EXPECT_TRUE(rig.MitigationRecord().violation);
+}
+
+TEST(MitigationTest, AttributedQuarantineIsAuditedAsApplied) {
+  AuditedRig rig;
+  MitigationEngine engine(rig.cluster, rig.victim,
+                          MitigationPolicy::kQuarantineAttacker, /*spare=*/1);
+  engine.OnAlarm(rig.attacker.id);
+  EXPECT_EQ(engine.applied_policy(), MitigationPolicy::kQuarantineAttacker);
+
+  const telemetry::AuditRecord& r = rig.MitigationRecord();
+  EXPECT_STREQ(r.channel, "quarantine-attacker");
+  EXPECT_FALSE(r.violation);  // the policy did what it says
+  EXPECT_TRUE(r.alarm);
+  EXPECT_DOUBLE_EQ(r.value, static_cast<double>(rig.attacker.id));
 }
 
 TEST(MitigationTest, RejectsBadSpareHost) {

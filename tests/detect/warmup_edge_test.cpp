@@ -1,0 +1,138 @@
+// Warm-up edge cases of the profiling/boundary pipeline: degenerate clean
+// windows must produce a clear, immediate error (or a well-defined finite
+// profile) — never a silent NaN that disables detection.
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "detect/boundary.h"
+#include "detect/period.h"
+#include "detect/profile.h"
+
+namespace sds::detect {
+namespace {
+
+// Small preprocessing windows so edge lengths stay readable; the checks
+// under test are length-relative, not absolute.
+DetectorParams SmallParams() {
+  DetectorParams p;
+  p.window = 10;
+  p.step = 5;
+  return p;
+}
+
+std::vector<pcm::PcmSample> ConstantSamples(std::size_t n,
+                                            std::uint64_t access,
+                                            std::uint64_t miss) {
+  std::vector<pcm::PcmSample> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i].tick = static_cast<Tick>(i + 1);
+    out[i].access_num = access;
+    out[i].miss_num = miss;
+  }
+  return out;
+}
+
+TEST(WarmupEdgeTest, SingleSampleProfileAbortsWithClearError) {
+  const auto clean = ConstantSamples(1, 500, 50);
+  EXPECT_DEATH(BuildSdsProfile(clean, SmallParams()), "too short");
+}
+
+TEST(WarmupEdgeTest, ProfileShorterThanOneWindowAborts) {
+  // 9 raw samples never fill the 10-sample MA window: zero EWMA values.
+  const auto clean = ConstantSamples(9, 500, 50);
+  EXPECT_DEATH(BuildSdsProfile(clean, SmallParams()), "too short");
+}
+
+TEST(WarmupEdgeTest, ProfileWithOneEwmaValueAborts) {
+  // Exactly one full window produces exactly one EWMA value — no variance
+  // estimate exists, so sigma_E would be undefined.
+  const auto clean = ConstantSamples(10, 500, 50);
+  EXPECT_DEATH(BuildSdsProfile(clean, SmallParams()), "too short");
+}
+
+TEST(WarmupEdgeTest, TwoEwmaValuesAreTheMinimumViableProfile) {
+  const auto clean = ConstantSamples(15, 500, 50);  // window + step
+  const SdsProfile profile = BuildSdsProfile(clean, SmallParams());
+  EXPECT_TRUE(std::isfinite(profile.access_boundary.mean));
+  EXPECT_TRUE(std::isfinite(profile.access_boundary.stddev));
+  EXPECT_DOUBLE_EQ(profile.access_boundary.mean, 500.0);
+}
+
+TEST(WarmupEdgeTest, AllZeroProfileIsFiniteAndNotPeriodic) {
+  // An idle VM profiles as all-zero windows. That must yield mu = sigma = 0
+  // (not NaN from a zero-variance normalization) and never classify as
+  // periodic.
+  const auto clean = ConstantSamples(400, 0, 0);
+  const SdsProfile profile = BuildSdsProfile(clean, SmallParams());
+  EXPECT_DOUBLE_EQ(profile.access_boundary.mean, 0.0);
+  EXPECT_DOUBLE_EQ(profile.access_boundary.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(profile.miss_boundary.mean, 0.0);
+  EXPECT_DOUBLE_EQ(profile.miss_boundary.stddev, 0.0);
+  EXPECT_FALSE(profile.periodic());
+}
+
+TEST(WarmupEdgeTest, AllZeroProfileStillDetectsActivity) {
+  // Degenerate zero-sigma bounds collapse to [0, 0]: zero traffic is
+  // normal, any activity is a violation — strict and finite, not NaN-blind.
+  const DetectorParams params = SmallParams();
+  const auto clean = ConstantSamples(400, 0, 0);
+  const SdsProfile profile = BuildSdsProfile(clean, params);
+  BoundaryAnalyzer analyzer(profile.access_boundary, params);
+  for (int i = 0; i < 20; ++i) {
+    const auto s = analyzer.Observe(0.0);
+    if (s.has_value()) {
+      EXPECT_TRUE(std::isfinite(*s));
+      EXPECT_EQ(analyzer.consecutive_violations(), 0);
+    }
+  }
+  int violations = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (analyzer.Observe(800.0).has_value() && analyzer.consecutive_violations() > 0) {
+      ++violations;
+    }
+  }
+  EXPECT_GT(violations, 0);
+}
+
+TEST(WarmupEdgeTest, ConstantProfileStaysInBoundsOnSameConstant) {
+  // sigma_E = 0 collapses the bounds to the mean; the EWMA of the same
+  // constant sits exactly on it and the strict comparison never fires.
+  const DetectorParams params = SmallParams();
+  const auto clean = ConstantSamples(100, 500, 50);
+  const SdsProfile profile = BuildSdsProfile(clean, params);
+  EXPECT_DOUBLE_EQ(profile.access_boundary.stddev, 0.0);
+  BoundaryAnalyzer analyzer(profile.access_boundary, params);
+  for (int i = 0; i < 100; ++i) {
+    analyzer.Observe(500.0);
+    EXPECT_EQ(analyzer.consecutive_violations(), 0);
+  }
+}
+
+TEST(WarmupEdgeTest, NonFiniteCleanSamplesAbort) {
+  const DetectorParams params = SmallParams();
+  std::vector<double> raw(100, 500.0);
+  raw[40] = std::numeric_limits<double>::infinity();
+  EXPECT_DEATH(BuildBoundaryProfile(raw, params), "finite");
+}
+
+TEST(WarmupEdgeTest, PeriodClassifierRejectsDegenerateSeries) {
+  const DetectorParams params = SmallParams();
+  // Too short for any half-window estimate.
+  EXPECT_FALSE(
+      ClassifyPeriodicity(std::vector<double>(8, 1.0), params).has_value());
+  // Long but flat: no spectral structure, no ACF hill.
+  EXPECT_FALSE(
+      ClassifyPeriodicity(std::vector<double>(400, 0.0), params).has_value());
+}
+
+TEST(WarmupEdgeTest, PeriodAnalyzerRejectsZeroPeriodProfile) {
+  PeriodProfile profile;
+  profile.period = 0.0;
+  EXPECT_DEATH(PeriodAnalyzer(profile, DetectorParams{}), "positive");
+}
+
+}  // namespace
+}  // namespace sds::detect

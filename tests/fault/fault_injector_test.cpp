@@ -1,0 +1,263 @@
+#include "fault/fault_injector.h"
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "eval/scenario.h"
+#include "workloads/catalog.h"
+
+namespace sds::fault {
+namespace {
+
+struct Rig {
+  std::unique_ptr<sim::Machine> machine;
+  std::unique_ptr<vm::Hypervisor> hypervisor;
+  OwnerId victim;
+
+  Rig() {
+    sim::MachineConfig mc;
+    machine = std::make_unique<sim::Machine>(mc);
+    vm::HypervisorConfig hc;
+    hypervisor = std::make_unique<vm::Hypervisor>(*machine, hc, Rng(3));
+    victim = hypervisor->CreateVm("victim", workloads::MakeApp("bayes"));
+  }
+};
+
+// Runs `ticks` hypervisor ticks reading the injector each tick; returns the
+// per-tick outcomes (nullopt = missing).
+std::vector<std::optional<pcm::PcmSample>> Drive(Rig& rig,
+                                                 FaultInjector& injector,
+                                                 int ticks) {
+  std::vector<std::optional<pcm::PcmSample>> out;
+  out.reserve(static_cast<std::size_t>(ticks));
+  for (int t = 0; t < ticks; ++t) {
+    rig.hypervisor->RunTick();
+    out.push_back(injector.Next());
+  }
+  return out;
+}
+
+TEST(FaultInjectorTest, DisabledPlanIsBitTransparent) {
+  // Twin rigs with identical seeds walk identical trajectories; the injector
+  // with an inert plan must reproduce the plain sampler's stream exactly.
+  Rig plain_rig;
+  Rig faulted_rig;
+  pcm::PcmSampler plain(*plain_rig.hypervisor, plain_rig.victim);
+  FaultInjector injector(*faulted_rig.hypervisor, faulted_rig.victim,
+                         FaultPlan{});
+  plain.Start();
+  injector.Start();
+  for (int t = 0; t < 50; ++t) {
+    plain_rig.hypervisor->RunTick();
+    faulted_rig.hypervisor->RunTick();
+    const pcm::PcmSample want = plain.Sample();
+    const auto got = injector.Next();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->tick, want.tick);
+    EXPECT_EQ(got->access_num, want.access_num);
+    EXPECT_EQ(got->miss_num, want.miss_num);
+  }
+  EXPECT_EQ(injector.stats().injected_total(), 0u);
+  EXPECT_EQ(injector.stats().missing_ticks, 0u);
+  EXPECT_EQ(injector.stats().tampered_samples, 0u);
+}
+
+TEST(FaultInjectorTest, ScheduledDropIsAOneTickHole) {
+  Rig rig;
+  FaultPlan plan;
+  plan.scheduled.push_back({10, FaultKind::kDropSample, 0});
+  FaultInjector injector(*rig.hypervisor, rig.victim, plan);
+  injector.Start();
+  const auto stream = Drive(rig, injector, 12);
+  EXPECT_FALSE(stream[9].has_value());  // tick 10
+  for (int t = 0; t < 12; ++t) {
+    if (t != 9) {
+      EXPECT_TRUE(stream[static_cast<std::size_t>(t)].has_value());
+    }
+  }
+  // Drop consumes the interval's delta: the next sample is a normal
+  // single-interval read, not a spanning one.
+  EXPECT_EQ(injector.last_span(), 1);
+  EXPECT_LT(stream[10]->access_num, 1500u);
+  EXPECT_EQ(injector.stats().injected[static_cast<std::size_t>(
+                FaultKind::kDropSample)],
+            1u);
+  EXPECT_EQ(injector.stats().missing_ticks, 1u);
+}
+
+TEST(FaultInjectorTest, ScheduledCoalesceFoldsIntoNextSample) {
+  Rig rig;
+  FaultPlan plan;
+  plan.scheduled.push_back({10, FaultKind::kCoalesce, 0});
+  FaultInjector injector(*rig.hypervisor, rig.victim, plan);
+  injector.Start();
+  const auto stream = Drive(rig, injector, 12);
+  EXPECT_FALSE(stream[9].has_value());  // tick 10: read skipped
+  ASSERT_TRUE(stream[10].has_value());  // tick 11: spanning delta
+  EXPECT_EQ(injector.last_span(), 1);   // tick 12 was a normal read again
+  // The tick-11 delta covered both intervals: clearly more than one
+  // interval's worth of a ~400-600 ops/tick workload.
+  EXPECT_GT(stream[10]->access_num, stream[8]->access_num * 3 / 2);
+}
+
+TEST(FaultInjectorTest, OutageWindowSelfRecoversWithSpanningSample) {
+  Rig rig;
+  FaultPlan plan;
+  plan.scheduled.push_back({10, FaultKind::kOutage, 5});
+  FaultInjector injector(*rig.hypervisor, rig.victim, plan);
+  injector.Start();
+  const auto stream = Drive(rig, injector, 20);
+  for (int t = 10; t <= 14; ++t) {
+    EXPECT_FALSE(stream[static_cast<std::size_t>(t - 1)].has_value())
+        << "tick " << t;
+  }
+  // An outage is transient: the source still reports healthy (a watchdog
+  // should not kill it) and recovery is automatic.
+  EXPECT_TRUE(injector.healthy());
+  ASSERT_TRUE(stream[14].has_value());  // tick 15: first post-outage read
+  EXPECT_EQ(injector.stats().missing_ticks, 5u);
+  ASSERT_TRUE(stream[15].has_value());
+  EXPECT_LT(stream[15]->access_num, 1500u);
+}
+
+TEST(FaultInjectorTest, DeathDeniesRestartUntilWindowEnds) {
+  Rig rig;
+  FaultPlan plan;
+  plan.scheduled.push_back({10, FaultKind::kSamplerDeath, 20});
+  FaultInjector injector(*rig.hypervisor, rig.victim, plan);
+  injector.Start();
+  Drive(rig, injector, 10);  // through tick 10: death fired
+  EXPECT_FALSE(injector.healthy());
+  EXPECT_TRUE(injector.dead());
+  EXPECT_FALSE(injector.TryRestart());  // tick 10 < dead_until_ 30
+  Drive(rig, injector, 10);             // through tick 20, all missing
+  EXPECT_FALSE(injector.TryRestart());
+  EXPECT_EQ(injector.stats().restarts_denied, 2u);
+  Drive(rig, injector, 10);  // through tick 30
+  EXPECT_TRUE(injector.TryRestart());
+  EXPECT_TRUE(injector.healthy());
+  EXPECT_EQ(injector.stats().restarts, 1u);
+  // The restart re-baselined the inner sampler: the first post-restart
+  // sample covers one interval, not the 21-tick dead window.
+  rig.hypervisor->RunTick();
+  const auto s = injector.Next();
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(injector.last_span(), 1);
+  EXPECT_LT(s->access_num, 1500u);
+}
+
+TEST(FaultInjectorTest, CounterResetWrapsExactlyOneSample) {
+  Rig rig;
+  FaultPlan plan;
+  plan.scheduled.push_back({10, FaultKind::kCounterReset, 0});
+  FaultInjector injector(*rig.hypervisor, rig.victim, plan);
+  injector.Start();
+  const auto stream = Drive(rig, injector, 12);
+  ASSERT_TRUE(stream[9].has_value());
+  // Delta against a stale baseline wraps to the top of the 64-bit space —
+  // physically impossible, and exactly what the sanity gate must catch.
+  EXPECT_GT(stream[9]->access_num, std::uint64_t{1} << 60);
+  ASSERT_TRUE(stream[10].has_value());
+  EXPECT_LT(stream[10]->access_num, 1500u);
+  EXPECT_EQ(injector.stats().tampered_samples, 1u);
+}
+
+TEST(FaultInjectorTest, SaturationClampsForTheWindow) {
+  Rig rig;
+  FaultPlan plan;
+  plan.saturation_cap = 64;
+  plan.scheduled.push_back({10, FaultKind::kSaturation, 5});
+  FaultInjector injector(*rig.hypervisor, rig.victim, plan);
+  injector.Start();
+  const auto stream = Drive(rig, injector, 20);
+  for (int t = 10; t <= 14; ++t) {
+    const auto& s = stream[static_cast<std::size_t>(t - 1)];
+    ASSERT_TRUE(s.has_value()) << "tick " << t;
+    EXPECT_LE(s->access_num, 64u) << "tick " << t;
+    EXPECT_LE(s->miss_num, 64u) << "tick " << t;
+  }
+  // Window over: deltas report truthfully again (~400-600 ops/tick).
+  ASSERT_TRUE(stream[14].has_value());
+  EXPECT_GT(stream[14]->access_num, 64u);
+  EXPECT_EQ(injector.stats().tampered_samples, 5u);
+}
+
+TEST(FaultInjectorTest, CorruptionZeroesOrFlipsAHighBit) {
+  Rig rig;
+  FaultPlan plan;
+  plan.scheduled.push_back({10, FaultKind::kCorruption, 0});
+  FaultInjector injector(*rig.hypervisor, rig.victim, plan);
+  injector.Start();
+  const auto stream = Drive(rig, injector, 11);
+  ASSERT_TRUE(stream[9].has_value());
+  const bool zeroed =
+      stream[9]->access_num == 0 && stream[9]->miss_num == 0;
+  const bool high_bit = stream[9]->access_num >= (std::uint64_t{1} << 40);
+  EXPECT_TRUE(zeroed || high_bit);
+  EXPECT_EQ(injector.stats().tampered_samples, 1u);
+}
+
+TEST(FaultInjectorTest, StochasticScheduleIsDeterministic) {
+  FaultPlan plan;
+  plan.seed = 0xfeedull;
+  plan.set_rate(FaultKind::kDropSample, 0.2);
+  plan.set_rate(FaultKind::kCorruption, 0.1);
+  plan.set_rate(FaultKind::kOutage, 0.01);
+
+  auto run = [&plan]() {
+    Rig rig;
+    FaultInjector injector(*rig.hypervisor, rig.victim, plan);
+    injector.Start();
+    auto stream = Drive(rig, injector, 300);
+    return std::make_pair(std::move(stream), injector.stats());
+  };
+  const auto [a, a_stats] = run();
+  const auto [b, b_stats] = run();
+
+  ASSERT_EQ(a.size(), b.size());
+  std::uint64_t missing = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].has_value(), b[i].has_value()) << "tick " << i + 1;
+    if (!a[i].has_value()) {
+      ++missing;
+      continue;
+    }
+    EXPECT_EQ(a[i]->access_num, b[i]->access_num) << "tick " << i + 1;
+    EXPECT_EQ(a[i]->miss_num, b[i]->miss_num) << "tick " << i + 1;
+  }
+  EXPECT_EQ(a_stats.injected, b_stats.injected);
+  EXPECT_EQ(a_stats.missing_ticks, b_stats.missing_ticks);
+  EXPECT_EQ(a_stats.missing_ticks, missing);
+  // With these rates over 300 ticks, silence would mean the plan was
+  // ignored.
+  EXPECT_GT(a_stats.injected_total(), 20u);
+}
+
+TEST(FaultInjectorTest, DifferentSeedsGiveDifferentSchedules) {
+  auto missing_pattern = [](std::uint64_t seed) {
+    Rig rig;
+    FaultPlan plan = FaultPlan::Single(FaultKind::kDropSample, 0.2, seed);
+    FaultInjector injector(*rig.hypervisor, rig.victim, plan);
+    injector.Start();
+    const auto stream = Drive(rig, injector, 200);
+    std::vector<bool> missing;
+    for (const auto& s : stream) missing.push_back(!s.has_value());
+    return missing;
+  };
+  EXPECT_NE(missing_pattern(1), missing_pattern(2));
+}
+
+TEST(FaultInjectorTest, InvalidRateAborts) {
+  Rig rig;
+  FaultPlan plan;
+  plan.set_rate(FaultKind::kDropSample, 1.5);
+  EXPECT_DEATH(FaultInjector(*rig.hypervisor, rig.victim, plan),
+               "probability");
+}
+
+}  // namespace
+}  // namespace sds::fault

@@ -1,0 +1,55 @@
+#include "fault/fault_plan.h"
+
+#include <gtest/gtest.h>
+
+namespace sds::fault {
+namespace {
+
+TEST(FaultPlanTest, KindNamesAreStableIdentifiers) {
+  // These names appear in metrics (`fault.injected.<kind>`), trace events
+  // and BENCH_robustness JSON; renaming one breaks trend tracking.
+  EXPECT_STREQ(FaultKindName(FaultKind::kDropSample), "drop_sample");
+  EXPECT_STREQ(FaultKindName(FaultKind::kCoalesce), "coalesce");
+  EXPECT_STREQ(FaultKindName(FaultKind::kOutage), "outage");
+  EXPECT_STREQ(FaultKindName(FaultKind::kSamplerDeath), "sampler_death");
+  EXPECT_STREQ(FaultKindName(FaultKind::kCounterReset), "counter_reset");
+  EXPECT_STREQ(FaultKindName(FaultKind::kSaturation), "saturation");
+  EXPECT_STREQ(FaultKindName(FaultKind::kCorruption), "corruption");
+}
+
+TEST(FaultPlanTest, DefaultPlanIsDisabled) {
+  FaultPlan plan;
+  EXPECT_FALSE(plan.enabled());
+  for (std::size_t k = 0; k < kFaultKindCount; ++k) {
+    EXPECT_EQ(plan.rate(static_cast<FaultKind>(k)), 0.0);
+  }
+}
+
+TEST(FaultPlanTest, SingleEnablesExactlyOneKind) {
+  const FaultPlan plan = FaultPlan::Single(FaultKind::kOutage, 0.25, 77);
+  EXPECT_TRUE(plan.enabled());
+  EXPECT_EQ(plan.seed, 77u);
+  EXPECT_DOUBLE_EQ(plan.rate(FaultKind::kOutage), 0.25);
+  for (std::size_t k = 0; k < kFaultKindCount; ++k) {
+    const auto kind = static_cast<FaultKind>(k);
+    if (kind != FaultKind::kOutage) {
+      EXPECT_EQ(plan.rate(kind), 0.0);
+    }
+  }
+}
+
+TEST(FaultPlanTest, ScheduledFaultsMakeThePlanEnabled) {
+  FaultPlan plan;
+  plan.scheduled.push_back({100, FaultKind::kSamplerDeath, 50});
+  EXPECT_TRUE(plan.enabled());
+}
+
+TEST(FaultPlanTest, StatsTotalSumsAllKinds) {
+  FaultStats stats;
+  stats.injected[static_cast<std::size_t>(FaultKind::kDropSample)] = 3;
+  stats.injected[static_cast<std::size_t>(FaultKind::kCorruption)] = 4;
+  EXPECT_EQ(stats.injected_total(), 7u);
+}
+
+}  // namespace
+}  // namespace sds::fault

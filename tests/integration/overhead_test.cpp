@@ -1,6 +1,8 @@
 // Integration: the fixed-work performance-overhead protocol (Figure 12).
 #include <gtest/gtest.h>
 
+#include <cstdint>
+
 #include "eval/experiment.h"
 
 namespace sds::eval {
@@ -47,12 +49,11 @@ TEST(OverheadTest, SdsCheaperThanKstest) {
   double ks_sum = 0.0;
   const int seeds = 3;
   for (int s = 0; s < seeds; ++s) {
-    const auto base =
-        RunOverheadRun(ShortConfig("bayes", Scheme::kNone), 10 + s);
-    const auto sds =
-        RunOverheadRun(ShortConfig("bayes", Scheme::kSds), 10 + s);
+    const auto seed = static_cast<std::uint64_t>(10 + s);
+    const auto base = RunOverheadRun(ShortConfig("bayes", Scheme::kNone), seed);
+    const auto sds = RunOverheadRun(ShortConfig("bayes", Scheme::kSds), seed);
     const auto ks =
-        RunOverheadRun(ShortConfig("bayes", Scheme::kKsTest), 10 + s);
+        RunOverheadRun(ShortConfig("bayes", Scheme::kKsTest), seed);
     sds_sum += static_cast<double>(sds.completion_ticks) /
                static_cast<double>(base.completion_ticks);
     ks_sum += static_cast<double>(ks.completion_ticks) /

@@ -121,5 +121,67 @@ TEST(PcmSamplerTest, DoubleStartAborts) {
   EXPECT_DEATH(sampler.Start(), "already started");
 }
 
+// -- Once-per-tick contract ---------------------------------------------------
+
+TEST(PcmSamplerTest, DoubleSampleInOneTickAborts) {
+  Rig rig;
+  PcmSampler sampler(*rig.hypervisor, rig.victim);
+  sampler.Start();
+  rig.hypervisor->RunTick();
+  sampler.Sample();
+  // The second delta would be zero and silently bias every statistic.
+  EXPECT_DEATH(sampler.Sample(), "twice in one tick");
+}
+
+TEST(PcmSamplerTest, SampleInStartTickAborts) {
+  Rig rig;
+  PcmSampler sampler(*rig.hypervisor, rig.victim);
+  sampler.Start();
+  // Start() aligned the baseline to the current tick; sampling before the
+  // next RunTick would produce the same zero-delta hazard.
+  EXPECT_DEATH(sampler.Sample(), "twice in one tick");
+}
+
+TEST(PcmSamplerTest, MissedTicksAreToleratedAndCounted) {
+  Rig rig;
+  PcmSampler sampler(*rig.hypervisor, rig.victim);
+  sampler.Start();
+  rig.hypervisor->RunTick();
+  const PcmSample first = sampler.Sample();
+  EXPECT_EQ(sampler.missed_ticks(), 0u);
+  EXPECT_EQ(sampler.last_span(), 1);
+
+  // Skip 4 ticks, then read: the delta spans the whole 5-interval gap.
+  for (int t = 0; t < 5; ++t) rig.hypervisor->RunTick();
+  const PcmSample wide = sampler.Sample();
+  EXPECT_EQ(sampler.missed_ticks(), 4u);
+  EXPECT_EQ(sampler.last_span(), 5);
+  // ~5 intervals of activity, so clearly more than one interval's worth.
+  EXPECT_GT(wide.access_num, first.access_num * 2);
+
+  // The next normal read is a clean single interval again.
+  rig.hypervisor->RunTick();
+  sampler.Sample();
+  EXPECT_EQ(sampler.missed_ticks(), 4u);
+  EXPECT_EQ(sampler.last_span(), 1);
+}
+
+TEST(PcmSamplerTest, TryRestartRebaselines) {
+  Rig rig;
+  PcmSampler sampler(*rig.hypervisor, rig.victim);
+  sampler.Start();
+  rig.hypervisor->RunTick();
+  sampler.Sample();
+  // Leave a 10-tick gap, restart, then read: the delta must NOT span the
+  // gap (TryRestart re-baselined), unlike the missed-tick tolerance above.
+  for (int t = 0; t < 10; ++t) rig.hypervisor->RunTick();
+  EXPECT_TRUE(sampler.TryRestart());
+  EXPECT_TRUE(sampler.started());
+  rig.hypervisor->RunTick();
+  const PcmSample s = sampler.Sample();
+  EXPECT_EQ(sampler.last_span(), 1);
+  EXPECT_LT(s.access_num, 1500u);
+}
+
 }  // namespace
 }  // namespace sds::pcm

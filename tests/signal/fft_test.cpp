@@ -70,7 +70,9 @@ TEST(FftTest, SineConcentratesAtItsBin) {
   EXPECT_NEAR(std::abs(spec[5]), static_cast<double>(n) / 2.0, 1e-9);
   EXPECT_NEAR(std::abs(spec[n - 5]), static_cast<double>(n) / 2.0, 1e-9);
   for (std::size_t k = 0; k < n; ++k) {
-    if (k != 5 && k != n - 5) EXPECT_NEAR(std::abs(spec[k]), 0.0, 1e-9);
+    if (k != 5 && k != n - 5) {
+      EXPECT_NEAR(std::abs(spec[k]), 0.0, 1e-9);
+    }
   }
 }
 

@@ -135,7 +135,9 @@ TEST_P(CacheInvariantTest, RandomWorkloadInvariants) {
     const bool was_resident = cache.Contains(addr);
     const auto r = cache.Access(owner, addr);
     EXPECT_EQ(r.hit, was_resident);
-    if (r.hit) EXPECT_FALSE(r.evicted_valid);
+    if (r.hit) {
+      EXPECT_FALSE(r.evicted_valid);
+    }
     EXPECT_TRUE(cache.Contains(addr));
   }
   std::size_t total = 0;

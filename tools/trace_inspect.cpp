@@ -141,6 +141,9 @@ int main(int argc, char** argv) {
   std::map<std::string, LayerSummary> layers;
   std::map<std::string, std::uint64_t> event_counts;  // "layer/event"
   std::map<std::string, AuditSummary> audits;         // "detector/check"
+  std::map<std::string, std::uint64_t> fault_events;  // layer=fault, by name
+  // check=degrade audit records, keyed "consumer/action".
+  std::map<std::string, std::uint64_t> degrade_actions;
   std::vector<JsonObject> alarm_timeline;             // alarm events + audits
   std::map<std::string, bool> alarm_state;            // per detector
   std::vector<std::string> metric_lines;
@@ -180,6 +183,7 @@ int main(int argc, char** argv) {
       if (event == "alarm_raised" || event == "alarm_cleared") {
         alarm_timeline.push_back(o);
       }
+      if (layer == "fault") ++fault_events[event];
     } else if (type == "audit") {
       ++total_audits;
       const std::string detector = StrOr(o, "detector", "?");
@@ -188,7 +192,9 @@ int main(int argc, char** argv) {
       ++as.records;
       if (StrOr(o, "violation", "false") == "true") ++as.violations;
       if (alarm) ++as.alarmed;
-      as.worst_margin = std::max(as.worst_margin, NumOr(o, "margin", -1e300));
+      if (o.count("margin") != 0) {
+        as.worst_margin = std::max(as.worst_margin, NumOr(o, "margin", -1e300));
+      }
       // Audit records survive ring overflow, so reconstruct alarm
       // transitions from them even when the alarm_raised event itself was
       // dropped from the retained event window.
@@ -199,6 +205,9 @@ int main(int argc, char** argv) {
         transition["event"] =
             alarm ? "alarm_raised (audit)" : "alarm_cleared (audit)";
         alarm_timeline.push_back(std::move(transition));
+      }
+      if (StrOr(o, "check", "") == "degrade") {
+        ++degrade_actions[detector + "/" + StrOr(o, "channel", "?")];
       }
       if (dump_audit) event_dump.push_back(line);
     } else if (type == "metric") {
@@ -246,11 +255,36 @@ int main(int argc, char** argv) {
     std::printf("  %-24s %8s %10s %8s %12s\n", "detector/check", "records",
                 "violations", "alarmed", "worst-margin");
     for (const auto& [key, as] : audits) {
-      std::printf("  %-24s %8llu %10llu %8llu %12.4f\n", key.c_str(),
+      std::printf("  %-24s %8llu %10llu %8llu ", key.c_str(),
                   static_cast<unsigned long long>(as.records),
                   static_cast<unsigned long long>(as.violations),
-                  static_cast<unsigned long long>(as.alarmed),
-                  as.worst_margin);
+                  static_cast<unsigned long long>(as.alarmed));
+      // Degradation audits carry no margin; leave the column blank.
+      if (as.worst_margin > -1e300) {
+        std::printf("%12.4f\n", as.worst_margin);
+      } else {
+        std::printf("%12s\n", "-");
+      }
+    }
+  }
+
+  if (!fault_events.empty() || !degrade_actions.empty()) {
+    // The monitoring-plane story of the run: what the FaultInjector did to
+    // the sample stream, and how the detectors' degradation gates responded.
+    std::printf("\nmonitoring-plane faults & degradation\n");
+    if (!fault_events.empty()) {
+      std::printf("  %-40s %10s\n", "fault-layer event", "count");
+      for (const auto& [name, count] : fault_events) {
+        std::printf("  %-40s %10llu\n", name.c_str(),
+                    static_cast<unsigned long long>(count));
+      }
+    }
+    if (!degrade_actions.empty()) {
+      std::printf("  %-40s %10s\n", "degradation (consumer/action)", "count");
+      for (const auto& [key, count] : degrade_actions) {
+        std::printf("  %-40s %10llu\n", key.c_str(),
+                    static_cast<unsigned long long>(count));
+      }
     }
   }
 
