@@ -10,6 +10,8 @@
 
 #include "common/rng.h"
 #include "detect/boundary.h"
+#include "telemetry/profiler.h"
+#include "telemetry/telemetry.h"
 #include "detect/period.h"
 #include "signal/acf.h"
 #include "signal/fft.h"
@@ -126,6 +128,72 @@ void BM_CacheAccess(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 64);
 }
 BENCHMARK(BM_CacheAccess);
+
+// The same hot path with a telemetry handle attached but the profiler left
+// DISABLED (the default) — the documented "observability off" configuration.
+// Regression guard for the single-branch cost claim: this must stay within
+// noise of BM_CacheAccess.
+void BM_CacheAccessInstrumentedOff(benchmark::State& state) {
+  telemetry::Telemetry telemetry;
+  telemetry.tracer().DisableAllLayers();
+  sim::MachineConfig cfg;
+  cfg.telemetry = &telemetry;
+  sim::Machine machine(cfg);
+  machine.BeginTick();
+  Rng rng(9);
+  const std::uint64_t region = 100000;
+  for (auto _ : state) {
+    machine.BeginTick();
+    for (int i = 0; i < 64; ++i) {
+      benchmark::DoNotOptimize(machine.Access(1, rng.UniformInt(region)));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_CacheAccessInstrumentedOff);
+
+// Cost of one scoped span on a DISABLED profiler: the branch every
+// instrumentation site pays when profiling is off at runtime.
+void BM_SpanDisabled(benchmark::State& state) {
+  telemetry::SpanProfiler profiler;
+  const telemetry::SpanId id = profiler.RegisterSpan("bench.disabled");
+  for (auto _ : state) {
+    SDS_PROFILE_SPAN(&profiler, id);
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpanDisabled);
+
+// Cost of one enter/exit pair on an ENABLED profiler (wall clock: two
+// steady_clock reads plus tree bookkeeping; this bounds the overhead a
+// profiled run adds per instrumented scope).
+void BM_SpanEnterExit(benchmark::State& state) {
+  telemetry::SpanProfiler profiler;
+  const telemetry::SpanId id = profiler.RegisterSpan("bench.enabled");
+  profiler.Enable(telemetry::ProfileClock::kWall);
+  profiler.set_record_slices(false);
+  for (auto _ : state) {
+    SDS_PROFILE_SPAN(&profiler, id);
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpanEnterExit);
+
+// As above but retaining slices in the drop-oldest ring (the Perfetto
+// export configuration).
+void BM_SpanEnterExitWithSlices(benchmark::State& state) {
+  telemetry::SpanProfiler profiler;
+  const telemetry::SpanId id = profiler.RegisterSpan("bench.sliced");
+  profiler.Enable(telemetry::ProfileClock::kWall);
+  for (auto _ : state) {
+    SDS_PROFILE_SPAN(&profiler, id);
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpanEnterExitWithSlices);
 
 }  // namespace
 

@@ -1,0 +1,194 @@
+// Performance regression baseline for the whole detection pipeline.
+//
+// Runs the quickstart scenario (kmeans victim, co-located bus-locking
+// attacker, combined SDS detector) with the span profiler enabled on the
+// wall clock, then emits ONE machine-readable line:
+//
+//   BENCH_perf {"ticks":12000,"wall_ms":...,"ticks_per_sec":...,
+//               "ns_per_cache_access":...,"detector_ns_per_sample":...,
+//               "pcm_ns_per_sample":...,"spans":{"vm.tick":{...},...}}
+//
+// CI greps for the "BENCH_perf {" prefix (a missing line means the harness
+// or the profiler broke) and developers diff the numbers across commits.
+// Everything before that line is human-oriented context; the profiler's
+// subsystem shares answer "WHERE did the regression land" without rerunning
+// anything.
+//
+//   --smoke        short run for CI (fewer ticks, still every pipeline stage)
+//   --seconds S    virtual seconds to simulate under attack monitoring
+//   --trace_out F  also write a Perfetto/Chrome trace of the run to F
+//   --profile_out F  write the full telemetry JSONL (spans included) to F
+//
+// ns_per_cache_access is measured separately on a bare, telemetry-free
+// machine — the same fast path BM_CacheAccess pins — so the line also
+// documents that attaching the (disabled) profiler costs nothing there.
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "common/flags.h"
+#include "detect/sds_detector.h"
+#include "eval/experiment.h"
+#include "eval/scenario.h"
+#include "telemetry/perfetto.h"
+#include "telemetry/telemetry.h"
+#include "telemetry/timeline.h"
+
+namespace {
+
+using namespace sds;
+
+double MillisSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+// The BM_CacheAccess loop, inline: a bare machine, no telemetry handle, one
+// owner striding through twice the cache's working set.
+double MeasureNsPerCacheAccess() {
+  sim::MachineConfig config;
+  sim::Machine machine(config);
+  const std::uint64_t lines =
+      static_cast<std::uint64_t>(config.cache.sets) * config.cache.ways * 2;
+  constexpr std::uint64_t kAccesses = 4'000'000;
+  machine.BeginTick();
+  LineAddr addr = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < kAccesses; ++i) {
+    machine.Access(1, addr);
+    addr = (addr + 37) % lines;
+    if ((i & 1023u) == 1023u) machine.BeginTick();  // keep the bus refilled
+  }
+  const double ms = MillisSince(start);
+  return ms * 1e6 / static_cast<double>(kAccesses);
+}
+
+void PrintSpanEntry(std::string& out, const telemetry::SpanNodeStats& agg,
+                    bool first) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%s\"%s\":{\"count\":%" PRIu64 ",\"total_ns\":%" PRIu64
+                ",\"self_ns\":%" PRIu64 "}",
+                first ? "" : ",", agg.name, agg.count, agg.total, agg.self);
+  out += buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  if (!flags.Parse(
+          argc, argv,
+          {{"smoke", "short CI run (~10 virtual seconds per stage)"},
+           {"seconds", "virtual seconds of monitored attack run (default 60)"},
+           {"seed", "scenario seed"},
+           {"trace_out", "write a Perfetto/Chrome trace JSON to this path"},
+           {"profile_out", "write full telemetry JSONL to this path"}})) {
+    return flags.help_requested() ? 0 : 1;
+  }
+  const bool smoke = flags.GetBool("smoke", false);
+  const TickClock clock;
+  const double seconds = flags.GetDouble("seconds", smoke ? 10.0 : 60.0);
+  const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+  const Tick profile_ticks = clock.ToTicks(smoke ? 30.0 : 120.0);
+  const Tick run_ticks = clock.ToTicks(seconds);
+  const Tick attack_start = run_ticks / 2;
+
+  // Stage 1: clean profile (unprofiled; this is setup, not the measurement).
+  eval::ScenarioConfig base;
+  base.app = "kmeans";
+  const auto clean = eval::CollectCleanSamples(base, profile_ticks, seed + 1);
+  detect::DetectorParams params;
+  const detect::SdsProfile profile = detect::BuildSdsProfile(clean, params);
+
+  // Stage 2: the measured run — every layer instrumented, profiler on.
+  telemetry::Telemetry telemetry;
+  telemetry.profiler().Enable(telemetry::ProfileClock::kWall);
+  eval::ScenarioConfig cfg;
+  cfg.app = "kmeans";
+  cfg.attack = eval::AttackKind::kBusLock;
+  cfg.attack_start = attack_start;
+  cfg.seed = seed;
+  cfg.machine.telemetry = &telemetry;
+  eval::Scenario scenario = eval::BuildScenario(cfg);
+  detect::SdsDetector detector(*scenario.hypervisor, scenario.victim, profile,
+                               params, detect::SdsMode::kCombined);
+
+  const auto run_start = std::chrono::steady_clock::now();
+  for (Tick t = 0; t < run_ticks; ++t) {
+    scenario.hypervisor->RunTick();
+    detector.OnTick();
+  }
+  const double wall_ms = MillisSince(run_start);
+
+  std::printf("perf baseline: %" PRId64 " ticks (%.0fs virtual) in %.1f ms, "
+              "alarm %s\n",
+              run_ticks, seconds, wall_ms,
+              detector.alarm_events() > 0 ? "raised" : "not raised");
+  const auto incidents = telemetry::ReconstructIncidents(
+      telemetry, {.attack_start = attack_start});
+  telemetry::WriteIncidentReport(std::cout, incidents, telemetry);
+  std::cout.flush();
+
+  // Stage 3: the bare cache-access fast path, for the zero-cost-off claim.
+  const double ns_per_access = MeasureNsPerCacheAccess();
+
+  const telemetry::SpanNodeStats det =
+      telemetry.profiler().AggregateByName("detect.sds.tick");
+  const telemetry::SpanNodeStats pcm =
+      telemetry.profiler().AggregateByName("pcm.sample");
+
+  std::string spans;
+  bool first = true;
+  for (const char* name : {"vm.tick", "vm.schedule", "sim.tick", "pcm.sample",
+                           "detect.sds.tick", "detect.kstest.tick",
+                           "cluster.mitigate"}) {
+    const telemetry::SpanNodeStats agg =
+        telemetry.profiler().AggregateByName(name);
+    if (agg.count == 0) continue;
+    PrintSpanEntry(spans, agg, first);
+    first = false;
+  }
+
+  std::printf(
+      "BENCH_perf {\"ticks\":%" PRId64
+      ",\"wall_ms\":%.3f,\"ticks_per_sec\":%.0f,"
+      "\"ns_per_cache_access\":%.2f,\"detector_ns_per_sample\":%.0f,"
+      "\"pcm_ns_per_sample\":%.0f,\"spans\":{%s}}\n",
+      run_ticks, wall_ms,
+      wall_ms > 0.0 ? static_cast<double>(run_ticks) / (wall_ms / 1000.0)
+                    : 0.0,
+      ns_per_access,
+      det.count > 0 ? static_cast<double>(det.total) /
+                          static_cast<double>(det.count)
+                    : 0.0,
+      pcm.count > 0 ? static_cast<double>(pcm.total) /
+                          static_cast<double>(pcm.count)
+                    : 0.0,
+      spans.c_str());
+
+  const std::string trace_out = flags.GetString("trace_out", "");
+  if (!trace_out.empty()) {
+    if (!telemetry::WritePerfettoTraceFile(telemetry, trace_out)) {
+      std::fprintf(stderr, "cannot write %s\n", trace_out.c_str());
+      return 1;
+    }
+    std::printf("perfetto trace written to %s (open in ui.perfetto.dev or "
+                "chrome://tracing)\n",
+                trace_out.c_str());
+  }
+  const std::string profile_out = flags.GetString("profile_out", "");
+  if (!profile_out.empty()) {
+    if (!telemetry.WriteJsonlFile(profile_out)) {
+      std::fprintf(stderr, "cannot write %s\n", profile_out.c_str());
+      return 1;
+    }
+    std::printf("telemetry JSONL written to %s (inspect with "
+                "tools/trace_inspect)\n",
+                profile_out.c_str());
+  }
+  return 0;
+}

@@ -6,23 +6,43 @@
 //   3. Attach the SDS detector and run: 60 s clean, then a bus locking
 //      attack — and watch the alarm fire.
 //   4. Read the detector's decision audit trail back out of the attached
-//      telemetry handle (the same data --telemetry_out + trace_inspect use).
+//      telemetry handle (the same data --telemetry_out + trace_inspect use),
+//      and reconstruct the incident timeline: attack -> first check ->
+//      violation streak -> alarm, with the detection delay decomposed.
 //
 // Build & run:  ./build/examples/quickstart
+//               ./build/examples/quickstart --trace_out quickstart_trace.json
+// The optional --trace_out writes a Chrome/Perfetto trace of the whole run
+// (open in ui.perfetto.dev) with one track per telemetry layer plus the
+// profiler's span slices.
 #include <cstdio>
+#include <iostream>
+#include <string>
 
+#include "common/flags.h"
 #include "detect/sds_detector.h"
 #include "eval/experiment.h"
 #include "eval/scenario.h"
+#include "telemetry/perfetto.h"
 #include "telemetry/telemetry.h"
+#include "telemetry/timeline.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sds;
+  Flags flags;
+  if (!flags.Parse(argc, argv,
+                   {{"trace_out",
+                     "write a Perfetto/Chrome trace JSON of the run here"}})) {
+    return flags.help_requested() ? 0 : 1;
+  }
+  const std::string trace_out = flags.GetString("trace_out", "");
   const TickClock clock;  // 1 tick = T_PCM = 0.01 s of virtual time
 
   // One telemetry handle for the whole run: attaching it to the machine
-  // config is the only wiring observability needs.
+  // config is the only wiring observability needs. The span profiler rides
+  // on the same handle; enabling it here times every instrumented layer.
   telemetry::Telemetry telemetry;
+  telemetry.profiler().Enable(telemetry::ProfileClock::kWall);
 
   // -- Stage 1: profile the application while the VM is known clean. ------
   eval::ScenarioConfig base;
@@ -80,10 +100,28 @@ int main() {
         rec.margin, rec.consecutive);
     break;
   }
+
+  // -- And WHEN: the reconstructed incident timeline with the detection
+  // delay split into sampling wait / detector compute / debounce. ----------
+  const auto incidents = telemetry::ReconstructIncidents(
+      telemetry, {.attack_start = cfg.attack_start});
+  telemetry::WriteIncidentReport(std::cout, incidents, telemetry);
+  std::cout.flush();
+
   std::printf(
       "(%llu events traced, %zu decisions audited; a full JSONL stream of "
       "this is what bench --telemetry_out writes)\n",
       static_cast<unsigned long long>(telemetry.tracer().emitted()),
       telemetry.audit().size());
+
+  if (!trace_out.empty()) {
+    if (!telemetry::WritePerfettoTraceFile(telemetry, trace_out)) {
+      std::fprintf(stderr, "cannot write %s\n", trace_out.c_str());
+      return 1;
+    }
+    std::printf("perfetto trace written to %s (open in ui.perfetto.dev or "
+                "chrome://tracing)\n",
+                trace_out.c_str());
+  }
   return 0;
 }

@@ -30,10 +30,15 @@ MitigationEngine::MitigationEngine(Cluster& cluster, const VmRef& victim,
                 (spare_host >= 0 && spare_host < cluster.host_count() &&
                  spare_host != victim.host),
             "spare host must exist and differ from the victim's host");
+  if (tel::Telemetry* t = cluster_.machine(victim_.host).telemetry()) {
+    prof_ = &t->profiler();
+    span_mitigate_ = prof_->RegisterSpan("cluster.mitigate");
+  }
 }
 
 void MitigationEngine::OnAlarm(OwnerId attributed_attacker) {
   if (mitigated_ || policy_ == MitigationPolicy::kNone) return;
+  SDS_PROFILE_SPAN(prof_, span_mitigate_);
 
   // Quarantine needs a culprit that is a real co-tenant; anything else
   // falls back to migrating the victim (recorded as such, and audited — a

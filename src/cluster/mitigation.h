@@ -21,6 +21,10 @@
 #include "cluster/cluster.h"
 #include "common/types.h"
 
+namespace sds::telemetry {
+class SpanProfiler;
+}  // namespace sds::telemetry
+
 namespace sds::cluster {
 
 enum class MitigationPolicy : std::uint8_t {
@@ -52,6 +56,11 @@ class MitigationEngine {
  private:
   Cluster& cluster_;
   VmRef victim_;
+  // "cluster.mitigate" profiler span around each actuation (resolved from
+  // the victim host's telemetry handle). Span id is a raw integer
+  // (telemetry::SpanId).
+  telemetry::SpanProfiler* prof_ = nullptr;
+  std::uint32_t span_mitigate_ = 0;
   MitigationPolicy policy_;
   int spare_host_;
   bool mitigated_ = false;

@@ -14,6 +14,8 @@ Machine::Machine(const MachineConfig& config)
       counters_(config.max_owners) {
   if (tel::Telemetry* t = config_.telemetry) {
     instrumented_ = true;
+    prof_ = &t->profiler();
+    span_tick_ = prof_->RegisterSpan("sim.tick");
     tel::MetricsRegistry& m = t->metrics();
     t_ticks_ = m.GetCounter("sim.machine.ticks");
     t_hits_ = m.GetCounter("sim.cache.hits");
@@ -57,6 +59,7 @@ void Machine::SyncTelemetry() {
 }
 
 void Machine::BeginTick() {
+  SDS_PROFILE_SPAN(prof_, span_tick_);
   bus_.BeginTick();
   dram_.BeginTick();
   saturation_traced_ = false;

@@ -1,6 +1,7 @@
 #include "telemetry/metrics.h"
 
 #include <algorithm>
+#include <cmath>
 #include <ostream>
 
 #include "common/check.h"
@@ -15,11 +16,51 @@ Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
 }
 
 void Histogram::Observe(double value) {
+  if (!std::isfinite(value)) [[unlikely]] {
+    // NaN and +inf go to the overflow bucket, -inf to the first; none of
+    // them contaminates the running sum (see the class comment).
+    ++buckets_[value < 0.0 ? 0 : buckets_.size() - 1];
+    ++count_;
+    return;
+  }
   std::size_t i = 0;
   while (i < bounds_.size() && value > bounds_[i]) ++i;
   ++buckets_[i];
   ++count_;
   sum_ += value;
+}
+
+double Histogram::Quantile(double q) const {
+  return QuantileFromBuckets(bounds_, buckets_, q);
+}
+
+double QuantileFromBuckets(const std::vector<double>& bounds,
+                           const std::vector<std::uint64_t>& buckets,
+                           double q) {
+  SDS_CHECK(buckets.size() == bounds.size() + 1,
+            "buckets must be one longer than bounds");
+  SDS_CHECK(q >= 0.0 && q <= 1.0, "quantile must be in [0, 1]");
+  std::uint64_t total = 0;
+  for (std::uint64_t b : buckets) total += b;
+  if (total == 0) return std::nan("");
+  const double rank = q * static_cast<double>(total);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const double next = cumulative + static_cast<double>(buckets[i]);
+    if (next < rank && i + 1 < buckets.size()) {
+      cumulative = next;
+      continue;
+    }
+    if (i == bounds.size()) return bounds.back();  // overflow: clamp
+    const double lower = i == 0 ? std::min(0.0, bounds[0]) : bounds[i - 1];
+    const double upper = bounds[i];
+    if (buckets[i] == 0) return upper;
+    const double fraction =
+        std::clamp((rank - cumulative) / static_cast<double>(buckets[i]),
+                   0.0, 1.0);
+    return lower + (upper - lower) * fraction;
+  }
+  return bounds.back();
 }
 
 std::vector<double> LatencyNsBounds() {

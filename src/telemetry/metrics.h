@@ -44,6 +44,12 @@ class Gauge {
 // implicit overflow bucket above the last bound. Bounds are fixed at
 // registration; Observe is a short linear scan over a handful of doubles
 // (latency histograms use ~8 buckets), which beats binary search at this size.
+//
+// Non-finite inputs: +inf lands in the overflow bucket, -inf in bucket 0,
+// NaN in the overflow bucket (it is "not inside any bound", and the overflow
+// bucket is where unaccountable observations belong). All three are counted
+// in count() but EXCLUDED from sum(), so the running sum stays finite and
+// mean estimates stay usable after a stray bad sample.
 class Histogram {
  public:
   explicit Histogram(std::vector<double> bounds);
@@ -56,12 +62,27 @@ class Histogram {
   // buckets().size() == bounds().size() + 1 (last bucket = overflow).
   const std::vector<std::uint64_t>& buckets() const { return buckets_; }
 
+  // Interpolated quantile estimate, q in [0, 1]; see QuantileFromBuckets.
+  double Quantile(double q) const;
+
  private:
   std::vector<double> bounds_;
   std::vector<std::uint64_t> buckets_;
   std::uint64_t count_ = 0;
   double sum_ = 0.0;
 };
+
+// Estimates the q-quantile (q in [0, 1]) of a fixed-bucket histogram by
+// linear interpolation inside the bucket where the cumulative count crosses
+// q * total, Prometheus-style: bucket i spans (bounds[i-1], bounds[i]], the
+// first bucket spans (min(0, bounds[0]), bounds[0]], and a quantile landing
+// in the overflow bucket is clamped to the last bound (the histogram cannot
+// resolve beyond it). Returns NaN for an empty histogram. buckets.size()
+// must equal bounds.size() + 1. Shared by Histogram::Quantile and
+// tools/trace_inspect, which recomputes quantiles from serialized buckets.
+double QuantileFromBuckets(const std::vector<double>& bounds,
+                           const std::vector<std::uint64_t>& buckets,
+                           double q);
 
 // Default bucket bounds for latency-in-nanoseconds histograms.
 std::vector<double> LatencyNsBounds();

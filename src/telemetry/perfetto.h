@@ -1,0 +1,57 @@
+// Chrome / Perfetto trace-event JSON export.
+//
+// Serializes one Telemetry handle as a JSON object in the trace-event format
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU)
+// that chrome://tracing and https://ui.perfetto.dev load directly:
+//
+//   * profiler slices  -> nested "X" (complete) duration events on the
+//                         "profiler" process, one track per nesting level
+//                         collapsed automatically by the viewer;
+//   * tracer events    -> "i" (instant) events on the "simulation" process,
+//                         one thread track per telemetry layer, args carrying
+//                         the event's numeric/string fields;
+//   * audit records    -> "i" events on a dedicated detector-decisions track,
+//                         args carrying value/bounds/margin/verdict.
+//
+// Time bases. Tick-domain data (tracer events, audits) is mapped through
+// tpcm_seconds so one tick renders as its virtual duration; profiler slices
+// are emitted in their own clock domain (wall nanoseconds, or deterministic
+// units in tick-domain mode) on a separate process so the two axes never
+// visually mix. Both are valid trace-event streams either way — the format
+// only requires microsecond numbers, not a shared epoch.
+//
+// The export is read-only (unlike Telemetry::WriteJsonl it drains nothing),
+// so it can run mid-experiment or after WriteJsonl in any order.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "common/types.h"
+
+namespace sds::telemetry {
+
+class Telemetry;
+
+struct PerfettoOptions {
+  // Virtual seconds per simulator tick (Table 1: T_PCM).
+  double tpcm_seconds = kDefaultTpcmSeconds;
+  bool include_tracer_events = true;
+  bool include_audit_records = true;
+  bool include_profiler_slices = true;
+};
+
+// Writes the full trace-event JSON object ({"traceEvents":[...],...}).
+void WritePerfettoTrace(const Telemetry& telemetry, std::ostream& os,
+                        const PerfettoOptions& options = {});
+
+// Convenience wrapper; returns false when the file cannot be opened.
+bool WritePerfettoTraceFile(const Telemetry& telemetry,
+                            const std::string& path,
+                            const PerfettoOptions& options = {});
+
+// Escapes a string for embedding inside a JSON string literal (quotes,
+// backslashes, control characters). Exposed for the exporter's tests.
+std::string JsonEscape(const char* s);
+
+}  // namespace sds::telemetry

@@ -1,0 +1,174 @@
+#include "telemetry/profiler.h"
+
+#include <chrono>
+#include <cstring>
+#include <ostream>
+
+#include "common/check.h"
+
+namespace sds::telemetry {
+
+const char* ProfileClockName(ProfileClock clock) {
+  return clock == ProfileClock::kWall ? "wall" : "tick";
+}
+
+SpanProfiler::SpanProfiler(std::size_t slice_capacity)
+    : slices_(slice_capacity) {}
+
+SpanId SpanProfiler::RegisterSpan(const char* name) {
+  SDS_CHECK(name != nullptr && name[0] != '\0', "span name must be non-empty");
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name || std::strcmp(names_[i], name) == 0) {
+      return static_cast<SpanId>(i);
+    }
+  }
+  names_.push_back(name);
+  return static_cast<SpanId>(names_.size() - 1);
+}
+
+void SpanProfiler::Enable(ProfileClock clock) {
+  SDS_CHECK(stack_.empty(), "cannot switch profiler state with spans open");
+  enabled_ = true;
+  ever_enabled_ = true;
+  clock_ = clock;
+}
+
+void SpanProfiler::Disable() {
+  enabled_ = false;
+  stack_.clear();
+}
+
+std::uint64_t SpanProfiler::Now() {
+  if (clock_ == ProfileClock::kTickDomain) return ++tick_now_;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void SpanProfiler::Enter(SpanId id) {
+  if (!enabled_) return;
+  SDS_DCHECK(id < names_.size(), "span id not registered");
+  SDS_CHECK(stack_.size() < kMaxDepth, "span stack overflow (runaway nesting)");
+
+  // Find (or create) the tree node for `id` under the current parent.
+  const std::int32_t parent =
+      stack_.empty() ? -1 : static_cast<std::int32_t>(stack_.back().node);
+  const std::vector<std::uint32_t>& siblings =
+      parent < 0 ? roots_ : nodes_[static_cast<std::size_t>(parent)].children;
+  std::uint32_t node_index = 0xffffffffu;
+  for (std::uint32_t child : siblings) {
+    if (nodes_[child].span == id) {
+      node_index = child;
+      break;
+    }
+  }
+  if (node_index == 0xffffffffu) {
+    node_index = static_cast<std::uint32_t>(nodes_.size());
+    Node node;
+    node.span = id;
+    node.parent = parent;
+    nodes_.push_back(node);
+    if (parent < 0) {
+      roots_.push_back(node_index);
+    } else {
+      nodes_[static_cast<std::size_t>(parent)].children.push_back(node_index);
+    }
+  }
+  stack_.push_back(Frame{node_index, Now()});
+}
+
+void SpanProfiler::Exit() {
+  if (!enabled_ || stack_.empty()) return;
+  const Frame frame = stack_.back();
+  stack_.pop_back();
+  const std::uint64_t end = Now();
+  const std::uint64_t duration = end > frame.start ? end - frame.start : 0;
+  Node& node = nodes_[frame.node];
+  if (node.count == 0 || duration < node.min) node.min = duration;
+  if (duration > node.max) node.max = duration;
+  ++node.count;
+  node.total += duration;
+  if (!stack_.empty()) {
+    nodes_[stack_.back().node].child_time += duration;
+  }
+  if (record_slices_) {
+    if (slices_.full()) ++slices_dropped_;
+    slices_.Push(SpanSlice{node.span,
+                           static_cast<std::uint32_t>(stack_.size()),
+                           frame.start, duration});
+  }
+}
+
+std::vector<SpanNodeStats> SpanProfiler::Snapshot() const {
+  // Pre-order walk; node indices in the output equal indices into nodes_
+  // only by coincidence, so re-map parents to OUTPUT positions.
+  std::vector<SpanNodeStats> out;
+  out.reserve(nodes_.size());
+  std::vector<std::int32_t> position(nodes_.size(), -1);
+  // Iterative DFS: stack of (node, depth).
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> work;
+  for (auto it = roots_.rbegin(); it != roots_.rend(); ++it) {
+    work.emplace_back(*it, 0u);
+  }
+  while (!work.empty()) {
+    const auto [index, depth] = work.back();
+    work.pop_back();
+    const Node& node = nodes_[index];
+    SpanNodeStats stats;
+    stats.span = node.span;
+    stats.name = names_[node.span];
+    stats.parent =
+        node.parent < 0 ? -1 : position[static_cast<std::size_t>(node.parent)];
+    stats.depth = depth;
+    stats.count = node.count;
+    stats.total = node.total;
+    stats.self =
+        node.total > node.child_time ? node.total - node.child_time : 0;
+    stats.min = node.min;
+    stats.max = node.max;
+    position[index] = static_cast<std::int32_t>(out.size());
+    out.push_back(stats);
+    for (auto it = node.children.rbegin(); it != node.children.rend(); ++it) {
+      work.emplace_back(*it, depth + 1);
+    }
+  }
+  return out;
+}
+
+SpanNodeStats SpanProfiler::AggregateByName(const char* name) const {
+  SpanNodeStats agg;
+  agg.name = name;
+  bool first = true;
+  for (const Node& node : nodes_) {
+    const char* node_name = names_[node.span];
+    if (node_name != name && std::strcmp(node_name, name) != 0) continue;
+    agg.span = node.span;
+    agg.count += node.count;
+    agg.total += node.total;
+    agg.self +=
+        node.total > node.child_time ? node.total - node.child_time : 0;
+    if (first || node.min < agg.min) agg.min = node.min;
+    if (node.max > agg.max) agg.max = node.max;
+    first = false;
+  }
+  return agg;
+}
+
+void SpanProfiler::WriteJsonl(std::ostream& os) const {
+  if (!ever_enabled_) return;
+  const auto snapshot = Snapshot();
+  os << "{\"type\":\"profile\",\"clock\":\"" << ProfileClockName(clock_)
+     << "\",\"spans\":" << snapshot.size()
+     << ",\"slices_retained\":" << slices_.size()
+     << ",\"slices_dropped\":" << slices_dropped_ << "}\n";
+  for (const SpanNodeStats& s : snapshot) {
+    os << "{\"type\":\"span\",\"name\":\"" << s.name
+       << "\",\"parent\":" << s.parent << ",\"depth\":" << s.depth
+       << ",\"count\":" << s.count << ",\"total\":" << s.total
+       << ",\"self\":" << s.self << ",\"min\":" << s.min
+       << ",\"max\":" << s.max << "}\n";
+  }
+}
+
+}  // namespace sds::telemetry

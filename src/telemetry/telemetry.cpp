@@ -12,6 +12,7 @@ void Telemetry::WriteJsonl(std::ostream& os) {
      << ",\"audit_records\":" << audit_.size() << "}\n";
   tracer_.FlushJsonl(os);
   audit_.WriteJsonl(os);
+  profiler_.WriteJsonl(os);
   metrics_.WriteJsonl(os);
 }
 

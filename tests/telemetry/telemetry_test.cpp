@@ -3,7 +3,9 @@
 // combined JSONL stream format read by tools/trace_inspect.
 #include "telemetry/telemetry.h"
 
+#include <cmath>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -68,6 +70,58 @@ TEST(MetricsTest, HistogramBucketsObservations) {
   EXPECT_EQ(h->buckets()[3], 1u);
 }
 
+TEST(MetricsTest, HistogramRoutesNonFiniteWithoutPoisoningSum) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("lat", {10.0, 20.0});
+  h->Observe(std::numeric_limits<double>::quiet_NaN());
+  h->Observe(std::numeric_limits<double>::infinity());
+  h->Observe(-std::numeric_limits<double>::infinity());
+  h->Observe(15.0);  // the only finite observation
+  EXPECT_EQ(h->count(), 4u);
+  EXPECT_DOUBLE_EQ(h->sum(), 15.0);  // non-finite excluded from the sum
+  ASSERT_EQ(h->buckets().size(), 3u);
+  EXPECT_EQ(h->buckets()[0], 1u);  // -inf
+  EXPECT_EQ(h->buckets()[1], 1u);  // 15.0
+  EXPECT_EQ(h->buckets()[2], 2u);  // NaN and +inf in the overflow bucket
+}
+
+TEST(MetricsTest, ValuesAboveLastBoundLandInOverflowBucket) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("lat", {10.0, 20.0});
+  h->Observe(20.0);     // == last bound: NOT overflow
+  h->Observe(20.0001);  // just beyond: overflow
+  h->Observe(1e18);     // far beyond: overflow
+  ASSERT_EQ(h->buckets().size(), 3u);
+  EXPECT_EQ(h->buckets()[1], 1u);
+  EXPECT_EQ(h->buckets()[2], 2u);
+  EXPECT_DOUBLE_EQ(h->sum(), 40.0001 + 1e18);  // finite values still summed
+}
+
+TEST(MetricsTest, QuantileInterpolatesWithinBuckets) {
+  const std::vector<double> bounds{10.0, 20.0, 30.0};
+  const std::vector<std::uint64_t> buckets{10, 10, 10, 0};
+  // Median rank 15 sits halfway through the (10, 20] bucket.
+  EXPECT_DOUBLE_EQ(QuantileFromBuckets(bounds, buckets, 0.5), 15.0);
+  EXPECT_DOUBLE_EQ(QuantileFromBuckets(bounds, buckets, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(QuantileFromBuckets(bounds, buckets, 1.0), 30.0);
+}
+
+TEST(MetricsTest, QuantileClampsOverflowToLastBound) {
+  const std::vector<double> bounds{10.0, 20.0, 30.0};
+  const std::vector<std::uint64_t> buckets{0, 0, 0, 5};
+  // Every observation is beyond resolution: all quantiles clamp to 30.
+  EXPECT_DOUBLE_EQ(QuantileFromBuckets(bounds, buckets, 0.5), 30.0);
+  EXPECT_DOUBLE_EQ(QuantileFromBuckets(bounds, buckets, 0.99), 30.0);
+}
+
+TEST(MetricsTest, QuantileOfEmptyHistogramIsNaN) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("lat", {10.0});
+  EXPECT_TRUE(std::isnan(h->Quantile(0.5)));
+  h->Observe(5.0);
+  EXPECT_DOUBLE_EQ(h->Quantile(1.0), 10.0);
+}
+
 TEST(MetricsTest, WriteJsonlEmitsOneLinePerInstrument) {
   MetricsRegistry registry;
   registry.GetCounter("a")->Add(3);
@@ -122,6 +176,21 @@ TEST(TracerTest, RingOverflowDropsOldestAndCounts) {
   // The retained window is the NEWEST four events, oldest first.
   EXPECT_EQ(tracer.event(0).tick, 6);
   EXPECT_EQ(tracer.event(3).tick, 9);
+}
+
+TEST(TracerTest, DropAccountingSurvivesFlush) {
+  EventTracer tracer(4);
+  for (Tick t = 0; t < 10; ++t) {
+    tracer.Emit(MakeEvent(t, Layer::kVm, "e"));
+  }
+  std::ostringstream os;
+  EXPECT_EQ(tracer.FlushJsonl(os), 4u);
+  // Flushing drains the window but keeps the lifetime emitted/dropped
+  // counters: the incident report's "[N older events dropped]" annotation
+  // depends on this.
+  EXPECT_EQ(tracer.retained(), 0u);
+  EXPECT_EQ(tracer.emitted(), 10u);
+  EXPECT_EQ(tracer.dropped(), 6u);
 }
 
 TEST(TracerTest, EventFieldsSerializeToJson) {

@@ -9,8 +9,11 @@
 //   trace_inspect run.jsonl --events=N       also dump the first N events
 //
 // The parser handles exactly the flat one-object-per-line JSON this repo
-// emits (string/number/bool values, one optional numeric array ignored);
-// it is not a general JSON parser and does not try to be.
+// emits (string/number/bool values, numeric arrays); it is not a general
+// JSON parser and does not try to be. Malformed input NEVER crashes the
+// tool: empty lines, truncated records and unknown "type" values are each
+// counted separately and reported in the summary, and everything parseable
+// is still summarized.
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
@@ -22,6 +25,7 @@
 
 #include "common/flags.h"
 #include "common/types.h"
+#include "telemetry/metrics.h"
 
 namespace {
 
@@ -99,6 +103,26 @@ std::string StrOr(const JsonObject& o, const std::string& key,
   return it == o.end() ? fallback : it->second;
 }
 
+// Parses a "[1,2,3]" array value (as ParseLine keeps them) into numbers.
+// Unparseable elements are skipped rather than fatal.
+std::vector<double> ParseNumberArray(const std::string& raw) {
+  std::vector<double> out;
+  if (raw.size() < 2 || raw.front() != '[' || raw.back() != ']') return out;
+  std::size_t i = 1;
+  while (i < raw.size() - 1) {
+    const auto end = raw.find_first_of(",]", i);
+    const std::string token = raw.substr(i, end - i);
+    try {
+      out.push_back(std::stod(token));
+    } catch (...) {
+      // skip
+    }
+    if (end == std::string::npos || end >= raw.size() - 1) break;
+    i = end + 1;
+  }
+  return out;
+}
+
 struct LayerSummary {
   std::uint64_t events = 0;
   long long first_tick = -1;
@@ -147,15 +171,24 @@ int main(int argc, char** argv) {
   std::vector<JsonObject> alarm_timeline;             // alarm events + audits
   std::map<std::string, bool> alarm_state;            // per detector
   std::vector<std::string> metric_lines;
+  std::vector<std::string> span_lines;
+  std::optional<JsonObject> profile_header;
   std::vector<std::string> event_dump;
-  std::uint64_t total_events = 0, total_audits = 0, bad_lines = 0;
+  std::uint64_t total_events = 0, total_audits = 0;
+  // Input-hygiene accounting: each malformation class counted separately so
+  // "my tool said nothing" and "my file is damaged" are distinguishable.
+  std::uint64_t empty_lines = 0, bad_lines = 0;
+  std::map<std::string, std::uint64_t> unknown_types;
   std::optional<JsonObject> header;
 
   std::string line;
   long long lineno = 0;
   while (std::getline(in, line)) {
     ++lineno;
-    if (line.empty()) continue;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) {
+      ++empty_lines;
+      continue;
+    }
     JsonObject o;
     if (!ParseLine(line, o)) {
       ++bad_lines;
@@ -212,8 +245,14 @@ int main(int argc, char** argv) {
       if (dump_audit) event_dump.push_back(line);
     } else if (type == "metric") {
       metric_lines.push_back(line);
+    } else if (type == "profile") {
+      profile_header = o;
+    } else if (type == "span") {
+      span_lines.push_back(line);
     } else {
-      ++bad_lines;
+      // A future writer's record (or corruption that still parses): count it
+      // by name, keep going.
+      ++unknown_types[type.empty() ? "(missing)" : type];
     }
   }
 
@@ -225,15 +264,29 @@ int main(int argc, char** argv) {
                 static_cast<long long>(NumOr(*header, "events_dropped", 0)),
                 static_cast<long long>(NumOr(*header, "audit_records", 0)));
   }
-  std::printf("  parsed: %llu events, %llu audit records, %zu metrics",
+  std::printf("  parsed: %llu events, %llu audit records, %zu metrics, "
+              "%zu profiler spans",
               static_cast<unsigned long long>(total_events),
               static_cast<unsigned long long>(total_audits),
-              metric_lines.size());
+              metric_lines.size(), span_lines.size());
+  if (empty_lines) {
+    std::printf(", %llu empty lines",
+                static_cast<unsigned long long>(empty_lines));
+  }
   if (bad_lines) {
     std::printf(", %llu unparseable lines",
                 static_cast<unsigned long long>(bad_lines));
   }
-  std::printf("\n\nper-layer summary\n");
+  std::printf("\n");
+  if (!unknown_types.empty()) {
+    std::printf("  unknown record types:");
+    for (const auto& [name, count] : unknown_types) {
+      std::printf(" %s=%llu", name.c_str(),
+                  static_cast<unsigned long long>(count));
+    }
+    std::printf("\n");
+  }
+  std::printf("\nper-layer summary\n");
   std::printf("  %-12s %10s %12s %12s\n", "layer", "events", "first-tick",
               "last-tick");
   for (const auto& [name, ls] : layers) {
@@ -308,6 +361,33 @@ int main(int argc, char** argv) {
     std::printf("\nalarm timeline: (no alarm events)\n");
   }
 
+  if (!span_lines.empty()) {
+    // The profiler's aggregated span tree, indented by nesting depth.
+    std::printf("\nprofiler span tree");
+    if (profile_header) {
+      std::printf(" (clock=%s, %lld slices retained, %lld dropped)",
+                  StrOr(*profile_header, "clock", "?").c_str(),
+                  static_cast<long long>(
+                      NumOr(*profile_header, "slices_retained", 0)),
+                  static_cast<long long>(
+                      NumOr(*profile_header, "slices_dropped", 0)));
+    }
+    std::printf("\n  %-44s %10s %14s %14s\n", "span", "count", "total",
+                "self");
+    for (const auto& s : span_lines) {
+      JsonObject o;
+      if (!ParseLine(s, o)) continue;
+      const auto depth = static_cast<int>(NumOr(o, "depth", 0));
+      const std::string indent(static_cast<std::size_t>(
+                                   std::max(0, std::min(depth, 16))) * 2,
+                               ' ');
+      std::printf("  %-44s %10lld %14.6g %14.6g\n",
+                  (indent + StrOr(o, "name", "?")).c_str(),
+                  static_cast<long long>(NumOr(o, "count", 0)),
+                  NumOr(o, "total", 0.0), NumOr(o, "self", 0.0));
+    }
+  }
+
   if (!metric_lines.empty()) {
     std::printf("\nmetrics snapshot\n");
     for (const auto& m : metric_lines) {
@@ -315,10 +395,34 @@ int main(int argc, char** argv) {
       if (!ParseLine(m, o)) continue;
       const std::string kind = StrOr(o, "metric", "?");
       if (kind == "histogram") {
-        std::printf("  %-36s count=%lld sum=%.6g buckets=%s\n",
+        std::printf("  %-36s count=%lld sum=%.6g",
                     StrOr(o, "name", "?").c_str(),
                     static_cast<long long>(NumOr(o, "count", 0)),
-                    NumOr(o, "sum", 0.0), StrOr(o, "buckets", "[]").c_str());
+                    NumOr(o, "sum", 0.0));
+        // Interpolated quantiles from the serialized buckets — same
+        // estimator the in-process Histogram::Quantile uses. Only printed
+        // when the arrays are well formed (a damaged line degrades to the
+        // raw bucket dump, never a crash).
+        const auto bounds = ParseNumberArray(StrOr(o, "bounds", ""));
+        const auto raw_buckets = ParseNumberArray(StrOr(o, "buckets", ""));
+        if (!bounds.empty() && raw_buckets.size() == bounds.size() + 1) {
+          std::vector<std::uint64_t> buckets;
+          buckets.reserve(raw_buckets.size());
+          for (double b : raw_buckets) {
+            buckets.push_back(
+                b < 0.0 ? 0 : static_cast<std::uint64_t>(b));
+          }
+          const double p50 =
+              sds::telemetry::QuantileFromBuckets(bounds, buckets, 0.50);
+          const double p95 =
+              sds::telemetry::QuantileFromBuckets(bounds, buckets, 0.95);
+          const double p99 =
+              sds::telemetry::QuantileFromBuckets(bounds, buckets, 0.99);
+          std::printf(" p50=%.6g p95=%.6g p99=%.6g", p50, p95, p99);
+        } else {
+          std::printf(" buckets=%s", StrOr(o, "buckets", "[]").c_str());
+        }
+        std::printf("\n");
       } else {
         std::printf("  %-36s %.6g\n", StrOr(o, "name", "?").c_str(),
                     NumOr(o, "value", 0.0));
