@@ -24,9 +24,11 @@ void Flags::PrintUsage(std::FILE* out) const {
 bool Flags::Parse(int argc, char** argv, const std::vector<FlagSpec>& known) {
   known_ = known;
   if (argc > 0 && argv[0] != nullptr) program_ = argv[0];
-  const auto is_known = [&](const std::string& name) {
-    return std::any_of(known_.begin(), known_.end(),
-                       [&](const FlagSpec& s) { return s.name == name; });
+  const auto find_spec = [&](const std::string& name) -> const FlagSpec* {
+    for (const FlagSpec& s : known_) {
+      if (s.name == name) return &s;
+    }
+    return nullptr;
   };
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -44,8 +46,11 @@ bool Flags::Parse(int argc, char** argv, const std::vector<FlagSpec>& known) {
     } else {
       name = arg;
       // --name value form, unless the next token is another flag, absent, or
-      // this is --help (which never takes a value).
-      if (name != "help" && i + 1 < argc &&
+      // this flag never takes a value (--help and registered boolean flags).
+      const FlagSpec* spec = find_spec(name);
+      const bool takes_value =
+          name != "help" && (spec == nullptr || !spec->boolean);
+      if (takes_value && i + 1 < argc &&
           std::string(argv[i + 1]).rfind("--", 0) != 0) {
         value = argv[++i];
       } else {
@@ -57,7 +62,7 @@ bool Flags::Parse(int argc, char** argv, const std::vector<FlagSpec>& known) {
       PrintUsage(stdout);
       return false;
     }
-    if (!is_known(name)) {
+    if (find_spec(name) == nullptr) {
       std::fprintf(stderr, "%s: unknown flag --%s\n", program_.c_str(),
                    name.c_str());
       PrintUsage(stderr);

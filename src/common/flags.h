@@ -8,6 +8,7 @@
 // known) instead of silently running the default configuration.
 #pragma once
 
+#include <cstdio>
 #include <map>
 #include <string>
 #include <vector>
@@ -22,9 +23,18 @@ struct FlagSpec {
   FlagSpec(std::string flag_name) : name(std::move(flag_name)) {}  // NOLINT
   FlagSpec(std::string flag_name, std::string flag_description)
       : name(std::move(flag_name)), description(std::move(flag_description)) {}
+  FlagSpec(std::string flag_name, std::string flag_description,
+           bool is_boolean)
+      : name(std::move(flag_name)),
+        description(std::move(flag_description)),
+        boolean(is_boolean) {}
 
   std::string name;
   std::string description;
+  // Boolean flags never consume the following token as their value, so
+  // `tool --json path` keeps `path` positional. Non-boolean flags retain the
+  // legacy greedy `--name value` behaviour.
+  bool boolean = false;
 };
 
 class Flags {

@@ -102,6 +102,28 @@ TEST(FlagsTest, DescribedSpecsParseLikePlainNames) {
   EXPECT_EQ(f.GetString("app", ""), "kmeans");
 }
 
+TEST(FlagsTest, BooleanSpecDoesNotConsumeFollowingToken) {
+  std::vector<std::string> args = {"prog", "--json", "path/a", "path/b"};
+  auto argv = MakeArgv(args);
+  Flags f;
+  ASSERT_TRUE(f.Parse(static_cast<int>(argv.size()), argv.data(),
+                      {{"json", "machine-readable output", true}}));
+  EXPECT_TRUE(f.GetBool("json", false));
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "path/a");
+  EXPECT_EQ(f.positional()[1], "path/b");
+}
+
+TEST(FlagsTest, NonBooleanSpecStillTakesSeparateValue) {
+  std::vector<std::string> args = {"prog", "--root", "somewhere"};
+  auto argv = MakeArgv(args);
+  Flags f;
+  ASSERT_TRUE(f.Parse(static_cast<int>(argv.size()), argv.data(),
+                      {{"root", "include root"}}));
+  EXPECT_EQ(f.GetString("root", ""), "somewhere");
+  EXPECT_TRUE(f.positional().empty());
+}
+
 TEST(FlagsTest, HelpDoesNotConsumeFollowingToken) {
   std::vector<std::string> args = {"prog", "--help", "positional"};
   auto argv = MakeArgv(args);

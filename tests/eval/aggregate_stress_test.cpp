@@ -1,0 +1,95 @@
+// Thread-stress companion to aggregate_test.cpp, sized for the TSan CI job:
+// every test drives the parallel aggregation path with >= 8 workers so the
+// race detector sees real interleavings (worker count deliberately exceeds
+// the iteration count in one case, and contention on shared state is part of
+// the workload in another). Under plain builds this doubles as a cheap
+// smoke that worker count never changes results.
+#include "eval/aggregate.h"
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "eval/report.h"
+
+namespace sds::eval {
+namespace {
+
+constexpr int kStressWorkers = 8;
+
+TEST(ParallelForStressTest, ManyWorkersVisitEveryIndexExactlyOnce) {
+  constexpr int kIterations = 10000;
+  std::vector<std::atomic<int>> visits(kIterations);
+  ParallelFor(kIterations, kStressWorkers,
+              [&](int i) { ++visits[static_cast<std::size_t>(i)]; });
+  for (const auto& v : visits) ASSERT_EQ(v.load(), 1);
+}
+
+TEST(ParallelForStressTest, MoreWorkersThanIterations) {
+  std::vector<std::atomic<int>> visits(3);
+  ParallelFor(3, kStressWorkers * 4,
+              [&](int i) { ++visits[static_cast<std::size_t>(i)]; });
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ParallelForStressTest, SharedAccumulationUnderContention) {
+  constexpr int kIterations = 5000;
+  std::atomic<std::int64_t> atomic_sum{0};
+  std::int64_t locked_sum = 0;
+  std::set<int> locked_seen;
+  std::mutex mu;
+  ParallelFor(kIterations, kStressWorkers, [&](int i) {
+    atomic_sum.fetch_add(i, std::memory_order_relaxed);
+    const std::lock_guard<std::mutex> lock(mu);
+    locked_sum += i;
+    locked_seen.insert(i);
+  });
+  const std::int64_t expected =
+      static_cast<std::int64_t>(kIterations) * (kIterations - 1) / 2;
+  EXPECT_EQ(atomic_sum.load(), expected);
+  EXPECT_EQ(locked_sum, expected);
+  EXPECT_EQ(locked_seen.size(), static_cast<std::size_t>(kIterations));
+}
+
+// The real threaded hot path: detection runs fan out across workers and
+// write disjoint slots of the results vector. 8 workers over 8 seeds gives
+// TSan one thread per run; results must be identical to the single-threaded
+// aggregation (the determinism contract shrunk to a unit test).
+TEST(AggregateStressTest, EightWorkerDetectionMatchesSerial) {
+  DetectionRunConfig cfg;
+  cfg.app = "bayes";
+  cfg.attack = AttackKind::kBusLock;
+  cfg.scheme = Scheme::kSds;
+  cfg.profile_ticks = 6000;
+  cfg.clean_ticks = 5000;
+  cfg.attack_ticks = 8000;
+  constexpr int kRuns = 8;
+  const auto parallel = AggregateDetection(cfg, kRuns, 10, kStressWorkers);
+  const auto serial = AggregateDetection(cfg, kRuns, 10, 1);
+  EXPECT_EQ(parallel.runs, kRuns);
+  EXPECT_EQ(parallel.detected_runs, serial.detected_runs);
+  EXPECT_DOUBLE_EQ(parallel.recall.median, serial.recall.median);
+  EXPECT_DOUBLE_EQ(parallel.specificity.median, serial.specificity.median);
+  EXPECT_DOUBLE_EQ(parallel.delay_seconds.median, serial.delay_seconds.median);
+  EXPECT_DOUBLE_EQ(parallel.delay_seconds.p90, serial.delay_seconds.p90);
+}
+
+TEST(AggregateStressTest, EightWorkerOverheadMatchesSerial) {
+  OverheadRunConfig cfg;
+  cfg.app = "bayes";
+  cfg.scheme = Scheme::kNone;
+  cfg.work_target_units = 500;
+  const auto parallel = AggregateOverhead(cfg, 8, 5, kStressWorkers);
+  const auto serial = AggregateOverhead(cfg, 8, 5, 1);
+  EXPECT_DOUBLE_EQ(parallel.normalized_time.median,
+                   serial.normalized_time.median);
+  EXPECT_DOUBLE_EQ(parallel.normalized_time.p10, serial.normalized_time.p10);
+  EXPECT_DOUBLE_EQ(parallel.normalized_time.p90, serial.normalized_time.p90);
+}
+
+}  // namespace
+}  // namespace sds::eval

@@ -1,0 +1,15 @@
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace {
+std::map<std::string, std::uint64_t> g_registry;
+}  // namespace
+
+std::uint64_t DeterministicSum() {
+  std::uint64_t total = 0;
+  for (const auto& kv : g_registry) {
+    total += kv.second;
+  }
+  return total;
+}

@@ -1,0 +1,5 @@
+#pragma once
+
+#include "eval/report.h"  // sdslint: allow(layer-dag)
+
+int GrandfatheredInversion();

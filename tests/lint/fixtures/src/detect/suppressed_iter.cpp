@@ -1,0 +1,15 @@
+#include <unordered_map>
+
+namespace {
+std::unordered_map<int, int> g_histogram;
+}  // namespace
+
+long OrderInsensitiveSum() {
+  long total = 0;
+  // Summation commutes, so iteration order cannot change the result.
+  // sdslint: allow(det-unordered-iter)
+  for (const auto& kv : g_histogram) {
+    total += kv.second;
+  }
+  return total;
+}

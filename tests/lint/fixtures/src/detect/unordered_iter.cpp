@@ -1,0 +1,29 @@
+#include <map>
+#include <string>
+#include <unordered_map>
+
+namespace {
+std::unordered_map<std::string, int> g_counts;
+std::map<std::string, int> g_sorted;
+}  // namespace
+
+int SumUnordered() {
+  int total = 0;
+  for (const auto& kv : g_counts) {
+    total += kv.second;
+  }
+  return total;
+}
+
+int SumSorted() {
+  int total = 0;
+  for (const auto& kv : g_sorted) {
+    total += kv.second;
+  }
+  return total;
+}
+
+int LookupIsFine(const std::string& key) {
+  auto it = g_counts.find(key);
+  return it == g_counts.end() ? 0 : it->second;
+}

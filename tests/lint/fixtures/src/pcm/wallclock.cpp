@@ -1,0 +1,18 @@
+#include <chrono>
+#include <cstdio>
+
+long long Now() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+long long Wall() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+
+void PrintHandle(const void* p) {
+  std::printf("handle=%p\n", p);
+}
+
+void ModuloPIsFine(int a, int p) {
+  std::printf("%d\n", a % p);
+}

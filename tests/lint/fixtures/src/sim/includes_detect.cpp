@@ -1,0 +1,3 @@
+#include "detect/params.h"
+
+int UsesHigherLayer() { return 1; }

@@ -1,0 +1,9 @@
+#include <cstdlib>
+
+// sdslint: allow(det-rand)
+int CommentLineForm() { return rand(); }
+
+int TrailingForm() { return rand(); }  // sdslint: allow(det-rand)
+
+// A comment that merely *mentions* rand() must not trip the lint.
+int Clean() { return 4; }

@@ -1,0 +1,15 @@
+#include <cstdlib>
+#include <random>
+
+int AmbientNoise() {
+  return rand();
+}
+
+void SeedGlobal() {
+  srand(42);
+}
+
+unsigned HardwareEntropy() {
+  std::random_device rd;
+  return rd();
+}

@@ -1,0 +1,3 @@
+// A header that forgot its include guard.
+
+int MissingPragmaOnce();

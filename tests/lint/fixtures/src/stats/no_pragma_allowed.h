@@ -1,0 +1,2 @@
+// sdslint: allow(hdr-pragma-once)
+int LegacyGuardStyleHeader();

@@ -1,0 +1,3 @@
+#pragma once
+
+std::vector<int> NeedsVectorHeader();

@@ -1,0 +1,5 @@
+#pragma once
+
+#include "stats/vec_provider.h"
+
+std::vector<int> SatisfiedThroughProvider();

@@ -1,0 +1,5 @@
+#pragma once
+
+#include <vector>
+
+std::vector<int> Provider();

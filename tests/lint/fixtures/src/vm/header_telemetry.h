@@ -1,0 +1,5 @@
+#pragma once
+
+#include "telemetry/telemetry.h"
+
+int HeaderPullsInTelemetry();

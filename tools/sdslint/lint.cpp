@@ -1,0 +1,806 @@
+#include "sdslint/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace sdslint {
+namespace {
+
+namespace fs = std::filesystem;
+
+bool IsWord(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// ---------------------------------------------------------------------------
+// Layer model
+// ---------------------------------------------------------------------------
+
+struct LayerInfo {
+  const char* name;
+  int rank;
+  bool deterministic;
+};
+
+// The DAG from DESIGN.md §11. Equal rank == sibling layers that must not
+// include each other. tests/bench/tools/examples sit above everything and may
+// include anything.
+constexpr LayerInfo kLayers[] = {
+    {"common", 0, true},
+    {"stats", 1, true},      {"signal", 1, true},    {"telemetry", 1, false},
+    {"sim", 2, true},
+    {"vm", 3, true},
+    {"pcm", 4, true},
+    {"attacks", 5, true},    {"workloads", 5, true}, {"detect", 5, true},
+    {"fault", 5, true},
+    {"cluster", 6, true},
+    {"eval", 7, false},
+    {"tests", 100, false},   {"bench", 100, false},  {"tools", 100, false},
+    {"examples", 100, false},
+};
+
+const LayerInfo* FindLayer(const std::string& name) {
+  for (const auto& l : kLayers) {
+    if (name == l.name) return &l;
+  }
+  return nullptr;
+}
+
+// Layers whose sources live under src/<layer>/ (vs the top-level trees).
+bool IsSrcLayer(const std::string& name) {
+  const LayerInfo* l = FindLayer(name);
+  return l != nullptr && l->rank < 100;
+}
+
+// Legal same-rank edges: within the rank-1 band the spectral code builds on
+// descriptive statistics, never the reverse.
+struct SiblingEdge {
+  const char* from;
+  const char* to;
+};
+constexpr SiblingEdge kAllowedSiblingEdges[] = {
+    {"signal", "stats"},
+};
+
+bool SiblingEdgeAllowed(const std::string& from, const std::string& to) {
+  for (const SiblingEdge& e : kAllowedSiblingEdges) {
+    if (from == e.from && to == e.to) return true;
+  }
+  return false;
+}
+
+// Wall-clock reads that are part of a layer's charter even though the layer
+// would otherwise be rank-checked. Today: the telemetry profiler's kWall
+// domain. telemetry is already non-deterministic by table, so these entries
+// are documentation-grade belt-and-braces — they keep the tool correct if
+// someone later flips telemetry deterministic.
+struct BuiltinAllow {
+  const char* path_fragment;
+  const char* rule;
+};
+constexpr BuiltinAllow kBuiltinAllows[] = {
+    {"src/telemetry/", kRuleDetClock},
+    {"src/eval/experiment", kRuleDetClock},  // wall-clock run timing report
+};
+
+// ---------------------------------------------------------------------------
+// Parsed file
+// ---------------------------------------------------------------------------
+
+struct IncludeDirective {
+  int line = 0;
+  std::string target;
+  bool angle = false;
+};
+
+struct AllowComment {
+  int target_line = 0;   // the line this suppression silences
+  int comment_line = 0;  // where the comment sits
+  std::vector<std::string> rules;
+  std::string raw_rules;
+  bool used = false;
+};
+
+struct ParsedFile {
+  std::string path;           // as discovered (generic form)
+  std::string layer;          // "" when outside any known layer
+  bool is_header = false;
+  std::vector<std::string> raw;      // raw lines, 0-based
+  std::vector<std::string> code;     // comments and string bodies blanked
+  std::vector<std::string> strings;  // per line: concatenated literal bodies
+  std::vector<IncludeDirective> includes;
+  std::vector<AllowComment> allows;
+};
+
+// Blanks comments and string/char literal bodies out of `raw` line by line,
+// carrying block-comment state across lines. Literal bodies are collected per
+// line into `strings` so the %p rule can look only inside format strings.
+// Line/token analysis does not need raw-string or trigraph fidelity; the one
+// R"( in the tree is handled well enough by the '"' state machine.
+void StripFile(ParsedFile& f) {
+  bool in_block = false;
+  f.code.reserve(f.raw.size());
+  f.strings.reserve(f.raw.size());
+  for (const std::string& line : f.raw) {
+    std::string code;
+    code.reserve(line.size());
+    std::string lits;
+    bool in_string = false;
+    bool in_char = false;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      const char c = line[i];
+      const char next = i + 1 < line.size() ? line[i + 1] : '\0';
+      if (in_block) {
+        if (c == '*' && next == '/') {
+          in_block = false;
+          ++i;
+        }
+        code.push_back(' ');
+        continue;
+      }
+      if (in_string || in_char) {
+        const char quote = in_string ? '"' : '\'';
+        if (c == '\\' && next != '\0') {
+          if (in_string) lits.push_back(next);
+          code.append(2, ' ');
+          ++i;
+          continue;
+        }
+        if (c == quote) {
+          in_string = in_char = false;
+          code.push_back(c);
+        } else {
+          if (in_string) lits.push_back(c);
+          code.push_back(' ');
+        }
+        continue;
+      }
+      if (c == '/' && next == '/') break;  // line comment: drop the rest
+      if (c == '/' && next == '*') {
+        in_block = true;
+        code.append(2, ' ');
+        ++i;
+        continue;
+      }
+      if (c == '"') {
+        in_string = true;
+        code.push_back(c);
+        continue;
+      }
+      if (c == '\'') {
+        in_char = true;
+        code.push_back(c);
+        continue;
+      }
+      code.push_back(c);
+    }
+    f.code.push_back(std::move(code));
+    f.strings.push_back(std::move(lits));
+  }
+}
+
+std::string Trimmed(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+void ParseIncludes(ParsedFile& f) {
+  for (std::size_t i = 0; i < f.raw.size(); ++i) {
+    std::string t = Trimmed(f.raw[i]);
+    if (t.empty() || t[0] != '#') continue;
+    std::size_t p = t.find_first_not_of(" \t", 1);
+    if (p == std::string::npos || t.compare(p, 7, "include") != 0) continue;
+    p = t.find_first_of("\"<", p + 7);
+    if (p == std::string::npos) continue;
+    const bool angle = t[p] == '<';
+    const char close = angle ? '>' : '"';
+    const std::size_t end = t.find(close, p + 1);
+    if (end == std::string::npos) continue;
+    f.includes.push_back(
+        {static_cast<int>(i) + 1, t.substr(p + 1, end - p - 1), angle});
+  }
+}
+
+// Suppression comments — `sdslint` prefix, colon, then allow(rule[, rule]).
+// The trailing form silences its own line; a comment-only line silences the
+// next line.
+void ParseAllows(ParsedFile& f) {
+  for (std::size_t i = 0; i < f.raw.size(); ++i) {
+    const std::string& line = f.raw[i];
+    std::size_t p = line.find("sdslint:");
+    if (p == std::string::npos) continue;
+    std::size_t q = line.find_first_not_of(" \t", p + 8);
+    if (q == std::string::npos || line.compare(q, 5, "allow") != 0) continue;
+    std::size_t open = line.find('(', q + 5);
+    if (open == std::string::npos) continue;
+    std::size_t close = line.find(')', open);
+    if (close == std::string::npos) continue;
+    AllowComment a;
+    a.comment_line = static_cast<int>(i) + 1;
+    a.raw_rules = line.substr(open + 1, close - open - 1);
+    std::string cur;
+    for (char c : a.raw_rules + ",") {
+      if (c == ',' || c == ' ' || c == '\t') {
+        if (!cur.empty()) a.rules.push_back(cur);
+        cur.clear();
+      } else {
+        cur.push_back(c);
+      }
+    }
+    const bool comment_only = Trimmed(f.code[i]).empty();
+    a.target_line = comment_only ? a.comment_line + 1 : a.comment_line;
+    f.allows.push_back(std::move(a));
+  }
+}
+
+// Finds `token` in `line` with word boundaries on its alphanumeric ends.
+// Returns npos when absent.
+std::size_t FindToken(const std::string& line, const std::string& token,
+                      std::size_t from = 0) {
+  for (std::size_t p = line.find(token, from); p != std::string::npos;
+       p = line.find(token, p + 1)) {
+    const bool left_ok = p == 0 || !IsWord(line[p - 1]);
+    const std::size_t after = p + token.size();
+    const bool right_ok = after >= line.size() || !IsWord(line[after]);
+    if (left_ok && right_ok) return p;
+  }
+  return std::string::npos;
+}
+
+bool HasToken(const std::string& line, const std::string& token) {
+  return FindToken(line, token) != std::string::npos;
+}
+
+// ---------------------------------------------------------------------------
+// Analyzer
+// ---------------------------------------------------------------------------
+
+struct StdProvider {
+  const char* ident;      // identifier after std::
+  const char* providers;  // comma-separated satisfying <headers>
+};
+
+// Identifiers checked by hdr-self-contained. Deliberately restricted to types
+// with an unambiguous home header (plus a few multi-provider stream cases) so
+// the rule stays false-positive-free; pervasive transitively-available names
+// (size_t, pair, move, swap) are out of scope.
+constexpr StdProvider kStdProviders[] = {
+    {"string", "string"},
+    {"string_view", "string_view"},
+    {"vector", "vector"},
+    {"map", "map"},
+    {"multimap", "map"},
+    {"set", "set"},
+    {"multiset", "set"},
+    {"unordered_map", "unordered_map"},
+    {"unordered_set", "unordered_set"},
+    {"optional", "optional"},
+    {"function", "functional"},
+    {"array", "array"},
+    {"deque", "deque"},
+    {"atomic", "atomic"},
+    {"thread", "thread"},
+    {"mutex", "mutex"},
+    {"lock_guard", "mutex"},
+    {"unique_lock", "mutex"},
+    {"condition_variable", "condition_variable"},
+    {"chrono", "chrono"},
+    {"int8_t", "cstdint"},
+    {"int16_t", "cstdint"},
+    {"int32_t", "cstdint"},
+    {"int64_t", "cstdint"},
+    {"uint8_t", "cstdint"},
+    {"uint16_t", "cstdint"},
+    {"uint32_t", "cstdint"},
+    {"uint64_t", "cstdint"},
+    {"FILE", "cstdio"},
+    {"unique_ptr", "memory"},
+    {"shared_ptr", "memory"},
+    {"make_unique", "memory"},
+    {"make_shared", "memory"},
+    {"variant", "variant"},
+    {"monostate", "variant"},
+    {"span", "span"},
+    {"ifstream", "fstream"},
+    {"ofstream", "fstream"},
+    {"stringstream", "sstream"},
+    {"ostringstream", "sstream"},
+    {"istringstream", "sstream"},
+    {"ostream", "ostream,iostream,fstream,sstream,iosfwd"},
+    {"istream", "istream,iostream,fstream,sstream,iosfwd"},
+};
+
+class Analyzer {
+ public:
+  explicit Analyzer(const Options& options) : options_(options) {}
+
+  Result Run() {
+    CollectFiles();
+    for (const std::string& path : scan_list_) Load(path);
+    for (const std::string& path : scan_list_) Check(files_.at(path));
+    std::sort(result_.diagnostics.begin(), result_.diagnostics.end(),
+              [](const Diagnostic& a, const Diagnostic& b) {
+                if (a.file != b.file) return a.file < b.file;
+                if (a.line != b.line) return a.line < b.line;
+                return a.rule < b.rule;
+              });
+    for (const std::string& path : scan_list_) {
+      for (const AllowComment& a : files_.at(path).allows) {
+        result_.suppressions.push_back(
+            {path, a.target_line, a.comment_line, a.raw_rules, a.used});
+      }
+    }
+    result_.files_scanned = static_cast<int>(scan_list_.size());
+    return std::move(result_);
+  }
+
+ private:
+  static bool IsSourceFile(const fs::path& p) {
+    const std::string ext = p.extension().string();
+    return ext == ".h" || ext == ".hpp" || ext == ".cpp" || ext == ".cc";
+  }
+
+  bool Ignored(const std::string& generic) const {
+    for (const std::string& frag : options_.ignores) {
+      if (!frag.empty() && generic.find(frag) != std::string::npos) return true;
+    }
+    return false;
+  }
+
+  void CollectFiles() {
+    std::set<std::string> seen;
+    for (const std::string& root : options_.paths) {
+      std::error_code ec;
+      if (fs::is_directory(root, ec)) {
+        for (fs::recursive_directory_iterator it(root, ec), end;
+             !ec && it != end; it.increment(ec)) {
+          if (it->is_regular_file(ec) && IsSourceFile(it->path())) {
+            const std::string g =
+                it->path().lexically_normal().generic_string();
+            if (!Ignored(g)) seen.insert(g);
+          }
+        }
+      } else if (fs::is_regular_file(root, ec) && IsSourceFile(root)) {
+        const std::string g = fs::path(root).lexically_normal().generic_string();
+        if (!Ignored(g)) seen.insert(g);
+      }
+    }
+    scan_list_.assign(seen.begin(), seen.end());
+  }
+
+  ParsedFile* Load(const std::string& path) {
+    auto it = files_.find(path);
+    if (it != files_.end()) return &it->second;
+    std::ifstream in(path);
+    if (!in) return nullptr;
+    ParsedFile f;
+    f.path = path;
+    f.layer = LayerOfPath(path);
+    const std::string ext = fs::path(path).extension().string();
+    f.is_header = ext == ".h" || ext == ".hpp";
+    std::string line;
+    while (std::getline(in, line)) {
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      f.raw.push_back(line);
+    }
+    StripFile(f);
+    ParseIncludes(f);
+    ParseAllows(f);
+    return &files_.emplace(path, std::move(f)).first->second;
+  }
+
+  // Resolves a quoted include ("detect/params.h") to a file under
+  // <include_root>/src/, loading it on demand (it need not be in the scan
+  // set). Returns nullptr when the target does not exist.
+  ParsedFile* Resolve(const std::string& target) {
+    const fs::path p = fs::path(options_.include_root) / "src" / target;
+    std::error_code ec;
+    if (!fs::is_regular_file(p, ec)) return nullptr;
+    return Load(p.lexically_normal().generic_string());
+  }
+
+  bool BuiltinAllowed(const ParsedFile& f, const std::string& rule) const {
+    for (const BuiltinAllow& a : kBuiltinAllows) {
+      if (rule == a.rule && f.path.find(a.path_fragment) != std::string::npos)
+        return true;
+    }
+    return false;
+  }
+
+  void Emit(ParsedFile& f, int line, const std::string& rule,
+            std::string message) {
+    if (BuiltinAllowed(f, rule)) return;
+    for (AllowComment& a : f.allows) {
+      if (a.target_line != line) continue;
+      for (const std::string& r : a.rules) {
+        if (r == rule || r == "all" || r == "*") {
+          a.used = true;
+          return;
+        }
+      }
+    }
+    result_.diagnostics.push_back({f.path, line, rule, std::move(message)});
+  }
+
+  // ---- rules ----
+
+  void Check(ParsedFile& f) {
+    CheckIncludes(f);
+    if (f.is_header) {
+      CheckPragmaOnce(f);
+      CheckSelfContained(f);
+    }
+    if (IsDeterministicLayer(f.layer)) {
+      CheckDeterminismTokens(f);
+      CheckUnorderedIteration(f);
+    }
+  }
+
+  void CheckIncludes(ParsedFile& f) {
+    const LayerInfo* from = FindLayer(f.layer);
+    for (const IncludeDirective& inc : f.includes) {
+      if (inc.angle) continue;
+      const std::size_t slash = inc.target.find('/');
+      if (slash == std::string::npos) continue;
+      const std::string to_name = inc.target.substr(0, slash);
+      const LayerInfo* to = FindLayer(to_name);
+      if (to == nullptr || !IsSrcLayer(to_name)) continue;
+
+      if (from != nullptr && IsSrcLayer(f.layer) && f.is_header &&
+          to_name == "telemetry" && f.layer != "telemetry") {
+        Emit(f, inc.line, kRuleHdrTelemetryFwd,
+             "header includes \"" + inc.target +
+                 "\"; headers outside src/telemetry must forward-declare "
+                 "sds::telemetry types and include telemetry headers from the "
+                 ".cpp only (PR 3 policy)");
+        continue;
+      }
+      if (from == nullptr) continue;  // unknown tree: no DAG claim
+
+      bool ok;
+      if (to_name == f.layer) {
+        ok = true;
+      } else if (to_name == "telemetry") {
+        // Universal observability sink: any layer may include it.
+        ok = true;
+      } else if (to_name == "fault") {
+        // Monitoring-plane fault injection wraps the pcm seam; only the
+        // layers above the detectors (cluster, eval) and the non-layer trees
+        // may depend on it.
+        ok = from->rank > 5;
+      } else {
+        ok = to->rank < from->rank || SiblingEdgeAllowed(f.layer, to_name);
+      }
+      if (!ok) {
+        Emit(f, inc.line, kRuleLayerDag,
+             "include of \"" + inc.target + "\" (layer " + to_name + ", rank " +
+                 std::to_string(to->rank) + ") from layer " + f.layer +
+                 " (rank " + std::to_string(from->rank) +
+                 ") inverts the layer DAG common -> stats/signal -> sim -> vm "
+                 "-> pcm -> {attacks,workloads,detect,fault} -> cluster -> "
+                 "eval");
+      }
+    }
+  }
+
+  void CheckDeterminismTokens(ParsedFile& f) {
+    struct Ban {
+      const char* token;
+      bool requires_call;  // must be followed by '('
+      const char* rule;
+      const char* why;
+    };
+    static constexpr Ban kBans[] = {
+        {"rand", true, kRuleDetRand,
+         "libc rand() draws from ambient global state; use sds::Rng seeded "
+         "from the run config"},
+        {"srand", false, kRuleDetRand,
+         "seeding the global C RNG makes run order matter; use sds::Rng"},
+        {"random_device", false, kRuleDetRand,
+         "std::random_device is nondeterministic by definition; use sds::Rng "
+         "seeded from the run config"},
+        {"system_clock", false, kRuleDetClock,
+         "wall-clock reads break bit-identical replays; use the tick clock "
+         "(sds::TickClock) or move the timing to eval/telemetry"},
+        {"steady_clock", false, kRuleDetClock,
+         "wall-clock reads break bit-identical replays; use the tick clock "
+         "(sds::TickClock) or move the timing to eval/telemetry"},
+        {"high_resolution_clock", false, kRuleDetClock,
+         "wall-clock reads break bit-identical replays; use the tick clock "
+         "(sds::TickClock) or move the timing to eval/telemetry"},
+        {"clock_gettime", false, kRuleDetClock,
+         "wall-clock reads break bit-identical replays"},
+        {"gettimeofday", false, kRuleDetClock,
+         "wall-clock reads break bit-identical replays"},
+    };
+    for (std::size_t i = 0; i < f.code.size(); ++i) {
+      const std::string& line = f.code[i];
+      for (const Ban& ban : kBans) {
+        std::size_t p = FindToken(line, ban.token);
+        if (p == std::string::npos) continue;
+        if (ban.requires_call) {
+          std::size_t q =
+              line.find_first_not_of(" \t", p + std::strlen(ban.token));
+          if (q == std::string::npos || line[q] != '(') continue;
+        }
+        Emit(f, static_cast<int>(i) + 1, ban.rule,
+             std::string(ban.token) + " in deterministic layer " + f.layer +
+                 ": " + ban.why);
+      }
+      // Pointer printing: %p inside a string literal renders an ASLR-random
+      // address into output that is diffed across runs.
+      if (f.strings[i].find("%p") != std::string::npos) {
+        Emit(f, static_cast<int>(i) + 1, kRuleDetPointerPrint,
+             "\"%p\" in a format string in deterministic layer " + f.layer +
+                 ": pointer values differ across runs and machines; print a "
+                 "stable id instead");
+      }
+    }
+  }
+
+  // Joins f.code[line..] until parentheses opened on the first line balance
+  // (bounded lookahead). Returns the joined text.
+  static std::string JoinBalanced(const ParsedFile& f, std::size_t start,
+                                  std::size_t open_pos) {
+    std::string joined;
+    int depth = 0;
+    for (std::size_t i = start; i < f.code.size() && i < start + 8; ++i) {
+      const std::string& line = f.code[i];
+      std::size_t from = i == start ? open_pos : 0;
+      joined += line.substr(from);
+      for (std::size_t j = from; j < line.size(); ++j) {
+        if (line[j] == '(') ++depth;
+        if (line[j] == ')' && --depth == 0) return joined;
+      }
+      joined.push_back(' ');
+    }
+    return joined;
+  }
+
+  void CheckUnorderedIteration(ParsedFile& f) {
+    // Pass 1: names declared with an unordered container type, file-wide.
+    std::set<std::string> unordered_names;
+    for (std::size_t i = 0; i < f.code.size(); ++i) {
+      for (const char* container : {"unordered_map", "unordered_set"}) {
+        for (std::size_t p = FindToken(f.code[i], container);
+             p != std::string::npos;
+             p = FindToken(f.code[i], container, p + 1)) {
+          // Only declarations: the token must open a template argument list
+          // (skips `#include <unordered_map>` and prose mentions).
+          std::size_t cp = p + std::strlen(container);
+          cp = f.code[i].find_first_not_of(" \t", cp);
+          if (cp == std::string::npos || f.code[i][cp] != '<') continue;
+          // Balance the template argument list (may span lines), then take
+          // the following identifier as the declared name.
+          std::size_t li = i;
+          int depth = 0;
+          bool done = false;
+          std::string name;
+          for (; li < f.code.size() && li < i + 8 && !done; ++li, cp = 0) {
+            const std::string& l = f.code[li];
+            for (std::size_t j = cp; j < l.size(); ++j) {
+              if (l[j] == '<') ++depth;
+              if (l[j] == '>' && --depth == 0) {
+                std::size_t q = l.find_first_not_of(" \t&*", j + 1);
+                while (q != std::string::npos && q < l.size() &&
+                       IsWord(l[q])) {
+                  name.push_back(l[q]);
+                  ++q;
+                }
+                done = true;
+                break;
+              }
+            }
+          }
+          if (!name.empty() && name != "const") unordered_names.insert(name);
+        }
+      }
+    }
+
+    // Pass 2: range-for whose range expression names one of them (or an
+    // inline unordered expression).
+    for (std::size_t i = 0; i < f.code.size(); ++i) {
+      std::size_t p = FindToken(f.code[i], "for");
+      if (p == std::string::npos) continue;
+      std::size_t open = f.code[i].find('(', p);
+      if (open == std::string::npos) continue;
+      const std::string body = JoinBalanced(f, i, open);
+      // The range-for ':' — skip "::" scope operators.
+      std::size_t colon = std::string::npos;
+      for (std::size_t j = 1; j + 1 < body.size(); ++j) {
+        if (body[j] == ':' && body[j - 1] != ':' && body[j + 1] != ':') {
+          colon = j;
+          break;
+        }
+      }
+      if (colon == std::string::npos) continue;
+      const std::string range = body.substr(colon + 1);
+      bool hit = range.find("unordered_map") != std::string::npos ||
+                 range.find("unordered_set") != std::string::npos;
+      if (!hit) {
+        for (const std::string& name : unordered_names) {
+          if (HasToken(range, name)) {
+            hit = true;
+            break;
+          }
+        }
+      }
+      if (hit) {
+        Emit(f, static_cast<int>(i) + 1, kRuleDetUnorderedIter,
+             "range-for over an unordered container in deterministic layer " +
+                 f.layer +
+                 ": iteration order is implementation-defined and varies with "
+                 "rehashing; iterate a sorted view or switch to std::map/set");
+      }
+    }
+  }
+
+  void CheckPragmaOnce(ParsedFile& f) {
+    for (std::size_t i = 0; i < f.code.size(); ++i) {
+      const std::string t = Trimmed(f.code[i]);
+      if (t.empty()) continue;
+      if (t == "#pragma once") return;
+      Emit(f, static_cast<int>(i) + 1, kRuleHdrPragmaOnce,
+           "header's first code line must be #pragma once");
+      return;
+    }
+    if (!f.raw.empty()) {
+      Emit(f, 1, kRuleHdrPragmaOnce,
+           "header's first code line must be #pragma once");
+    }
+  }
+
+  // Transitive closure of <angle> includes reachable through the project
+  // include graph (quoted includes resolved under <include_root>/src).
+  const std::set<std::string>& AngleClosure(const std::string& path) {
+    auto it = closures_.find(path);
+    if (it != closures_.end()) return it->second;
+    // Insert first to break include cycles.
+    auto& closure = closures_[path];
+    ParsedFile* f = Load(path);
+    if (f == nullptr) return closure;
+    std::vector<std::string> nested;
+    for (const IncludeDirective& inc : f->includes) {
+      if (inc.angle) {
+        closure.insert(inc.target);
+      } else if (ParsedFile* dep = Resolve(inc.target)) {
+        nested.push_back(dep->path);
+      }
+    }
+    for (const std::string& dep : nested) {
+      const std::set<std::string>& sub = AngleClosure(dep);
+      closure.insert(sub.begin(), sub.end());
+    }
+    return closure;
+  }
+
+  void CheckSelfContained(ParsedFile& f) {
+    const std::set<std::string>& closure = AngleClosure(f.path);
+    std::set<std::string> reported;
+    for (std::size_t i = 0; i < f.code.size(); ++i) {
+      const std::string& line = f.code[i];
+      for (std::size_t p = line.find("std::"); p != std::string::npos;
+           p = line.find("std::", p + 5)) {
+        if (p > 0 && IsWord(line[p - 1])) continue;
+        std::size_t q = p + 5;
+        std::string ident;
+        while (q < line.size() && IsWord(line[q])) ident.push_back(line[q++]);
+        for (const StdProvider& sp : kStdProviders) {
+          if (ident != sp.ident) continue;
+          bool satisfied = false;
+          std::string providers = sp.providers;
+          std::stringstream ss(providers);
+          std::string provider;
+          while (std::getline(ss, provider, ',')) {
+            if (closure.count(provider) != 0) {
+              satisfied = true;
+              break;
+            }
+          }
+          if (!satisfied && reported.insert(ident).second) {
+            Emit(f, static_cast<int>(i) + 1, kRuleHdrSelfContained,
+                 "header uses std::" + ident + " but its include closure "
+                 "never pulls in <" + std::string(sp.providers).substr(
+                     0, std::string(sp.providers).find(',')) +
+                 ">; include it directly so the header stays self-contained");
+          }
+          break;
+        }
+      }
+    }
+  }
+
+  const Options& options_;
+  std::vector<std::string> scan_list_;
+  std::map<std::string, ParsedFile> files_;
+  std::map<std::string, std::set<std::string>> closures_;
+  Result result_;
+};
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int LayerRank(const std::string& layer) {
+  const LayerInfo* l = FindLayer(layer);
+  return l == nullptr ? -1 : l->rank;
+}
+
+bool IsDeterministicLayer(const std::string& layer) {
+  const LayerInfo* l = FindLayer(layer);
+  return l != nullptr && l->deterministic;
+}
+
+std::string LayerOfPath(const std::string& path) {
+  const fs::path p(path);
+  std::vector<std::string> parts;
+  for (const auto& comp : p) parts.push_back(comp.generic_string());
+  // The src/<layer>/ pattern wins anywhere in the path (the lint fixture
+  // tree nests a src/ mirror under tests/), then the top-level trees.
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (parts[i] == "src" && i + 1 < parts.size() && IsSrcLayer(parts[i + 1]))
+      return parts[i + 1];
+  }
+  for (const std::string& part : parts) {
+    const LayerInfo* l = FindLayer(part);
+    if (l != nullptr && l->rank >= 100) return part;
+  }
+  return "";
+}
+
+Result Run(const Options& options) { return Analyzer(options).Run(); }
+
+std::string FormatText(const Diagnostic& d) {
+  return d.file + ":" + std::to_string(d.line) + ": [" + d.rule + "] " +
+         d.message;
+}
+
+std::string ToJson(const Result& result) {
+  std::string out = "{\"files_scanned\":" +
+                    std::to_string(result.files_scanned) +
+                    ",\"diagnostics\":[";
+  for (std::size_t i = 0; i < result.diagnostics.size(); ++i) {
+    const Diagnostic& d = result.diagnostics[i];
+    if (i != 0) out += ",";
+    out += "{\"file\":\"" + JsonEscape(d.file) +
+           "\",\"line\":" + std::to_string(d.line) + ",\"rule\":\"" +
+           JsonEscape(d.rule) + "\",\"message\":\"" + JsonEscape(d.message) +
+           "\"}";
+  }
+  out += "],\"suppressions\":[";
+  for (std::size_t i = 0; i < result.suppressions.size(); ++i) {
+    const Suppression& s = result.suppressions[i];
+    if (i != 0) out += ",";
+    out += "{\"file\":\"" + JsonEscape(s.file) +
+           "\",\"line\":" + std::to_string(s.line) + ",\"rules\":\"" +
+           JsonEscape(s.rules) + "\",\"used\":" + (s.used ? "true" : "false") +
+           "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace sdslint

@@ -1,0 +1,95 @@
+// sdslint: project-specific static analysis for the memdos_sds tree.
+//
+// A deliberately lexer-light (line/token-based) analyzer — no libclang — that
+// enforces the two contracts the reproduction's bit-identical guarantee rests
+// on (see DESIGN.md §11):
+//
+//   * the layer DAG  common → stats/signal → sim → vm → pcm →
+//     {attacks, workloads, detect, fault} → cluster → eval, with telemetry as
+//     a universal observability sink, and
+//   * the determinism contract: no ambient randomness, no wall-clock reads,
+//     no pointer printing and no unordered-container iteration in the
+//     deterministic layers.
+//
+// plus the header-hygiene rules (#pragma once, include-closure
+// self-containment, the forward-declare-telemetry policy from PR 3).
+//
+// The analyzer is a library so the fixture tests can drive it directly; the
+// CLI in main.cpp is a thin wrapper. Diagnostics print as
+//   file:line: [rule-id] message
+// which is both grep-able and clickable in editors/CI logs.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sdslint {
+
+// Rule identifiers, exactly as they appear in diagnostics and in the
+// allow(<rule>) suppression comments (spelled with an `sdslint` prefix).
+inline constexpr char kRuleLayerDag[] = "layer-dag";
+inline constexpr char kRuleDetRand[] = "det-rand";
+inline constexpr char kRuleDetClock[] = "det-clock";
+inline constexpr char kRuleDetPointerPrint[] = "det-pointer-print";
+inline constexpr char kRuleDetUnorderedIter[] = "det-unordered-iter";
+inline constexpr char kRuleHdrPragmaOnce[] = "hdr-pragma-once";
+inline constexpr char kRuleHdrSelfContained[] = "hdr-self-contained";
+inline constexpr char kRuleHdrTelemetryFwd[] = "hdr-telemetry-fwd";
+
+struct Diagnostic {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+// One allow(...) suppression comment found in the tree, for
+// --list-suppressions. `used` flips when the comment actually silenced at
+// least one diagnostic, so stale escape hatches are visible.
+struct Suppression {
+  std::string file;
+  int line = 0;           // line the suppression applies to
+  int comment_line = 0;   // line the comment itself is on
+  std::string rules;      // raw rule list inside allow(...)
+  bool used = false;
+};
+
+struct Options {
+  // Files or directories to scan (recursively, *.h/*.hpp/*.cpp/*.cc).
+  std::vector<std::string> paths;
+  // Directory containing src/ — quoted includes resolve against
+  // <include_root>/src/<target>. Defaults to the current directory.
+  std::string include_root = ".";
+  // Path-substring filters; a file whose path contains any entry is skipped.
+  // The CLI seeds this with "build/" and "tests/lint/fixtures" (seeded
+  // violations testing sdslint itself must not fail the real tree).
+  std::vector<std::string> ignores;
+};
+
+struct Result {
+  std::vector<Diagnostic> diagnostics;   // sorted by file, then line
+  std::vector<Suppression> suppressions; // every allow() comment seen
+  int files_scanned = 0;
+};
+
+Result Run(const Options& options);
+
+// "file:line: [rule-id] message"
+std::string FormatText(const Diagnostic& d);
+
+// Whole-result JSON: {"files_scanned":N,"diagnostics":[...],"suppressions":[...]}
+std::string ToJson(const Result& result);
+
+// Layer metadata, exposed for tests and for the --explain output.
+// Rank comparisons define the DAG: an include from layer A to layer B is
+// legal iff rank(B) < rank(A), or A == B. telemetry (any layer may include
+// it) and fault (only cluster/eval and the non-layer trees may include it)
+// are special-cased; tests/bench/tools/examples rank above everything.
+int LayerRank(const std::string& layer);          // -1 if unknown
+bool IsDeterministicLayer(const std::string& layer);
+// Maps a path like "src/sim/cache.cpp" or "tests/lint/fixtures/src/sim/x.cpp"
+// to its layer name ("" when the path is outside any known layer).
+std::string LayerOfPath(const std::string& path);
+
+}  // namespace sdslint

@@ -142,7 +142,7 @@ int main(int argc, char** argv) {
   sds::Flags flags;
   if (!flags.Parse(argc, argv,
                    {{"layer", "restrict event tables to this layer"},
-                    {"audit", "dump every audit record"},
+                    {"audit", "dump every audit record", true},
                     {"events", "also dump the first N matching events"}})) {
     return flags.help_requested() ? 0 : 1;
   }
