@@ -1,19 +1,28 @@
 #include "cluster/cluster.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 
 namespace sds::cluster {
 
-Cluster::Cluster(int hosts, const HostConfig& config, std::uint64_t seed) {
-  SDS_CHECK(hosts >= 1, "cluster needs at least one host");
+Cluster::Cluster(int hosts, const HostConfig& config, std::uint64_t seed)
+    : Cluster(std::vector<HostConfig>(
+                  static_cast<std::size_t>(std::max(hosts, 0)), config),
+              seed) {}
+
+Cluster::Cluster(const std::vector<HostConfig>& hosts, std::uint64_t seed) {
+  SDS_CHECK(!hosts.empty(), "cluster needs at least one host");
   Rng root(seed);
-  hosts_.reserve(static_cast<std::size_t>(hosts));
-  records_.resize(static_cast<std::size_t>(hosts));
-  for (int h = 0; h < hosts; ++h) {
+  hosts_.reserve(hosts.size());
+  records_.resize(hosts.size());
+  for (const HostConfig& config : hosts) {
+    SDS_CHECK(config.vm_capacity >= 0, "host capacity must be non-negative");
     Host host;
     host.machine = std::make_unique<sim::Machine>(config.machine);
     host.hypervisor = std::make_unique<vm::Hypervisor>(
         *host.machine, config.hypervisor, root.Fork());
+    host.vm_capacity = config.vm_capacity;
     hosts_.push_back(std::move(host));
   }
 }
@@ -22,6 +31,7 @@ VmRef Cluster::Deploy(int host, const std::string& name,
                       WorkloadFactory factory) {
   SDS_CHECK(host >= 0 && host < host_count(), "no such host");
   SDS_CHECK(factory != nullptr, "deployment needs a workload factory");
+  SDS_CHECK(HasCapacity(host), "host at capacity");
   VmRef ref;
   ref.host = host;
   ref.id = hosts_[static_cast<std::size_t>(host)].hypervisor->CreateVm(
@@ -51,6 +61,8 @@ VmRef Cluster::Migrate(const VmRef& ref, int destination_host) {
             "no such destination host");
   SDS_CHECK(destination_host != ref.host,
             "migration target must be a different host");
+  SDS_CHECK(IsRunnable(ref), "cannot migrate a VM that is not running");
+  SDS_CHECK(HasCapacity(destination_host), "destination host at capacity");
   const Record record = RecordFor(ref);  // copy before mutation
   StopVm(ref);
   return Deploy(destination_host, record.name, record.factory);
@@ -61,6 +73,28 @@ void Cluster::StopVm(const VmRef& ref) {
   hosts_[static_cast<std::size_t>(ref.host)]
       .hypervisor->vm(ref.id)
       .set_state(vm::VmState::kStopped);
+}
+
+void Cluster::ResumeVm(const VmRef& ref) {
+  RecordFor(ref);  // validates
+  vm::VirtualMachine& machine_vm =
+      hosts_[static_cast<std::size_t>(ref.host)].hypervisor->vm(ref.id);
+  if (machine_vm.state() == vm::VmState::kRunning) return;
+  SDS_CHECK(HasCapacity(ref.host), "host at capacity; cannot resume");
+  machine_vm.set_state(vm::VmState::kRunning);
+}
+
+bool Cluster::HasCapacity(int host) const {
+  SDS_CHECK(host >= 0 && host < host_count(), "no such host");
+  const int capacity = hosts_[static_cast<std::size_t>(host)].vm_capacity;
+  return capacity == 0 || runnable_vms(host) < capacity;
+}
+
+bool Cluster::IsRunnable(const VmRef& ref) const {
+  RecordFor(ref);  // validates
+  return hosts_[static_cast<std::size_t>(ref.host)]
+      .hypervisor->vm(ref.id)
+      .runnable();
 }
 
 sim::Machine& Cluster::machine(int host) {

@@ -29,6 +29,10 @@ using WorkloadFactory = std::function<std::unique_ptr<vm::Workload>()>;
 struct HostConfig {
   sim::MachineConfig machine;
   vm::HypervisorConfig hypervisor;
+  // Maximum RUNNABLE VMs this host admits; 0 = unlimited (the default, which
+  // preserves pre-capacity behavior). Stopped/quarantined VMs release their
+  // slot, so a quarantine frees capacity for a later migration.
+  int vm_capacity = 0;
 };
 
 // Identifies a VM placement within the cluster.
@@ -41,9 +45,13 @@ struct VmRef {
 class Cluster {
  public:
   Cluster(int hosts, const HostConfig& config, std::uint64_t seed);
+  // Heterogeneous cluster: one config per host (capacity, telemetry handle,
+  // machine geometry may all differ).
+  Cluster(const std::vector<HostConfig>& hosts, std::uint64_t seed);
 
   // Deploys a VM built by `factory` on `host`. The factory is retained so
-  // the VM can be re-instantiated on migration.
+  // the VM can be re-instantiated on migration. Aborts when the host is at
+  // capacity (use HasCapacity for a non-fatal check).
   VmRef Deploy(int host, const std::string& name, WorkloadFactory factory);
 
   // Advances every host by one tick.
@@ -51,11 +59,23 @@ class Cluster {
   Tick now() const;
 
   // Stop-and-restart migration; returns the new placement. The source VM
-  // remains on its host in the stopped state (its counters freeze).
+  // remains on its host in the stopped state (its counters freeze). The
+  // source must be runnable and the destination must have capacity; callers
+  // that cannot guarantee either route through cluster::Actuator, which
+  // turns these aborts into retryable command failures.
   VmRef Migrate(const VmRef& ref, int destination_host);
 
   // Stops a VM in place (the provider quarantining a suspected attacker).
   void StopVm(const VmRef& ref);
+
+  // Restarts a stopped VM in place (rollback of a quarantine). The host
+  // must have capacity for it to become runnable again.
+  void ResumeVm(const VmRef& ref);
+
+  // True when `host` can admit one more runnable VM.
+  bool HasCapacity(int host) const;
+  // True when the referenced VM is in the running state.
+  bool IsRunnable(const VmRef& ref) const;
 
   int host_count() const { return static_cast<int>(hosts_.size()); }
   sim::Machine& machine(int host);
@@ -69,6 +89,7 @@ class Cluster {
   struct Host {
     std::unique_ptr<sim::Machine> machine;
     std::unique_ptr<vm::Hypervisor> hypervisor;
+    int vm_capacity = 0;  // 0 = unlimited
   };
   struct Record {
     std::string name;

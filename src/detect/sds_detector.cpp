@@ -181,6 +181,8 @@ void SdsDetector::OnTick() {
                            .Num("period_active", period_active() ? 1 : 0));
     }
   } else if (!active && was_active_) {
+    ++retraction_events_;
+    last_retraction_ = s.tick;
     tel::Telemetry* t = hypervisor_.telemetry();
     if (t && t->tracer().enabled(tel::Layer::kDetect)) {
       t->tracer().Emit(tel::MakeEvent(s.tick, tel::Layer::kDetect,

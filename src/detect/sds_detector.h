@@ -58,6 +58,10 @@ class SdsDetector final : public Detector {
   bool attack_active() const override;
   std::uint64_t alarm_events() const override { return alarm_events_; }
   Tick last_alarm_trigger_tick() const override { return last_trigger_; }
+  std::uint64_t retraction_events() const override {
+    return retraction_events_;
+  }
+  Tick last_retraction_tick() const override { return last_retraction_; }
   std::string_view name() const override { return name_; }
 
   // Introspection for the example binaries and the Figure 7/8 benches.
@@ -108,6 +112,8 @@ class SdsDetector final : public Detector {
   bool was_active_ = false;
   std::uint64_t alarm_events_ = 0;
   Tick last_trigger_ = kInvalidTick;
+  std::uint64_t retraction_events_ = 0;
+  Tick last_retraction_ = kInvalidTick;
 };
 
 }  // namespace sds::detect

@@ -1,0 +1,43 @@
+#include "fault/actuation_plan.h"
+
+namespace sds::fault {
+
+const char* ActuationFaultKindName(ActuationFaultKind kind) {
+  switch (kind) {
+    case ActuationFaultKind::kCommandLost:
+      return "command-lost";
+    case ActuationFaultKind::kMigrationAbort:
+      return "migration-abort";
+    case ActuationFaultKind::kSpareHostDown:
+      return "spare-host-down";
+    case ActuationFaultKind::kSpareAtCapacity:
+      return "spare-at-capacity";
+    case ActuationFaultKind::kStopRejected:
+      return "stop-rejected";
+    case ActuationFaultKind::kKindCount:
+      break;
+  }
+  return "?";
+}
+
+bool ActuationFaultPlan::enabled() const {
+  if (latency_max_ticks > 0) return true;
+  for (const double r : rates) {
+    if (r > 0.0) return true;
+  }
+  return false;
+}
+
+ActuationFaultPlan ActuationFaultPlan::Single(ActuationFaultKind kind,
+                                              double rate, std::uint64_t seed,
+                                              Tick latency_min,
+                                              Tick latency_max) {
+  ActuationFaultPlan plan;
+  plan.seed = seed;
+  plan.set_rate(kind, rate);
+  plan.latency_min_ticks = latency_min;
+  plan.latency_max_ticks = latency_max;
+  return plan;
+}
+
+}  // namespace sds::fault

@@ -1,0 +1,109 @@
+// Deterministic fault plans for the ACTUATION plane (the control-plane
+// counterpart of fault_plan.h's monitoring-plane catalog).
+//
+// Where a FaultPlan describes how the detector's INPUT stream rots, an
+// ActuationFaultPlan describes how the provider's RESPONSE path fails: the
+// hypervisor commands a mitigation (migrate the victim, stop the attacker)
+// and the command is lost in transport, aborts mid-flight, or bounces off a
+// spare host that is down or out of capacity. Real clouds pay exactly these
+// costs — live migration fails and retries, placement constraints reject the
+// chosen destination — which is why the MitigationEngine needs retry,
+// escalation and verification machinery at all.
+//
+// The plan is plain data interpreted by cluster::Actuator. All stochastic
+// decisions come from the plan's private seeded RNG stream (never the
+// simulation's), so an actuation sweep perturbs the control plane without
+// changing the workload or attack trajectory under it. A default-constructed
+// plan is inert (enabled() == false): every command then lands instantly and
+// infallibly, and the actuator is bit-transparent.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace sds::fault {
+
+enum class ActuationFaultKind : std::uint8_t {
+  // The command is lost in transport: it is accepted but never acknowledged
+  // and never executes. Only the engine's per-action timeout catches it.
+  kCommandLost = 0,
+  // The migration aborts mid-flight after its full latency was paid: the
+  // source VM keeps running in place, nothing moved.
+  kMigrationAbort,
+  // The destination host goes down for a drawn window. The triggering
+  // command fails, and every later migration into that host fails fast
+  // until the window expires.
+  kSpareHostDown,
+  // The placement check at completion rejects the destination as full even
+  // though the capacity bookkeeping said otherwise (stale admission data).
+  kSpareAtCapacity,
+  // A stop/resume command bounces off the target hypervisor.
+  kStopRejected,
+  kKindCount,
+};
+
+inline constexpr std::size_t kActuationFaultKindCount =
+    static_cast<std::size_t>(ActuationFaultKind::kKindCount);
+
+const char* ActuationFaultKindName(ActuationFaultKind kind);
+
+struct ActuationFaultPlan {
+  // Seed of the actuator's private RNG stream.
+  std::uint64_t seed = 0xac70a7e5eedull;
+
+  // Per-command injection probability per kind, indexed by
+  // ActuationFaultKind. Kinds that do not apply to a command type (e.g.
+  // kStopRejected for a migration) are skipped without consuming a draw.
+  std::array<double, kActuationFaultKindCount> rates{};
+
+  // Actuation latency in ticks, drawn uniformly per command (inclusive
+  // range). The default 0..0 completes commands synchronously at submit,
+  // which is what keeps a null plan bit-transparent.
+  Tick latency_min_ticks = 0;
+  Tick latency_max_ticks = 0;
+
+  // How long a host stays unusable once kSpareHostDown fires (inclusive
+  // range, drawn per event).
+  Tick host_down_min_ticks = 20;
+  Tick host_down_max_ticks = 120;
+
+  double rate(ActuationFaultKind kind) const {
+    return rates[static_cast<std::size_t>(kind)];
+  }
+  void set_rate(ActuationFaultKind kind, double r) {
+    rates[static_cast<std::size_t>(kind)] = r;
+  }
+
+  // True when the plan can perturb anything at all (any nonzero rate or
+  // nonzero latency).
+  bool enabled() const;
+
+  // Convenience: a plan injecting exactly one kind at `rate` per command,
+  // with the given command latency range.
+  static ActuationFaultPlan Single(ActuationFaultKind kind, double rate,
+                                   std::uint64_t seed, Tick latency_min = 0,
+                                   Tick latency_max = 0);
+};
+
+// Per-kind and aggregate actuation accounting, kept by the actuator.
+struct ActuationFaultStats {
+  std::array<std::uint64_t, kActuationFaultKindCount> injected{};
+  std::uint64_t commands = 0;   // submissions accepted (conflicts excluded)
+  std::uint64_t conflicts = 0;  // submissions rejected: target already busy
+  std::uint64_t completed = 0;  // commands that executed successfully
+  std::uint64_t failed = 0;     // commands that completed with an error
+  std::uint64_t lost = 0;       // commands that will never acknowledge
+  std::uint64_t cancelled = 0;  // commands abandoned by the caller
+  // Total submit->completion latency over completed + failed commands.
+  std::uint64_t latency_ticks = 0;
+
+  std::uint64_t injected_total() const {
+    std::uint64_t sum = 0;
+    for (const auto v : injected) sum += v;
+    return sum;
+  }
+};
+
+}  // namespace sds::fault

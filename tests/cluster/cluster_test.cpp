@@ -1,5 +1,7 @@
 #include "cluster/cluster.h"
 
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "workloads/catalog.h"
@@ -80,6 +82,82 @@ TEST(ClusterTest, InvalidRefAborts) {
   Cluster cluster(1, DefaultHost(), 7);
   VmRef bogus;
   EXPECT_DEATH(cluster.StopVm(bogus), "invalid VM reference");
+}
+
+TEST(ClusterTest, DeployBeyondCapacityAborts) {
+  std::vector<HostConfig> hosts(1);
+  hosts[0].vm_capacity = 2;
+  Cluster cluster(hosts, 9);
+  cluster.Deploy(0, "a", AppFactory("bayes"));
+  cluster.Deploy(0, "b", AppFactory("scan"));
+  EXPECT_DEATH(cluster.Deploy(0, "c", AppFactory("bayes")),
+               "host at capacity");
+}
+
+TEST(ClusterTest, MigrateToFullHostAborts) {
+  std::vector<HostConfig> hosts(2);
+  hosts[1].vm_capacity = 1;
+  Cluster cluster(hosts, 9);
+  const VmRef vm = cluster.Deploy(0, "a", AppFactory("bayes"));
+  cluster.Deploy(1, "occupant", AppFactory("scan"));
+  EXPECT_DEATH(cluster.Migrate(vm, 1), "destination host at capacity");
+}
+
+TEST(ClusterTest, MigrateOfStoppedVmAborts) {
+  Cluster cluster(2, DefaultHost(), 10);
+  const VmRef vm = cluster.Deploy(0, "a", AppFactory("bayes"));
+  cluster.StopVm(vm);
+  EXPECT_DEATH(cluster.Migrate(vm, 1), "cannot migrate");
+}
+
+TEST(ClusterTest, MigratingTheMigratedCopyKeepsWorking) {
+  // Migrate twice: the fresh copy from the first migration is itself a valid
+  // migration source; the original ref stays frozen throughout.
+  Cluster cluster(3, DefaultHost(), 11);
+  const VmRef vm = cluster.Deploy(0, "a", AppFactory("bayes"));
+  const VmRef first = cluster.Migrate(vm, 1);
+  const VmRef second = cluster.Migrate(first, 2);
+  EXPECT_EQ(second.host, 2);
+  EXPECT_FALSE(cluster.IsRunnable(vm));
+  EXPECT_FALSE(cluster.IsRunnable(first));
+  EXPECT_TRUE(cluster.IsRunnable(second));
+  for (int t = 0; t < 20; ++t) cluster.RunTick();
+  EXPECT_GT(cluster.counters(second).llc_accesses, 0u);
+}
+
+TEST(ClusterTest, StoppedVmReleasesItsCapacitySlot) {
+  std::vector<HostConfig> hosts(1);
+  hosts[0].vm_capacity = 1;
+  Cluster cluster(hosts, 12);
+  const VmRef vm = cluster.Deploy(0, "a", AppFactory("bayes"));
+  EXPECT_FALSE(cluster.HasCapacity(0));
+  cluster.StopVm(vm);
+  EXPECT_TRUE(cluster.HasCapacity(0));
+  const VmRef next = cluster.Deploy(0, "b", AppFactory("scan"));
+  EXPECT_TRUE(cluster.IsRunnable(next));
+}
+
+TEST(ClusterTest, ResumeAtFullHostAborts) {
+  std::vector<HostConfig> hosts(1);
+  hosts[0].vm_capacity = 1;
+  Cluster cluster(hosts, 13);
+  const VmRef vm = cluster.Deploy(0, "a", AppFactory("bayes"));
+  cluster.StopVm(vm);
+  cluster.Deploy(0, "b", AppFactory("scan"));  // takes the freed slot
+  EXPECT_DEATH(cluster.ResumeVm(vm), "cannot resume");
+}
+
+TEST(ClusterTest, ResumeRestoresProgress) {
+  Cluster cluster(1, DefaultHost(), 14);
+  const VmRef vm = cluster.Deploy(0, "a", AppFactory("bayes"));
+  for (int t = 0; t < 20; ++t) cluster.RunTick();
+  cluster.StopVm(vm);
+  const auto frozen = cluster.counters(vm).llc_accesses;
+  for (int t = 0; t < 20; ++t) cluster.RunTick();
+  EXPECT_EQ(cluster.counters(vm).llc_accesses, frozen);
+  cluster.ResumeVm(vm);
+  for (int t = 0; t < 20; ++t) cluster.RunTick();
+  EXPECT_GT(cluster.counters(vm).llc_accesses, frozen);
 }
 
 TEST(ClusterTest, HostsAreIsolatedMachines) {

@@ -1,0 +1,14 @@
+// Seeded violations: a cluster-layer scheduler bypassing the Actuator and
+// mutating placement directly (det-actuation-idempotent).
+namespace sds::cluster {
+struct FakeCluster {
+  int Migrate(int vm, int host);
+  void StopVm(int vm);
+  void ResumeVm(int vm);
+};
+void Rebalance(FakeCluster& cluster, FakeCluster* remote) {
+  cluster.Migrate(1, 0);
+  cluster.StopVm(2);
+  remote->ResumeVm(3);
+}
+}  // namespace sds::cluster

@@ -1,0 +1,9 @@
+// Seeded suppression: the escape hatch for a justified direct call.
+namespace sds::cluster {
+struct FakeCluster {
+  void ResumeVm(int vm);
+};
+void Repair(FakeCluster& cluster) {
+  cluster.ResumeVm(7);  // sdslint: allow(det-actuation-idempotent)
+}
+}  // namespace sds::cluster

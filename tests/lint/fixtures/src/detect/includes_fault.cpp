@@ -1,0 +1,4 @@
+// Seeded violation: a detector reaching into the restricted fault layer.
+// fault's dependents are enumerated (cluster, eval) — the detectors under
+// test must never see the injection machinery.
+#include "fault/plan.h"

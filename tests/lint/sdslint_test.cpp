@@ -60,7 +60,11 @@ TEST(SdslintFixtures, ExactDiagnosticSet) {
     int line;
     const char* rule;
   } kExpected[] = {
+      {"src/cluster/direct_migrate.cpp", 10, kRuleDetActuationIdempotent},
+      {"src/cluster/direct_migrate.cpp", 11, kRuleDetActuationIdempotent},
+      {"src/cluster/direct_migrate.cpp", 12, kRuleDetActuationIdempotent},
       {"src/detect/includes_eval.h", 3, kRuleLayerDag},
+      {"src/detect/includes_fault.cpp", 4, kRuleLayerDag},
       {"src/detect/unordered_iter.cpp", 12, kRuleDetUnorderedIter},
       {"src/pcm/wallclock.cpp", 5, kRuleDetClock},
       {"src/pcm/wallclock.cpp", 9, kRuleDetClock},
@@ -102,9 +106,10 @@ TEST(SdslintFixtures, SuppressionCommentSilencesEachRule) {
   EXPECT_EQ(CountForFile(r, "src/detect/suppressed_iter.cpp"), 0);
   EXPECT_EQ(CountForFile(r, "src/detect/includes_eval_allowed.h"), 0);
   EXPECT_EQ(CountForFile(r, "src/stats/no_pragma_allowed.h"), 0);
+  EXPECT_EQ(CountForFile(r, "src/cluster/suppressed_direct.cpp"), 0);
   // ...and each allow() comment must be reported as used, so stale escape
   // hatches are auditable via --list-suppressions.
-  ASSERT_EQ(r.suppressions.size(), 5u);
+  ASSERT_EQ(r.suppressions.size(), 6u);
   for (const Suppression& s : r.suppressions) {
     EXPECT_TRUE(s.used) << s.file << ":" << s.comment_line;
   }
@@ -132,8 +137,8 @@ TEST(SdslintFixtures, JsonOutputIsWellFormedAndComplete) {
   // Every rule that fired appears in the JSON stream.
   for (const char* rule :
        {kRuleLayerDag, kRuleDetRand, kRuleDetClock, kRuleDetPointerPrint,
-        kRuleDetUnorderedIter, kRuleHdrPragmaOnce, kRuleHdrSelfContained,
-        kRuleHdrTelemetryFwd}) {
+        kRuleDetUnorderedIter, kRuleDetActuationIdempotent,
+        kRuleHdrPragmaOnce, kRuleHdrSelfContained, kRuleHdrTelemetryFwd}) {
     EXPECT_NE(json.find(std::string("\"rule\":\"") + rule + "\""),
               std::string::npos)
         << rule;

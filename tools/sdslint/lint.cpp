@@ -77,6 +77,44 @@ bool SiblingEdgeAllowed(const std::string& from, const std::string& to) {
   return false;
 }
 
+// Layers whose dependents are enumerated explicitly: the rank test alone
+// would let EVERY higher layer include them, but these seams are narrower
+// than their rank. The non-layer trees (tests/bench/tools/examples, rank >=
+// 100) may always include them.
+struct RestrictedLayer {
+  const char* name;
+  const char* dependents;  // comma-separated src layers allowed to include it
+};
+constexpr RestrictedLayer kRestrictedLayers[] = {
+    // fault wraps two seams of the response pipeline: the pcm SampleSource
+    // (monitoring-plane injection) and the Actuator's ActuationFaultPlan
+    // (actuation-plane injection). Only the layers that own those seams —
+    // cluster and eval — may depend on it; the detectors under test must
+    // never see the injection machinery.
+    {"fault", "cluster,eval"},
+};
+
+const RestrictedLayer* FindRestricted(const std::string& name) {
+  for (const RestrictedLayer& r : kRestrictedLayers) {
+    if (name == r.name) return &r;
+  }
+  return nullptr;
+}
+
+bool RestrictedDependentAllowed(const RestrictedLayer& restricted,
+                                const std::string& from) {
+  std::string cur;
+  for (const char* p = restricted.dependents;; ++p) {
+    if (*p == ',' || *p == '\0') {
+      if (cur == from) return true;
+      cur.clear();
+      if (*p == '\0') return false;
+    } else {
+      cur.push_back(*p);
+    }
+  }
+}
+
 // Wall-clock reads that are part of a layer's charter even though the layer
 // would otherwise be rank-checked. Today: the telemetry profiler's kWall
 // domain. telemetry is already non-deterministic by table, so these entries
@@ -444,6 +482,46 @@ class Analyzer {
       CheckDeterminismTokens(f);
       CheckUnorderedIteration(f);
     }
+    CheckActuationIdempotent(f);
+  }
+
+  // det-actuation-idempotent: inside the cluster layer, only the Cluster
+  // itself and the Actuator may invoke the placement-mutating verbs
+  // (Migrate / StopVm / ResumeVm). Everything else — the MitigationEngine
+  // above all — must route commands through the Actuator so the
+  // one-outstanding-command-per-VM idempotency guard and the actuation fault
+  // plan stay in the path. Tests/bench/tools drive the Cluster directly and
+  // are out of scope (they are not layer "cluster").
+  void CheckActuationIdempotent(ParsedFile& f) {
+    if (f.layer != "cluster") return;
+    if (f.path.find("cluster/cluster.") != std::string::npos ||
+        f.path.find("cluster/actuator.") != std::string::npos) {
+      return;
+    }
+    static constexpr const char* kVerbs[] = {"Migrate", "StopVm", "ResumeVm"};
+    for (std::size_t i = 0; i < f.code.size(); ++i) {
+      const std::string& line = f.code[i];
+      for (const char* verb : kVerbs) {
+        for (std::size_t p = FindToken(line, verb); p != std::string::npos;
+             p = FindToken(line, verb, p + 1)) {
+          // Member-call syntax only: obj.Verb( / ptr->Verb(. Declarations
+          // and the Actuator's SubmitMigrate wrappers never match (word
+          // boundary / preceding character).
+          if (p == 0) continue;
+          const char before = line[p - 1];
+          if (before != '.' && before != '>') continue;
+          std::size_t q =
+              line.find_first_not_of(" \t", p + std::strlen(verb));
+          if (q == std::string::npos || line[q] != '(') continue;
+          Emit(f, static_cast<int>(i) + 1, kRuleDetActuationIdempotent,
+               std::string(verb) + "() called directly from " + f.path +
+                   ": cluster-layer code must route placement changes "
+                   "through the Actuator (SubmitMigrate/SubmitStop/"
+                   "SubmitResume) so the idempotency guard and the actuation "
+                   "fault plan apply");
+        }
+      }
+    }
   }
 
   void CheckIncludes(ParsedFile& f) {
@@ -468,20 +546,25 @@ class Analyzer {
       if (from == nullptr) continue;  // unknown tree: no DAG claim
 
       bool ok;
+      const RestrictedLayer* restricted = FindRestricted(to_name);
       if (to_name == f.layer) {
         ok = true;
       } else if (to_name == "telemetry") {
         // Universal observability sink: any layer may include it.
         ok = true;
-      } else if (to_name == "fault") {
-        // Monitoring-plane fault injection wraps the pcm seam; only the
-        // layers above the detectors (cluster, eval) and the non-layer trees
-        // may depend on it.
-        ok = from->rank > 5;
+      } else if (restricted != nullptr) {
+        ok = from->rank >= 100 ||
+             RestrictedDependentAllowed(*restricted, f.layer);
       } else {
         ok = to->rank < from->rank || SiblingEdgeAllowed(f.layer, to_name);
       }
-      if (!ok) {
+      if (!ok && restricted != nullptr) {
+        Emit(f, inc.line, kRuleLayerDag,
+             "include of \"" + inc.target + "\" (restricted layer " +
+                 to_name + ") from layer " + f.layer + "; only {" +
+                 restricted->dependents +
+                 "} and the test/bench/tool trees may depend on " + to_name);
+      } else if (!ok) {
         Emit(f, inc.line, kRuleLayerDag,
              "include of \"" + inc.target + "\" (layer " + to_name + ", rank " +
                  std::to_string(to->rank) + ") from layer " + f.layer +

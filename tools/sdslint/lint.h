@@ -33,6 +33,8 @@ inline constexpr char kRuleDetRand[] = "det-rand";
 inline constexpr char kRuleDetClock[] = "det-clock";
 inline constexpr char kRuleDetPointerPrint[] = "det-pointer-print";
 inline constexpr char kRuleDetUnorderedIter[] = "det-unordered-iter";
+inline constexpr char kRuleDetActuationIdempotent[] =
+    "det-actuation-idempotent";
 inline constexpr char kRuleHdrPragmaOnce[] = "hdr-pragma-once";
 inline constexpr char kRuleHdrSelfContained[] = "hdr-self-contained";
 inline constexpr char kRuleHdrTelemetryFwd[] = "hdr-telemetry-fwd";

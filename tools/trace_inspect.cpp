@@ -168,6 +168,11 @@ int main(int argc, char** argv) {
   std::map<std::string, std::uint64_t> fault_events;  // layer=fault, by name
   // check=degrade audit records, keyed "consumer/action".
   std::map<std::string, std::uint64_t> degrade_actions;
+  // check=actuation audit records (the MitigationEngine's retry / escalate /
+  // verify / rollback steps), keyed by channel; plus the terminal
+  // check=mitigation records as an incident timeline.
+  std::map<std::string, std::uint64_t> actuation_steps;
+  std::vector<JsonObject> mitigation_records;
   std::vector<JsonObject> alarm_timeline;             // alarm events + audits
   std::map<std::string, bool> alarm_state;            // per detector
   std::vector<std::string> metric_lines;
@@ -241,6 +246,12 @@ int main(int argc, char** argv) {
       }
       if (StrOr(o, "check", "") == "degrade") {
         ++degrade_actions[detector + "/" + StrOr(o, "channel", "?")];
+      }
+      if (StrOr(o, "check", "") == "actuation") {
+        ++actuation_steps[StrOr(o, "channel", "?")];
+      }
+      if (StrOr(o, "check", "") == "mitigation") {
+        mitigation_records.push_back(o);
       }
       if (dump_audit) event_dump.push_back(line);
     } else if (type == "metric") {
@@ -338,6 +349,28 @@ int main(int argc, char** argv) {
         std::printf("  %-40s %10llu\n", key.c_str(),
                     static_cast<unsigned long long>(count));
       }
+    }
+  }
+
+  if (!actuation_steps.empty() || !mitigation_records.empty()) {
+    // The actuation-plane story: every deviation from the clean dispatch ->
+    // settle path (retries, timeouts, escalations, verification verdicts,
+    // rollbacks) plus the terminal mitigation record(s). A clean run shows
+    // only the mitigation line — any step row means the control plane had
+    // to fight.
+    std::printf("\nactuation incidents\n");
+    for (const auto& [channel, count] : actuation_steps) {
+      std::printf("  %-40s %10llu\n", channel.c_str(),
+                  static_cast<unsigned long long>(count));
+    }
+    for (const auto& o : mitigation_records) {
+      const auto tick = static_cast<long long>(NumOr(o, "tick", -1));
+      std::printf("  t=%8lld (%7.2fs)  mitigation applied: policy=%s%s\n",
+                  tick, clock.ToSeconds(tick),
+                  StrOr(o, "channel", "?").c_str(),
+                  StrOr(o, "violation", "false") == "true"
+                      ? " (fallback: attacker unattributed)"
+                      : "");
     }
   }
 
