@@ -1,6 +1,7 @@
 #include "detect/boundary.h"
 
 #include <cmath>
+#include <cstdint>
 
 #include "common/check.h"
 #include "stats/descriptive.h"
@@ -38,6 +39,27 @@ BoundaryAnalyzer::BoundaryAnalyzer(const BoundaryProfile& profile,
   SDS_CHECK(profile.stddev >= 0.0, "profile stddev must be non-negative");
   lower_ = profile.mean - params.boundary_k * profile.stddev;
   upper_ = profile.mean + params.boundary_k * profile.stddev;
+}
+
+void BoundaryAnalyzer::SaveState(SnapshotWriter& w) const {
+  w.F64(profile_.mean);
+  w.F64(profile_.stddev);
+  ma_.SaveState(w);
+  ewma_.SaveState(w);
+  w.I64(consecutive_);
+}
+
+bool BoundaryAnalyzer::RestoreState(SnapshotReader& r) {
+  const double mean = r.F64();
+  const double stddev = r.F64();
+  if (!r.ok() || mean != profile_.mean || stddev != profile_.stddev) {
+    return false;
+  }
+  if (!ma_.RestoreState(r) || !ewma_.RestoreState(r)) return false;
+  const std::int64_t consecutive = r.I64();
+  if (!r.ok() || consecutive < 0) return false;
+  consecutive_ = static_cast<int>(consecutive);
+  return true;
 }
 
 std::optional<double> BoundaryAnalyzer::Observe(double raw) {

@@ -49,6 +49,12 @@ class BoundaryAnalyzer {
   double upper_bound() const { return upper_; }
   const BoundaryProfile& profile() const { return profile_; }
 
+  // Snapshot/restore of the streaming state (MA window, EWMA, consecutive
+  // count). The profile/params themselves are construction inputs; restore
+  // validates the saved profile matches bit-exactly and refuses otherwise.
+  void SaveState(SnapshotWriter& w) const;
+  bool RestoreState(SnapshotReader& r);
+
  private:
   BoundaryProfile profile_;
   DetectorParams params_;

@@ -93,6 +93,29 @@ void SamplerWatchdog::OnDelivered() {
   backoff_ = 0;
 }
 
+void SamplerWatchdog::SaveState(SnapshotWriter& w) const {
+  w.I64(miss_streak_);
+  w.I64(next_attempt_);
+  w.I64(backoff_);
+  w.U64(attempts_);
+  w.U64(restarts_);
+}
+
+bool SamplerWatchdog::RestoreState(SnapshotReader& r) {
+  const std::int64_t miss_streak = r.I64();
+  const std::int64_t next_attempt = r.I64();
+  const std::int64_t backoff = r.I64();
+  const std::uint64_t attempts = r.U64();
+  const std::uint64_t restarts = r.U64();
+  if (!r.ok() || miss_streak < 0 || backoff < 0) return false;
+  miss_streak_ = static_cast<int>(miss_streak);
+  next_attempt_ = static_cast<Tick>(next_attempt);
+  backoff_ = static_cast<Tick>(backoff);
+  attempts_ = attempts;
+  restarts_ = restarts;
+  return true;
+}
+
 DegradingSampleGate::DegradingSampleGate(vm::Hypervisor& hypervisor,
                                          pcm::SampleSource& source,
                                          const DegradeConfig& config,
@@ -212,6 +235,58 @@ DegradingSampleGate::Outcome DegradingSampleGate::OnTick() {
   stats_.watchdog_attempts = watchdog_.attempts();
   stats_.watchdog_restarts = watchdog_.restarts();
   return out;
+}
+
+void DegradingSampleGate::SaveState(SnapshotWriter& w) const {
+  w.U32(static_cast<std::uint32_t>(config_.gap_policy));
+  watchdog_.SaveState(w);
+  w.Bool(last_good_.has_value());
+  if (last_good_.has_value()) {
+    w.I64(last_good_->tick);
+    w.U64(last_good_->access_num);
+    w.U64(last_good_->miss_num);
+  }
+  w.I64(gap_run_);
+  w.Bool(rewarm_pending_);
+  w.U64(stats_.delivered);
+  w.U64(stats_.gap_ticks);
+  w.U64(stats_.quarantined);
+  w.U64(stats_.substituted);
+  w.U64(stats_.rewarms);
+  w.U64(stats_.watchdog_attempts);
+  w.U64(stats_.watchdog_restarts);
+}
+
+bool DegradingSampleGate::RestoreState(SnapshotReader& r) {
+  const std::uint32_t policy = r.U32();
+  if (!r.ok() || policy != static_cast<std::uint32_t>(config_.gap_policy)) {
+    return false;
+  }
+  if (!watchdog_.RestoreState(r)) return false;
+  std::optional<pcm::PcmSample> last_good;
+  if (r.Bool()) {
+    pcm::PcmSample s;
+    s.tick = static_cast<Tick>(r.I64());
+    s.access_num = r.U64();
+    s.miss_num = r.U64();
+    last_good = s;
+  }
+  const std::int64_t gap_run = r.I64();
+  const bool rewarm_pending = r.Bool();
+  DegradeStats stats;
+  stats.delivered = r.U64();
+  stats.gap_ticks = r.U64();
+  stats.quarantined = r.U64();
+  stats.substituted = r.U64();
+  stats.rewarms = r.U64();
+  stats.watchdog_attempts = r.U64();
+  stats.watchdog_restarts = r.U64();
+  if (!r.ok() || gap_run < 0) return false;
+  last_good_ = last_good;
+  gap_run_ = static_cast<Tick>(gap_run);
+  rewarm_pending_ = rewarm_pending;
+  stats_ = stats;
+  return true;
 }
 
 void DegradingSampleGate::OnSessionStart() {

@@ -35,6 +35,7 @@
 #include <cstdint>
 #include <optional>
 
+#include "common/snapshot.h"
 #include "common/types.h"
 #include "pcm/pcm_sampler.h"
 #include "pcm/sample_source.h"
@@ -102,6 +103,11 @@ class SamplerWatchdog {
   std::uint64_t restarts() const { return restarts_; }
   int miss_streak() const { return miss_streak_; }
 
+  // Snapshot/restore of the miss streak, backoff schedule and lifetime
+  // counters (the source/hypervisor references are construction inputs).
+  void SaveState(SnapshotWriter& w) const;
+  bool RestoreState(SnapshotReader& r);
+
  private:
   pcm::SampleSource& source_;
   WatchdogParams params_;
@@ -158,6 +164,12 @@ class DegradingSampleGate {
   const DegradeStats& stats() const { return stats_; }
   const SamplerWatchdog& watchdog() const { return watchdog_; }
   const DegradeConfig& config() const { return config_; }
+
+  // Snapshot/restore: hold-last sample, gap run, pending rewarm, lifetime
+  // stats, and the embedded watchdog. The config is a construction input;
+  // restore validates the saved gap policy matches and refuses otherwise.
+  void SaveState(SnapshotWriter& w) const;
+  bool RestoreState(SnapshotReader& r);
 
  private:
   void EmitDegrade(Tick tick, const char* action, double value, double bound,

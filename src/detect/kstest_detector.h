@@ -115,6 +115,21 @@ class KsTestDetector final : public Detector {
   // is abandoned.
   static constexpr Tick kCollectSlackFactor = 2;
 
+  // Snapshot/restore at a tick boundary (DESIGN.md §13). Serialized: the
+  // full collection state machine (including mid-collection staging and the
+  // identification sweep), reference windows, consecutive counters, alarm
+  // state and the gate/watchdog. NOT serialized: the PCM sampler (restore
+  // Start()s the replacement source when the saved state needs one running,
+  // re-baselining its cumulative counters at the same tick boundary) and
+  // the decisions_ introspection log (a restored detector logs from empty
+  // but decides bit-identically). Restore must target the SAME still-running
+  // hypervisor world: throttles the old detector armed persist there and are
+  // deliberately not re-issued. ConfigFingerprint() refuses a snapshot from
+  // different params.
+  std::uint64_t ConfigFingerprint() const;
+  void SaveState(SnapshotWriter& w) const;
+  bool RestoreState(SnapshotReader& r);
+
  private:
   enum class State : std::uint8_t {
     kIdle,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 
 #include "common/check.h"
 
@@ -67,6 +68,40 @@ PeriodAnalyzer::PeriodAnalyzer(const PeriodProfile& profile,
   SDS_CHECK(params.h_p >= 1, "H_P must be at least 1");
   SDS_CHECK(params.delta_wp >= 1, "delta_wp must be at least 1");
   SDS_CHECK(params.period_tolerance > 0.0, "tolerance must be positive");
+}
+
+void PeriodAnalyzer::SaveState(SnapshotWriter& w) const {
+  w.F64(profile_.period);
+  w.F64(profile_.strength);
+  w.U64(window_size_);
+  w.VecF64(ma_values_.ToVector());
+  ma_.SaveState(w);
+  w.U64(ma_since_check_);
+  w.U64(ma_count_);
+  w.I64(consecutive_);
+}
+
+bool PeriodAnalyzer::RestoreState(SnapshotReader& r) {
+  const double period = r.F64();
+  const double strength = r.F64();
+  const std::uint64_t window_size = r.U64();
+  if (!r.ok() || period != profile_.period || strength != profile_.strength ||
+      window_size != window_size_) {
+    return false;
+  }
+  const std::vector<double> ma_values = r.VecF64();
+  if (!r.ok() || ma_values.size() > window_size_) return false;
+  if (!ma_.RestoreState(r)) return false;
+  const std::uint64_t ma_since_check = r.U64();
+  const std::uint64_t ma_count = r.U64();
+  const std::int64_t consecutive = r.I64();
+  if (!r.ok() || consecutive < 0) return false;
+  ma_values_.Clear();
+  for (double v : ma_values) ma_values_.Push(v);
+  ma_since_check_ = ma_since_check;
+  ma_count_ = ma_count;
+  consecutive_ = static_cast<int>(consecutive);
+  return true;
 }
 
 std::optional<PeriodCheck> PeriodAnalyzer::Observe(double raw) {

@@ -66,6 +66,13 @@ class PeriodAnalyzer {
   // Full log of the checks performed (Figure 8(b) is exactly this series).
   const std::vector<PeriodCheck>& checks() const { return checks_; }
 
+  // Snapshot/restore of the streaming state. The checks_ introspection log
+  // is NOT serialized: it grows without bound and only feeds offline plots,
+  // so a restored analyzer starts with an empty log but makes bit-identical
+  // decisions. Restore validates profile and window geometry.
+  void SaveState(SnapshotWriter& w) const;
+  bool RestoreState(SnapshotReader& r);
+
  private:
   PeriodProfile profile_;
   DetectorParams params_;

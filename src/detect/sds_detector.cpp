@@ -193,6 +193,74 @@ void SdsDetector::OnTick() {
   was_active_ = active;
 }
 
+std::uint64_t SdsDetector::ConfigFingerprint() const {
+  SnapshotWriter w;
+  w.U32(static_cast<std::uint32_t>(mode_));
+  w.F64(profile_.access_boundary.mean);
+  w.F64(profile_.access_boundary.stddev);
+  w.F64(profile_.miss_boundary.mean);
+  w.F64(profile_.miss_boundary.stddev);
+  w.Bool(profile_.access_period.has_value());
+  if (profile_.access_period) {
+    w.F64(profile_.access_period->period);
+    w.F64(profile_.access_period->strength);
+  }
+  w.Bool(profile_.miss_period.has_value());
+  if (profile_.miss_period) {
+    w.F64(profile_.miss_period->period);
+    w.F64(profile_.miss_period->strength);
+  }
+  w.U64(params_.window);
+  w.U64(params_.step);
+  w.F64(params_.alpha);
+  w.F64(params_.boundary_k);
+  w.I64(params_.h_c);
+  w.F64(params_.wp_multiplier);
+  w.U64(params_.delta_wp);
+  w.I64(params_.h_p);
+  w.F64(params_.period_tolerance);
+  return Fnv1a(w.data());
+}
+
+void SdsDetector::SaveState(SnapshotWriter& w) const {
+  gate_.SaveState(w);
+  b_access_->SaveState(w);
+  b_miss_->SaveState(w);
+  w.Bool(p_access_ != nullptr);
+  if (p_access_) p_access_->SaveState(w);
+  w.Bool(p_miss_ != nullptr);
+  if (p_miss_) p_miss_->SaveState(w);
+  w.Bool(was_active_);
+  w.U64(alarm_events_);
+  w.I64(last_trigger_);
+  w.U64(retraction_events_);
+  w.I64(last_retraction_);
+}
+
+bool SdsDetector::RestoreState(SnapshotReader& r) {
+  if (!gate_.RestoreState(r)) return false;
+  if (!b_access_->RestoreState(r)) return false;
+  if (!b_miss_->RestoreState(r)) return false;
+  const bool has_p_access = r.Bool();
+  if (!r.ok() || has_p_access != (p_access_ != nullptr)) return false;
+  if (p_access_ && !p_access_->RestoreState(r)) return false;
+  const bool has_p_miss = r.Bool();
+  if (!r.ok() || has_p_miss != (p_miss_ != nullptr)) return false;
+  if (p_miss_ && !p_miss_->RestoreState(r)) return false;
+  const bool was_active = r.Bool();
+  const std::uint64_t alarm_events = r.U64();
+  const std::int64_t last_trigger = r.I64();
+  const std::uint64_t retraction_events = r.U64();
+  const std::int64_t last_retraction = r.I64();
+  if (!r.ok()) return false;
+  was_active_ = was_active;
+  alarm_events_ = alarm_events;
+  last_trigger_ = static_cast<Tick>(last_trigger);
+  retraction_events_ = retraction_events;
+  last_retraction_ = static_cast<Tick>(last_retraction);
+  return true;
+}
+
 bool SdsDetector::boundary_active() const {
   return b_access_->attack_active() || b_miss_->attack_active();
 }

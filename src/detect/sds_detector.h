@@ -76,6 +76,19 @@ class SdsDetector final : public Detector {
   // Degradation activity of this detector's sample gate.
   const DegradingSampleGate& gate() const { return gate_; }
 
+  // Snapshot/restore at a tick boundary (DESIGN.md §13) so a monitoring
+  // service restarts without re-warming its analyzer windows. Serialized:
+  // analyzer pipelines (both channels), gate + watchdog state, and alarm
+  // edge tracking. NOT serialized: the PCM sampler (restore assumes the
+  // replacement source Start()s at the same tick boundary, which
+  // re-baselines its cumulative counters to exactly where the old sampler
+  // left off) and telemetry handles. ConfigFingerprint() hashes the
+  // profile/params/mode so a snapshot cannot restore into a detector built
+  // with a different configuration.
+  std::uint64_t ConfigFingerprint() const;
+  void SaveState(SnapshotWriter& w) const;
+  bool RestoreState(SnapshotReader& r);
+
  private:
   // Resets the preprocessing pipeline (EWMA/MA windows, consecutive
   // counters) after a gap or sampler restart severed the sample stream; the

@@ -1,0 +1,62 @@
+#include "obs/quantile_sketch.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace sds::obs {
+
+namespace {
+
+// ln(kGamma), the log-bucket width. Evaluated once; every index computation
+// uses the same constant so bucket assignment is a pure function of the
+// value.
+const double kLogGamma = std::log(QuantileSketch::kGamma);
+
+}  // namespace
+
+std::size_t QuantileSketch::BucketOf(double v) {
+  if (!(v >= 1.0)) return 0;  // [0,1), negatives and NaN
+  const auto i =
+      static_cast<std::size_t>(std::floor(std::log(v) / kLogGamma)) + 1;
+  return i < kBucketCount ? i : kBucketCount - 1;
+}
+
+double QuantileSketch::Representative(std::size_t bucket) {
+  if (bucket == 0) return 0.5;
+  // Geometric midpoint of [gamma^(b-1), gamma^b).
+  return std::pow(kGamma, static_cast<double>(bucket) - 0.5);
+}
+
+void QuantileSketch::Add(double v) {
+  ++counts_[BucketOf(v)];
+  ++count_;
+}
+
+void QuantileSketch::Merge(const QuantileSketch& other) {
+  for (std::size_t i = 0; i < kBucketCount; ++i) counts_[i] += other.counts_[i];
+  count_ += other.count_;
+}
+
+double QuantileSketch::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the q-quantile in the sorted multiset (nearest-rank with the
+  // standard q*(n-1) convention, computed in integers for determinism).
+  const auto rank = static_cast<std::uint64_t>(
+      q * static_cast<double>(count_ - 1) + 0.5);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    cumulative += counts_[i];
+    if (cumulative > rank) return Representative(i);
+  }
+  // Unreachable while count_ equals the bucket sum; defensive fallback.
+  return Representative(kBucketCount - 1);
+}
+
+bool QuantileSketch::IdenticalTo(const QuantileSketch& other) const {
+  return count_ == other.count_ &&
+         std::memcmp(counts_, other.counts_, sizeof(counts_)) == 0;
+}
+
+}  // namespace sds::obs

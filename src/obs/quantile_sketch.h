@@ -1,0 +1,61 @@
+// Deterministic streaming quantile sketch for fleet rollups (DESIGN.md §13).
+//
+// A DDSketch-style fixed layout: bucket i >= 1 counts values in
+// [gamma^(i-1), gamma^i) with gamma = 1.08, bucket 0 counts values in
+// [0, 1) (fleet metrics are non-negative; negatives and NaN clamp to
+// bucket 0). Counts are integers, so Add and Merge are commutative and
+// associative — two sketches fed the same multiset of values in ANY order,
+// across ANY shard split, hold bit-identical state. That property is the
+// foundation of the sharded-merge pin in tests/obs/rollup_test.
+//
+// Accuracy: reporting the geometric midpoint of the owning bucket bounds
+// the relative error of any quantile of values >= 1 by sqrt(gamma) - 1
+// (about 3.9%); kRelativeErrorBound below is the tested guarantee.
+//
+// Memory is fixed at construction: kBucketCount 64-bit counters (~3 KB),
+// independent of how many values stream through — the per-series memory
+// ceiling measured by bench_fleetobs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sds::obs {
+
+class QuantileSketch {
+ public:
+  // Relative bucket width. gamma^(kBucketCount-1) ~ 2e12 covers every
+  // statistic the fleet emits (tick counts, latencies in ns, cache deltas).
+  static constexpr double kGamma = 1.08;
+  static constexpr std::size_t kBucketCount = 369;  // bucket 0 + 368 log buckets
+  // Guaranteed bound on |estimate - exact| / exact for values >= 1.
+  static constexpr double kRelativeErrorBound = 0.04;
+
+  void Add(double v);
+  void Merge(const QuantileSketch& other);
+
+  std::uint64_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  // Quantile estimate for q in [0, 1]; 0 when empty. q = 0 / 1 report the
+  // representative of the lowest / highest non-empty bucket.
+  double Quantile(double q) const;
+
+  // Fixed memory footprint of one sketch, for the rollup memory ceiling.
+  static constexpr std::size_t MemoryBytes() {
+    return kBucketCount * sizeof(std::uint64_t) + sizeof(std::uint64_t);
+  }
+
+  // Bit-identical state comparison (used by the determinism tests).
+  bool IdenticalTo(const QuantileSketch& other) const;
+
+ private:
+  static std::size_t BucketOf(double v);
+  static double Representative(std::size_t bucket);
+
+  std::uint64_t counts_[kBucketCount] = {};
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace sds::obs

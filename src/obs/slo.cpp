@@ -1,0 +1,348 @@
+#include "obs/slo.h"
+
+#include <charconv>
+#include <ostream>
+
+#include "common/check.h"
+
+namespace sds::obs {
+
+namespace {
+
+std::vector<std::string_view> SplitTokens(std::string_view text) {
+  std::vector<std::string_view> tokens;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && (text[i] == ' ' || text[i] == '\t')) ++i;
+    std::size_t start = i;
+    while (i < text.size() && text[i] != ' ' && text[i] != '\t') ++i;
+    if (i > start) tokens.push_back(text.substr(start, i - start));
+  }
+  return tokens;
+}
+
+bool ParseDouble(std::string_view token, double* out) {
+  const auto res =
+      std::from_chars(token.data(), token.data() + token.size(), *out);
+  return res.ec == std::errc() && res.ptr == token.data() + token.size();
+}
+
+bool ParseInt(std::string_view token, std::int64_t* out) {
+  const auto res =
+      std::from_chars(token.data(), token.data() + token.size(), *out);
+  return res.ec == std::errc() && res.ptr == token.data() + token.size();
+}
+
+bool Compare(double value, SloOp op, double threshold) {
+  switch (op) {
+    case SloOp::kLt:
+      return value < threshold;
+    case SloOp::kLe:
+      return value <= threshold;
+    case SloOp::kGt:
+      return value > threshold;
+    case SloOp::kGe:
+      return value >= threshold;
+  }
+  return false;
+}
+
+}  // namespace
+
+const char* SloAggName(SloAgg agg) {
+  switch (agg) {
+    case SloAgg::kMean:
+      return "mean";
+    case SloAgg::kP50:
+      return "p50";
+    case SloAgg::kP95:
+      return "p95";
+    case SloAgg::kP99:
+      return "p99";
+    case SloAgg::kMin:
+      return "min";
+    case SloAgg::kMax:
+      return "max";
+    case SloAgg::kCount:
+      return "count";
+    case SloAgg::kSum:
+      return "sum";
+  }
+  return "?";
+}
+
+const char* SloOpName(SloOp op) {
+  switch (op) {
+    case SloOp::kLt:
+      return "<";
+    case SloOp::kLe:
+      return "<=";
+    case SloOp::kGt:
+      return ">";
+    case SloOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+const char* SloLevelName(SloLevel level) {
+  switch (level) {
+    case SloLevel::kOk:
+      return "ok";
+    case SloLevel::kWarn:
+      return "warn";
+    case SloLevel::kPage:
+      return "page";
+  }
+  return "?";
+}
+
+double SloAggregate(const RollupRow& row, SloAgg agg) {
+  switch (agg) {
+    case SloAgg::kMean:
+      return row.mean();
+    case SloAgg::kP50:
+      return row.p50;
+    case SloAgg::kP95:
+      return row.p95;
+    case SloAgg::kP99:
+      return row.p99;
+    case SloAgg::kMin:
+      return row.min;
+    case SloAgg::kMax:
+      return row.max;
+    case SloAgg::kCount:
+      return static_cast<double>(row.count);
+    case SloAgg::kSum:
+      return row.sum;
+  }
+  return 0.0;
+}
+
+std::optional<SloRule> ParseSloRule(std::string_view text, std::string* error) {
+  const auto fail = [error](const char* msg) {
+    if (error) *error = msg;
+    return std::optional<SloRule>();
+  };
+  const std::vector<std::string_view> tokens = SplitTokens(text);
+  if (tokens.size() < 4) return fail("rule needs: name: agg(metric) op value");
+
+  SloRule rule;
+  std::string_view name = tokens[0];
+  if (name.empty() || name.back() != ':') return fail("name must end with ':'");
+  name.remove_suffix(1);
+  if (name.empty()) return fail("empty rule name");
+  rule.name = std::string(name);
+
+  std::string_view call = tokens[1];
+  const std::size_t open = call.find('(');
+  if (open == std::string_view::npos || call.back() != ')') {
+    return fail("expected agg(metric)");
+  }
+  const std::string_view agg = call.substr(0, open);
+  const std::string_view metric = call.substr(open + 1, call.size() - open - 2);
+  if (metric.empty()) return fail("empty metric name");
+  rule.metric = std::string(metric);
+  if (agg == "mean") {
+    rule.agg = SloAgg::kMean;
+  } else if (agg == "p50") {
+    rule.agg = SloAgg::kP50;
+  } else if (agg == "p95") {
+    rule.agg = SloAgg::kP95;
+  } else if (agg == "p99") {
+    rule.agg = SloAgg::kP99;
+  } else if (agg == "min") {
+    rule.agg = SloAgg::kMin;
+  } else if (agg == "max") {
+    rule.agg = SloAgg::kMax;
+  } else if (agg == "count") {
+    rule.agg = SloAgg::kCount;
+  } else if (agg == "sum") {
+    rule.agg = SloAgg::kSum;
+  } else {
+    return fail("unknown aggregation");
+  }
+
+  const std::string_view op = tokens[2];
+  if (op == "<") {
+    rule.op = SloOp::kLt;
+  } else if (op == "<=") {
+    rule.op = SloOp::kLe;
+  } else if (op == ">") {
+    rule.op = SloOp::kGt;
+  } else if (op == ">=") {
+    rule.op = SloOp::kGe;
+  } else {
+    return fail("unknown comparison operator");
+  }
+  if (!ParseDouble(tokens[3], &rule.threshold)) return fail("bad threshold");
+
+  std::size_t i = 4;
+  while (i < tokens.size()) {
+    if (i + 1 >= tokens.size()) return fail("clause missing its value");
+    const std::string_view clause = tokens[i];
+    const std::string_view value = tokens[i + 1];
+    if (clause == "budget") {
+      if (!ParseDouble(value, &rule.budget) || rule.budget <= 0.0 ||
+          rule.budget > 1.0) {
+        return fail("budget must be in (0, 1]");
+      }
+    } else if (clause == "window") {
+      if (!ParseInt(value, &rule.burn_window) || rule.burn_window < 1) {
+        return fail("window must be a positive integer");
+      }
+    } else if (clause == "warn") {
+      if (!ParseDouble(value, &rule.warn_burn) || rule.warn_burn <= 0.0) {
+        return fail("warn burn must be positive");
+      }
+    } else if (clause == "page") {
+      if (!ParseDouble(value, &rule.page_burn) || rule.page_burn <= 0.0) {
+        return fail("page burn must be positive");
+      }
+    } else {
+      return fail("unknown clause");
+    }
+    i += 2;
+  }
+  if (rule.page_burn < rule.warn_burn) {
+    return fail("page burn must be >= warn burn");
+  }
+  return rule;
+}
+
+SloEngine::SloEngine(std::vector<SloRule> rules, const FleetRollup* rollup)
+    : rules_(std::move(rules)), rollup_(rollup) {
+  SDS_CHECK(rollup != nullptr, "SloEngine needs a rollup for metric names");
+  state_.resize(rules_.size());
+  status_.resize(rules_.size());
+}
+
+void SloEngine::OnWindow(std::int64_t window,
+                         std::span<const RollupRow> rows) {
+  for (std::size_t ri = 0; ri < rules_.size(); ++ri) {
+    const SloRule& rule = rules_[ri];
+    RuleState& st = state_[ri];
+    if (!st.metric.has_value()) {
+      const std::vector<std::string>& names = rollup_->metric_names();
+      for (std::size_t m = 0; m < names.size(); ++m) {
+        if (names[m] == rule.metric) {
+          st.metric = static_cast<MetricId>(m);
+          break;
+        }
+      }
+    }
+
+    bool violated = false;
+    std::uint32_t worst_host = 0;
+    std::uint32_t worst_tenant = 0;
+    double worst_value = 0.0;
+    if (st.metric.has_value()) {
+      for (const RollupRow& row : rows) {
+        if (row.key.metric != *st.metric) continue;
+        const double v = SloAggregate(row, rule.agg);
+        if (Compare(v, rule.op, rule.threshold)) continue;  // within SLO
+        // Breach. The "worst" offender is the one furthest past the
+        // threshold in the failing direction.
+        const bool upper_bound =
+            rule.op == SloOp::kLt || rule.op == SloOp::kLe;
+        const bool worse =
+            !violated || (upper_bound ? v > worst_value : v < worst_value);
+        if (worse) {
+          worst_host = row.key.host;
+          worst_tenant = row.key.tenant;
+          worst_value = v;
+        }
+        violated = true;
+      }
+    }
+
+    st.trailing.push_back(violated);
+    if (violated) ++st.trailing_violations;
+    while (static_cast<std::int64_t>(st.trailing.size()) > rule.burn_window) {
+      if (st.trailing.front()) --st.trailing_violations;
+      st.trailing.pop_front();
+    }
+    ++st.status.windows_seen;
+    if (violated) ++st.status.windows_violating;
+    const double rate = static_cast<double>(st.trailing_violations) /
+                        static_cast<double>(st.trailing.size());
+    st.status.burn = rate / rule.budget;
+
+    SloLevel level = SloLevel::kOk;
+    if (st.status.burn >= rule.page_burn) {
+      level = SloLevel::kPage;
+    } else if (st.status.burn >= rule.warn_burn) {
+      level = SloLevel::kWarn;
+    }
+    if (level != st.status.level) {
+      SloAlert alert;
+      alert.window = window;
+      alert.rule = rule.name;
+      alert.level = level;
+      alert.burn = st.status.burn;
+      alert.host = worst_host;
+      alert.tenant = worst_tenant;
+      alert.observed = worst_value;
+      alerts_.push_back(alert);
+      st.status.level = level;
+    }
+    status_[ri] = st.status;
+  }
+}
+
+std::size_t SloEngine::burning_rules() const {
+  std::size_t n = 0;
+  for (const RuleStatus& s : status_) {
+    if (s.level != SloLevel::kOk) ++n;
+  }
+  return n;
+}
+
+void SloEngine::WriteJsonl(std::ostream& os) const {
+  for (const SloAlert& a : alerts_) {
+    os << "{\"type\":\"slo_alert\",\"window\":" << a.window << ",\"rule\":\""
+       << a.rule << "\",\"level\":\"" << SloLevelName(a.level)
+       << "\",\"burn\":" << a.burn << ",\"host\":" << a.host
+       << ",\"tenant\":" << a.tenant << ",\"observed\":" << a.observed
+       << "}\n";
+  }
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    const SloRule& rule = rules_[i];
+    const RuleStatus& st = status_[i];
+    os << "{\"type\":\"slo_status\",\"rule\":\"" << rule.name
+       << "\",\"expr\":\"" << SloAggName(rule.agg) << "(" << rule.metric
+       << ") " << SloOpName(rule.op) << " " << rule.threshold
+       << "\",\"level\":\"" << SloLevelName(st.level)
+       << "\",\"burn\":" << st.burn << ",\"windows\":" << st.windows_seen
+       << ",\"violating\":" << st.windows_violating << "}\n";
+  }
+}
+
+std::vector<SloRule> DefaultFleetSloRules() {
+  const char* kRules[] = {
+      // Detection latency: alarms must trigger within 600 ticks (6 s of
+      // virtual time) at the 95th percentile.
+      "detect-latency: p95(detect.latency_ticks) <= 600 budget 0.05 "
+      "window 12 warn 1 page 2",
+      // False-alarm budget: any clean-window alarm consumes budget.
+      "false-alarm-budget: max(detect.false_alarm) <= 0 budget 0.02 "
+      "window 24 warn 1 page 3",
+      // Mitigation convergence: throttle escalation settles within 400
+      // ticks at the tail.
+      "mitigation-convergence: p99(mitigation.converge_ticks) <= 400 "
+      "budget 0.05 window 12 warn 1 page 2",
+      // Sampler health: at least 90% of ticks deliver a usable sample.
+      "sampler-health: mean(sampler.delivery_ratio) >= 0.9 budget 0.1 "
+      "window 12 warn 1 page 2",
+  };
+  std::vector<SloRule> rules;
+  for (const char* text : kRules) {
+    std::string error;
+    const auto rule = ParseSloRule(text, &error);
+    SDS_CHECK(rule.has_value(), "default SLO rule failed to parse");
+    rules.push_back(*rule);
+  }
+  return rules;
+}
+
+}  // namespace sds::obs

@@ -1,0 +1,137 @@
+#include "obs/snapshot.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/snapshot.h"
+
+namespace sds::obs {
+
+namespace {
+
+constexpr std::string_view kMagic{"SDSSNAP\0", 8};
+constexpr std::string_view kKindSds = "sds_detector";
+constexpr std::string_view kKindKsTest = "kstest_detector";
+
+template <typename Detector>
+std::string SealDetector(std::string_view kind, const Detector& detector) {
+  SnapshotWriter payload;
+  detector.SaveState(payload);
+  return SealSnapshot(kind, detector.ConfigFingerprint(), payload.data());
+}
+
+template <typename Detector>
+SnapshotStatus RestoreDetector(std::string_view blob, std::string_view kind,
+                               Detector* detector) {
+  std::string payload;
+  const SnapshotStatus status =
+      OpenSnapshot(blob, kind, detector->ConfigFingerprint(), &payload);
+  if (status != SnapshotStatus::kOk) return status;
+  SnapshotReader reader(payload);
+  if (!detector->RestoreState(reader) || !reader.exhausted()) {
+    return SnapshotStatus::kCorrupt;
+  }
+  return SnapshotStatus::kOk;
+}
+
+}  // namespace
+
+const char* SnapshotStatusName(SnapshotStatus status) {
+  switch (status) {
+    case SnapshotStatus::kOk:
+      return "ok";
+    case SnapshotStatus::kBadMagic:
+      return "bad_magic";
+    case SnapshotStatus::kBadVersion:
+      return "bad_version";
+    case SnapshotStatus::kBadKind:
+      return "bad_kind";
+    case SnapshotStatus::kBadFingerprint:
+      return "bad_fingerprint";
+    case SnapshotStatus::kBadChecksum:
+      return "bad_checksum";
+    case SnapshotStatus::kCorrupt:
+      return "corrupt";
+  }
+  return "?";
+}
+
+std::string SealSnapshot(std::string_view kind,
+                         std::uint64_t config_fingerprint,
+                         std::string_view payload) {
+  std::string blob(kMagic);
+  SnapshotWriter header;
+  header.U32(kSnapshotVersion);
+  header.Str(kind);
+  header.U64(config_fingerprint);
+  header.U64(Fnv1a(payload));
+  header.U64(payload.size());
+  blob += header.data();
+  blob += payload;
+  return blob;
+}
+
+SnapshotStatus OpenSnapshot(std::string_view blob, std::string_view kind,
+                            std::uint64_t config_fingerprint,
+                            std::string* payload) {
+  if (blob.size() < kMagic.size() || blob.substr(0, kMagic.size()) != kMagic) {
+    return SnapshotStatus::kBadMagic;
+  }
+  SnapshotReader header(blob.substr(kMagic.size()));
+  const std::uint32_t version = header.U32();
+  if (!header.ok()) return SnapshotStatus::kBadMagic;
+  if (version != kSnapshotVersion) return SnapshotStatus::kBadVersion;
+  const std::string saved_kind = header.Str();
+  if (!header.ok()) return SnapshotStatus::kBadMagic;
+  if (saved_kind != kind) return SnapshotStatus::kBadKind;
+  const std::uint64_t fingerprint = header.U64();
+  const std::uint64_t checksum = header.U64();
+  const std::uint64_t length = header.U64();
+  if (!header.ok()) return SnapshotStatus::kBadMagic;
+  if (fingerprint != config_fingerprint) {
+    return SnapshotStatus::kBadFingerprint;
+  }
+  // The header reader consumed a known number of bytes; what remains after
+  // it is the payload. Reconstruct its offset from the declared length.
+  if (length > blob.size()) return SnapshotStatus::kBadChecksum;
+  const std::string_view body = blob.substr(blob.size() - length);
+  if (Fnv1a(body) != checksum) return SnapshotStatus::kBadChecksum;
+  *payload = std::string(body);
+  return SnapshotStatus::kOk;
+}
+
+std::string SnapshotSdsDetector(const detect::SdsDetector& detector) {
+  return SealDetector(kKindSds, detector);
+}
+
+SnapshotStatus RestoreSdsDetector(std::string_view blob,
+                                  detect::SdsDetector* detector) {
+  return RestoreDetector(blob, kKindSds, detector);
+}
+
+std::string SnapshotKsTestDetector(const detect::KsTestDetector& detector) {
+  return SealDetector(kKindKsTest, detector);
+}
+
+SnapshotStatus RestoreKsTestDetector(std::string_view blob,
+                                     detect::KsTestDetector* detector) {
+  return RestoreDetector(blob, kKindKsTest, detector);
+}
+
+bool WriteSnapshotFile(const std::string& path, std::string_view blob) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+  return static_cast<bool>(out);
+}
+
+std::optional<std::string> ReadSnapshotFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (!in.good() && !in.eof()) return std::nullopt;
+  return buffer.str();
+}
+
+}  // namespace sds::obs

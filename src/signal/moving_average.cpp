@@ -41,6 +41,37 @@ void SlidingWindowAverage::Reset() {
   windows_emitted_ = 0;
 }
 
+void SlidingWindowAverage::SaveState(SnapshotWriter& w) const {
+  w.U64(window_);
+  w.U64(step_);
+  w.VecF64(buf_.ToVector());
+  w.F64(window_sum_);
+  w.U64(since_last_emit_);
+  w.Bool(first_window_done_);
+  w.U64(windows_emitted_);
+}
+
+bool SlidingWindowAverage::RestoreState(SnapshotReader& r) {
+  const std::uint64_t window = r.U64();
+  const std::uint64_t step = r.U64();
+  const std::vector<double> buf = r.VecF64();
+  const double window_sum = r.F64();
+  const std::uint64_t since_last_emit = r.U64();
+  const bool first_window_done = r.Bool();
+  const std::uint64_t windows_emitted = r.U64();
+  if (!r.ok() || window != window_ || step != step_ ||
+      buf.size() > window_) {
+    return false;
+  }
+  buf_.Clear();
+  for (double v : buf) buf_.Push(v);
+  window_sum_ = window_sum;
+  since_last_emit_ = since_last_emit;
+  first_window_done_ = first_window_done;
+  windows_emitted_ = windows_emitted;
+  return true;
+}
+
 Ewma::Ewma(double alpha) : alpha_(alpha) {
   SDS_CHECK(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
 }
@@ -58,6 +89,22 @@ double Ewma::Push(double m) {
 void Ewma::Reset() {
   value_ = 0.0;
   has_value_ = false;
+}
+
+void Ewma::SaveState(SnapshotWriter& w) const {
+  w.F64(alpha_);
+  w.F64(value_);
+  w.Bool(has_value_);
+}
+
+bool Ewma::RestoreState(SnapshotReader& r) {
+  const double alpha = r.F64();
+  const double value = r.F64();
+  const bool has_value = r.Bool();
+  if (!r.ok() || alpha != alpha_) return false;
+  value_ = value;
+  has_value_ = has_value;
+  return true;
 }
 
 std::vector<double> MovingAverageSeries(const std::vector<double>& raw,

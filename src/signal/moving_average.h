@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/ring_buffer.h"
+#include "common/snapshot.h"
 
 namespace sds {
 
@@ -32,6 +33,14 @@ class SlidingWindowAverage {
   std::size_t windows_emitted() const { return windows_emitted_; }
 
   void Reset();
+
+  // Snapshot/restore for restart-without-rewarm (DESIGN.md §13). The running
+  // window_sum_ is serialized bit-exactly — recomputing it from the window
+  // contents would diverge from the incremental sum's accumulated rounding.
+  // RestoreState returns false (leaving the average untouched) when the
+  // stream is corrupt or was saved with a different window/step geometry.
+  void SaveState(SnapshotWriter& w) const;
+  bool RestoreState(SnapshotReader& r);
 
  private:
   std::size_t window_;
@@ -55,6 +64,9 @@ class Ewma {
   double alpha() const { return alpha_; }
 
   void Reset();
+
+  void SaveState(SnapshotWriter& w) const;
+  bool RestoreState(SnapshotReader& r);
 
  private:
   double alpha_;

@@ -10,6 +10,15 @@ void Telemetry::WriteJsonl(std::ostream& os) {
      << ",\"events_emitted\":" << tracer_.emitted()
      << ",\"events_dropped\":" << tracer_.dropped()
      << ",\"audit_records\":" << audit_.size() << "}\n";
+  tracer_.WriteStatsJson(os);
+  os << "\n";
+  // Surface ring saturation as first-class metrics so rollup/alerting
+  // pipelines (obs layer, fleet_inspect) see drops without parsing the
+  // tracer_stats line.
+  metrics_.GetGauge("telemetry.tracer.emitted")
+      ->Set(static_cast<double>(tracer_.emitted()));
+  metrics_.GetGauge("telemetry.tracer.dropped")
+      ->Set(static_cast<double>(tracer_.dropped()));
   tracer_.FlushJsonl(os);
   audit_.WriteJsonl(os);
   profiler_.WriteJsonl(os);

@@ -71,9 +71,15 @@ EventTracer::EventTracer(std::size_t capacity) : ring_(capacity) {
 
 void EventTracer::Emit(const TraceEvent& event) {
   if (!enabled(event.layer)) return;
-  if (ring_.full()) ++dropped_;
+  if (ring_.full()) {
+    ++dropped_;
+    // The OLDEST event is about to be overwritten; attribute the loss to its
+    // layer so the drop breakdown says whose history vanished.
+    ++dropped_by_layer_[static_cast<std::size_t>(ring_.oldest().layer)];
+  }
   ring_.Push(event);
   ++emitted_;
+  ++emitted_by_layer_[static_cast<std::size_t>(event.layer)];
 }
 
 namespace {
@@ -105,6 +111,21 @@ void WriteEventJson(std::ostream& os, const TraceEvent& event) {
     os << ",\"" << f.key << "\":\"" << (f.value ? f.value : "") << '"';
   }
   os << '}';
+}
+
+void EventTracer::WriteStatsJson(std::ostream& os) const {
+  os << "{\"type\":\"tracer_stats\",\"capacity\":" << ring_.capacity()
+     << ",\"retained\":" << ring_.size() << ",\"emitted\":" << emitted_
+     << ",\"dropped\":" << dropped_;
+  for (std::size_t i = 0; i < kLayerCount; ++i) {
+    if (emitted_by_layer_[i] == 0 && dropped_by_layer_[i] == 0) continue;
+    const char* name = LayerName(static_cast<Layer>(i));
+    os << ",\"emitted." << name << "\":" << emitted_by_layer_[i];
+    if (dropped_by_layer_[i] != 0) {
+      os << ",\"dropped." << name << "\":" << dropped_by_layer_[i];
+    }
+  }
+  os << "}";
 }
 
 std::size_t EventTracer::FlushJsonl(std::ostream& os) {

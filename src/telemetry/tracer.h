@@ -101,6 +101,16 @@ class EventTracer {
   std::size_t capacity() const { return ring_.capacity(); }
   std::uint64_t emitted() const { return emitted_; }
   std::uint64_t dropped() const { return dropped_; }
+  // Drop accounting by the layer of the EVICTED event: which layer's history
+  // the ring overwrote, not which layer's emission forced the eviction. This
+  // is what tells you whose events you lost when the ring saturated.
+  std::uint64_t dropped_by_layer(Layer layer) const {
+    return dropped_by_layer_[static_cast<std::size_t>(layer)];
+  }
+  // Per-layer emission counts (denominator for drop ratios).
+  std::uint64_t emitted_by_layer(Layer layer) const {
+    return emitted_by_layer_[static_cast<std::size_t>(layer)];
+  }
 
   // Oldest retained event first; index < retained().
   const TraceEvent& event(std::size_t index) const { return ring_[index]; }
@@ -109,11 +119,19 @@ class EventTracer {
   // ring. Returns the number of lines written.
   std::size_t FlushJsonl(std::ostream& os);
 
+  // One {"type":"tracer_stats",...} JSON line: capacity, retained, emitted,
+  // dropped, and the nonzero per-layer emitted/dropped breakdown. Written by
+  // Telemetry::WriteJsonl so saturated rings are visible in every stream
+  // tools/trace_inspect reads.
+  void WriteStatsJson(std::ostream& os) const;
+
  private:
   RingBuffer<TraceEvent> ring_;
   std::uint32_t enabled_mask_;
   std::uint64_t emitted_ = 0;
   std::uint64_t dropped_ = 0;
+  std::array<std::uint64_t, kLayerCount> emitted_by_layer_{};
+  std::array<std::uint64_t, kLayerCount> dropped_by_layer_{};
 };
 
 // Serializes one event as a single JSON object (no trailing newline).

@@ -1,0 +1,4 @@
+// Seeded violation: cluster sits beside obs in the DAG, and obs is a
+// restricted layer — only eval (and the test/bench/tool trees) may depend
+// on the observability plane (layer-dag).
+#include "obs/rollup.h"

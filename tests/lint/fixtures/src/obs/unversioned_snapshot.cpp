@@ -1,0 +1,12 @@
+// Seeded violation: an obs-layer file serializes a snapshot byte stream
+// but never references the version constant, so the blob has no version
+// pin for OpenSnapshot to reject on (det-snapshot-versioned).
+#include "common/snapshot.h"
+
+namespace sds::obs {
+std::string SealUnversioned() {
+  SnapshotWriter w;
+  w.U32(7u);
+  return w.TakeData();
+}
+}  // namespace sds::obs

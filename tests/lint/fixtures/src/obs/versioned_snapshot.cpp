@@ -1,0 +1,13 @@
+// Clean: the same serialization shape with the version constant written
+// into the byte stream, as obs/snapshot.cpp does for real blobs.
+#include "common/snapshot.h"
+
+namespace sds::obs {
+inline constexpr unsigned kSnapshotVersion = 1;
+
+std::string SealVersioned() {
+  SnapshotWriter w;
+  w.U32(kSnapshotVersion);
+  return w.TakeData();
+}
+}  // namespace sds::obs

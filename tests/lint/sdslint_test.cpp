@@ -63,9 +63,11 @@ TEST(SdslintFixtures, ExactDiagnosticSet) {
       {"src/cluster/direct_migrate.cpp", 10, kRuleDetActuationIdempotent},
       {"src/cluster/direct_migrate.cpp", 11, kRuleDetActuationIdempotent},
       {"src/cluster/direct_migrate.cpp", 12, kRuleDetActuationIdempotent},
+      {"src/cluster/includes_obs.cpp", 4, kRuleLayerDag},
       {"src/detect/includes_eval.h", 3, kRuleLayerDag},
       {"src/detect/includes_fault.cpp", 4, kRuleLayerDag},
       {"src/detect/unordered_iter.cpp", 12, kRuleDetUnorderedIter},
+      {"src/obs/unversioned_snapshot.cpp", 8, kRuleDetSnapshotVersioned},
       {"src/pcm/wallclock.cpp", 5, kRuleDetClock},
       {"src/pcm/wallclock.cpp", 9, kRuleDetClock},
       {"src/pcm/wallclock.cpp", 13, kRuleDetPointerPrint},
@@ -107,9 +109,10 @@ TEST(SdslintFixtures, SuppressionCommentSilencesEachRule) {
   EXPECT_EQ(CountForFile(r, "src/detect/includes_eval_allowed.h"), 0);
   EXPECT_EQ(CountForFile(r, "src/stats/no_pragma_allowed.h"), 0);
   EXPECT_EQ(CountForFile(r, "src/cluster/suppressed_direct.cpp"), 0);
+  EXPECT_EQ(CountForFile(r, "src/obs/suppressed_unversioned.cpp"), 0);
   // ...and each allow() comment must be reported as used, so stale escape
   // hatches are auditable via --list-suppressions.
-  ASSERT_EQ(r.suppressions.size(), 6u);
+  ASSERT_EQ(r.suppressions.size(), 7u);
   for (const Suppression& s : r.suppressions) {
     EXPECT_TRUE(s.used) << s.file << ":" << s.comment_line;
   }
@@ -126,6 +129,9 @@ TEST(SdslintFixtures, CleanFilesStayClean) {
   // %d with a modulo expression must not be read as pointer printing, and
   // only the two clock reads + one %p fire in wallclock.cpp.
   EXPECT_EQ(CountForFile(r, "src/pcm/wallclock.cpp"), 3);
+  // Snapshot serialization that does reference the version constant is
+  // clean — the rule keys on the token, not on where it appears.
+  EXPECT_EQ(CountForFile(r, "src/obs/versioned_snapshot.cpp"), 0);
 }
 
 TEST(SdslintFixtures, JsonOutputIsWellFormedAndComplete) {
@@ -138,7 +144,8 @@ TEST(SdslintFixtures, JsonOutputIsWellFormedAndComplete) {
   for (const char* rule :
        {kRuleLayerDag, kRuleDetRand, kRuleDetClock, kRuleDetPointerPrint,
         kRuleDetUnorderedIter, kRuleDetActuationIdempotent,
-        kRuleHdrPragmaOnce, kRuleHdrSelfContained, kRuleHdrTelemetryFwd}) {
+        kRuleDetSnapshotVersioned, kRuleHdrPragmaOnce, kRuleHdrSelfContained,
+        kRuleHdrTelemetryFwd}) {
     EXPECT_NE(json.find(std::string("\"rule\":\"") + rule + "\""),
               std::string::npos)
         << rule;
@@ -154,6 +161,7 @@ TEST(SdslintLayers, RankTableMatchesDesignDoc) {
   EXPECT_EQ(LayerRank("detect"), LayerRank("attacks"));
   EXPECT_EQ(LayerRank("detect"), LayerRank("workloads"));
   EXPECT_LT(LayerRank("detect"), LayerRank("cluster"));
+  EXPECT_EQ(LayerRank("obs"), LayerRank("cluster"));
   EXPECT_LT(LayerRank("cluster"), LayerRank("eval"));
   EXPECT_LT(LayerRank("eval"), LayerRank("tests"));
   EXPECT_EQ(LayerRank("no-such-layer"), -1);
@@ -161,6 +169,7 @@ TEST(SdslintLayers, RankTableMatchesDesignDoc) {
   EXPECT_TRUE(IsDeterministicLayer("sim"));
   EXPECT_TRUE(IsDeterministicLayer("detect"));
   EXPECT_TRUE(IsDeterministicLayer("cluster"));
+  EXPECT_TRUE(IsDeterministicLayer("obs"));
   EXPECT_FALSE(IsDeterministicLayer("telemetry"));
   EXPECT_FALSE(IsDeterministicLayer("eval"));
   EXPECT_FALSE(IsDeterministicLayer("tests"));

@@ -1,0 +1,125 @@
+// QuantileSketch: the determinism and accuracy guarantees the rollup plane
+// rests on — bit-identical state across insertion orders and shard splits,
+// and the kRelativeErrorBound accuracy pin for values >= 1.
+#include "obs/quantile_sketch.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace sds::obs {
+namespace {
+
+// Deterministic pseudo-random values in [lo, hi).
+std::vector<double> TestValues(std::size_t n, double lo, double hi,
+                               std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(rng.UniformDouble(lo, hi));
+  return out;
+}
+
+TEST(QuantileSketchTest, EmptySketch) {
+  QuantileSketch s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.Quantile(0.5), 0.0);
+}
+
+TEST(QuantileSketchTest, InsertionOrderInvariant) {
+  const std::vector<double> values = TestValues(5000, 0.0, 1e6, 7);
+  QuantileSketch forward;
+  for (double v : values) forward.Add(v);
+
+  std::vector<double> reversed(values.rbegin(), values.rend());
+  QuantileSketch backward;
+  for (double v : reversed) backward.Add(v);
+
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  QuantileSketch ordered;
+  for (double v : sorted) ordered.Add(v);
+
+  EXPECT_TRUE(forward.IdenticalTo(backward));
+  EXPECT_TRUE(forward.IdenticalTo(ordered));
+}
+
+TEST(QuantileSketchTest, MergeMatchesSingleSketchAtAnySplit) {
+  const std::vector<double> values = TestValues(4096, 1.0, 1e5, 11);
+  QuantileSketch whole;
+  for (double v : values) whole.Add(v);
+
+  for (std::size_t parts : {2u, 3u, 8u, 16u}) {
+    std::vector<QuantileSketch> shards(parts);
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      shards[i % parts].Add(values[i]);
+    }
+    QuantileSketch merged;
+    for (const QuantileSketch& s : shards) merged.Merge(s);
+    EXPECT_TRUE(merged.IdenticalTo(whole)) << parts << " parts";
+  }
+}
+
+TEST(QuantileSketchTest, MergeIsCommutative) {
+  QuantileSketch a;
+  QuantileSketch b;
+  for (double v : TestValues(500, 1.0, 100.0, 3)) a.Add(v);
+  for (double v : TestValues(500, 50.0, 5000.0, 4)) b.Add(v);
+  QuantileSketch ab = a;
+  ab.Merge(b);
+  QuantileSketch ba = b;
+  ba.Merge(a);
+  EXPECT_TRUE(ab.IdenticalTo(ba));
+}
+
+TEST(QuantileSketchTest, RelativeErrorBoundHolds) {
+  // Exact quantile by nearest rank on the sorted data, mirroring
+  // QuantileSketch::Quantile's rank definition.
+  const std::vector<double> values = TestValues(20000, 1.0, 2e6, 13);
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  QuantileSketch sketch;
+  for (double v : values) sketch.Add(v);
+
+  for (double q : {0.0, 0.01, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0}) {
+    const auto rank = static_cast<std::size_t>(
+        q * static_cast<double>(sorted.size() - 1) + 0.5);
+    const double exact = sorted[rank];
+    const double estimate = sketch.Quantile(q);
+    EXPECT_LE(std::abs(estimate - exact) / exact,
+              QuantileSketch::kRelativeErrorBound)
+        << "q=" << q << " exact=" << exact << " estimate=" << estimate;
+  }
+}
+
+TEST(QuantileSketchTest, SubUnitValuesLandInBucketZero) {
+  QuantileSketch s;
+  s.Add(0.0);
+  s.Add(0.25);
+  s.Add(0.999);
+  s.Add(-5.0);                                      // negatives clamp
+  s.Add(std::numeric_limits<double>::quiet_NaN());  // NaN clamps
+  EXPECT_EQ(s.count(), 5u);
+  // Everything below 1 reports bucket 0's midpoint representative.
+  EXPECT_EQ(s.Quantile(0.0), s.Quantile(1.0));
+  EXPECT_GT(s.Quantile(0.5), 0.0);
+  EXPECT_LT(s.Quantile(0.5), 1.0);
+}
+
+TEST(QuantileSketchTest, MemoryIsFixed) {
+  QuantileSketch s;
+  const std::size_t before = QuantileSketch::MemoryBytes();
+  for (double v : TestValues(100000, 0.0, 1e9, 17)) s.Add(v);
+  EXPECT_EQ(QuantileSketch::MemoryBytes(), before);
+  EXPECT_EQ(sizeof(QuantileSketch), QuantileSketch::MemoryBytes());
+}
+
+}  // namespace
+}  // namespace sds::obs

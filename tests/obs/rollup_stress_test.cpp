@@ -1,0 +1,112 @@
+// Thread-stress for the sharded rollup ingest path: shard-parallel writers
+// (one worker per shard, the bench_fleetobs ingest topology) must race-free
+// reproduce the single-threaded stream bit-identically. Labeled `stress` so
+// the TSan CI job selects it.
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/rollup.h"
+
+namespace sds::obs {
+namespace {
+
+// Deterministic per-(key, tick) value: workers regenerate the stream
+// instead of sharing a sample queue, exactly like eval::RunFleetObsSweep.
+double ValueOf(const SeriesKey& key, Tick tick) {
+  std::uint64_t x = (static_cast<std::uint64_t>(key.host) << 40) ^
+                    (static_cast<std::uint64_t>(key.tenant) << 20) ^
+                    (static_cast<std::uint64_t>(key.metric) << 50) ^
+                    static_cast<std::uint64_t>(tick);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 31;
+  return 1.0 + static_cast<double>(x % 100000) / 10.0;
+}
+
+TEST(RollupStressTest, ShardParallelIngestMatchesSingleThread) {
+  constexpr std::uint32_t kHosts = 8;
+  constexpr std::uint32_t kTenants = 4;
+  constexpr std::uint32_t kMetrics = 4;
+  constexpr Tick kTicks = 600;
+  constexpr std::uint32_t kShards = 8;
+
+  RollupConfig config;
+  config.window_ticks = 100;
+  config.shards = kShards;
+  FleetRollup parallel_rollup(config);
+  parallel_rollup.RegisterMetric("m0");
+  parallel_rollup.RegisterMetric("m1");
+  parallel_rollup.RegisterMetric("m2");
+  parallel_rollup.RegisterMetric("m3");
+
+  // One thread per shard; each regenerates the full stream and ingests only
+  // the keys its shard owns (no cross-thread handoff, no locks).
+  std::vector<std::thread> workers;
+  workers.reserve(kShards);
+  for (std::uint32_t shard = 0; shard < kShards; ++shard) {
+    workers.emplace_back([shard, &parallel_rollup] {
+      ShardWriter& writer = parallel_rollup.shard(shard);
+      for (Tick t = 0; t < kTicks; ++t) {
+        for (std::uint32_t h = 0; h < kHosts; ++h) {
+          for (std::uint32_t ten = 0; ten < kTenants; ++ten) {
+            for (std::uint32_t m = 0; m < kMetrics; ++m) {
+              ObsSample s;
+              s.tick = t;
+              s.key = {h, ten, m};
+              if (ShardOf(s.key, kShards) != shard) continue;
+              s.value = ValueOf(s.key, t);
+              writer.Ingest(s);
+            }
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  parallel_rollup.BarrierMerge(kTicks + config.window_ticks);
+
+  RollupConfig single;
+  single.window_ticks = 100;
+  single.shards = 1;
+  FleetRollup reference(single);
+  reference.RegisterMetric("m0");
+  reference.RegisterMetric("m1");
+  reference.RegisterMetric("m2");
+  reference.RegisterMetric("m3");
+  for (Tick t = 0; t < kTicks; ++t) {
+    for (std::uint32_t h = 0; h < kHosts; ++h) {
+      for (std::uint32_t ten = 0; ten < kTenants; ++ten) {
+        for (std::uint32_t m = 0; m < kMetrics; ++m) {
+          ObsSample s;
+          s.tick = t;
+          s.key = {h, ten, m};
+          s.value = ValueOf(s.key, t);
+          reference.Ingest(s);
+        }
+      }
+    }
+  }
+  reference.BarrierMerge(kTicks + single.window_ticks);
+
+  const auto& a = parallel_rollup.completed();
+  const auto& b = reference.completed();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].window, b[i].window);
+    EXPECT_EQ(a[i].key, b[i].key);
+    EXPECT_EQ(a[i].count, b[i].count);
+    EXPECT_EQ(a[i].sum, b[i].sum);
+    EXPECT_EQ(a[i].min, b[i].min);
+    EXPECT_EQ(a[i].max, b[i].max);
+    EXPECT_EQ(a[i].p50, b[i].p50);
+    EXPECT_EQ(a[i].p95, b[i].p95);
+    EXPECT_EQ(a[i].p99, b[i].p99);
+  }
+  EXPECT_EQ(parallel_rollup.ingested(), reference.ingested());
+}
+
+}  // namespace
+}  // namespace sds::obs

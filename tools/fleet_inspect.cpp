@@ -1,0 +1,363 @@
+// fleet_inspect: summarizes the fleet observability JSONL stream written by
+// bench_fleetobs --rollup_out (obs::FleetRollup::WriteJsonl +
+// obs::SloEngine::WriteJsonl output).
+//
+//   fleet_inspect fleet.jsonl                 fleet health + SLO + top talkers
+//   fleet_inspect fleet.jsonl --metric=NAME   rank tenants by this metric
+//                                             (default detect.latency_ticks)
+//   fleet_inspect fleet.jsonl --top=K         show K noisiest tenants (def 10)
+//   fleet_inspect fleet.jsonl --alerts=N      dump the first N alert records
+//
+// Line types consumed: "rollup" (one window x series row), "rollup_stats"
+// (ingest/drop/memory accounting), "slo_alert" (level transitions) and
+// "slo_status" (final per-rule state). Like trace_inspect, the parser
+// handles exactly the flat one-object-per-line JSON this repo emits and
+// malformed input never crashes the tool: empty lines, truncated records
+// and unknown "type" values are counted and reported, and everything
+// parseable is still summarized.
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/csv.h"
+#include "common/flags.h"
+
+namespace {
+
+using sds::FormatFixed;
+using sds::TextTable;
+
+// One parsed JSONL line: flat key -> raw value text (quotes stripped for
+// strings, arrays kept verbatim).
+using JsonObject = std::map<std::string, std::string>;
+
+bool ParseLine(const std::string& line, JsonObject& out) {
+  out.clear();
+  std::size_t i = 0;
+  const auto skip_ws = [&] {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+  };
+  skip_ws();
+  if (i >= line.size() || line[i] != '{') return false;
+  ++i;
+  while (true) {
+    skip_ws();
+    if (i < line.size() && line[i] == '}') return true;
+    if (i >= line.size() || line[i] != '"') return false;
+    const auto key_end = line.find('"', i + 1);
+    if (key_end == std::string::npos) return false;
+    std::string key = line.substr(i + 1, key_end - i - 1);
+    i = key_end + 1;
+    skip_ws();
+    if (i >= line.size() || line[i] != ':') return false;
+    ++i;
+    skip_ws();
+    if (i >= line.size()) return false;
+    std::string value;
+    if (line[i] == '"') {
+      const auto end = line.find('"', i + 1);
+      if (end == std::string::npos) return false;
+      value = line.substr(i + 1, end - i - 1);
+      i = end + 1;
+    } else if (line[i] == '[') {
+      const auto end = line.find(']', i);
+      if (end == std::string::npos) return false;
+      value = line.substr(i, end - i + 1);
+      i = end + 1;
+    } else {
+      const auto end = line.find_first_of(",}", i);
+      if (end == std::string::npos) return false;
+      value = line.substr(i, end - i);
+      i = end;
+    }
+    out.emplace(std::move(key), std::move(value));
+    skip_ws();
+    if (i < line.size() && line[i] == ',') {
+      ++i;
+      continue;
+    }
+    if (i < line.size() && line[i] == '}') return true;
+    return false;
+  }
+}
+
+double NumOr(const JsonObject& o, const std::string& key, double fallback) {
+  const auto it = o.find(key);
+  if (it == o.end()) return fallback;
+  try {
+    return std::stod(it->second);
+  } catch (...) {
+    return fallback;
+  }
+}
+
+std::string StrOr(const JsonObject& o, const std::string& key,
+                  const std::string& fallback) {
+  const auto it = o.find(key);
+  return it == o.end() ? fallback : it->second;
+}
+
+// Per-metric fleet aggregate across all rollup rows.
+struct MetricHealth {
+  std::uint64_t rows = 0;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double worst_p95 = 0.0;
+  double worst_p99 = 0.0;
+  std::int64_t first_window = 0;
+  std::int64_t last_window = 0;
+
+  void Add(const JsonObject& row) {
+    const double row_min = NumOr(row, "min", 0.0);
+    const double row_max = NumOr(row, "max", 0.0);
+    const std::int64_t window =
+        static_cast<std::int64_t>(NumOr(row, "window", 0.0));
+    if (rows == 0) {
+      min = row_min;
+      max = row_max;
+      first_window = last_window = window;
+    } else {
+      min = std::min(min, row_min);
+      max = std::max(max, row_max);
+      first_window = std::min(first_window, window);
+      last_window = std::max(last_window, window);
+    }
+    ++rows;
+    count += static_cast<std::uint64_t>(NumOr(row, "count", 0.0));
+    sum += NumOr(row, "sum", 0.0);
+    worst_p95 = std::max(worst_p95, NumOr(row, "p95", 0.0));
+    worst_p99 = std::max(worst_p99, NumOr(row, "p99", 0.0));
+  }
+
+  double mean() const { return count == 0 ? 0.0 : sum / count; }
+};
+
+// Per-(host, tenant) ranking state for the --metric series.
+struct TenantHealth {
+  std::uint64_t rows = 0;
+  double worst_p95 = 0.0;
+  double sum = 0.0;
+  std::uint64_t count = 0;
+  std::int64_t worst_window = 0;
+
+  double mean() const { return count == 0 ? 0.0 : sum / count; }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sds::Flags flags;
+  if (!flags.Parse(
+          argc, argv,
+          {{"metric",
+            "metric used to rank tenants (default detect.latency_ticks)"},
+           {"top", "noisiest tenants to show (default 10)"},
+           {"alerts", "dump the first N slo_alert records (default 0)"}})) {
+    return flags.help_requested() ? 0 : 1;
+  }
+  if (flags.positional().size() != 1) {
+    std::cerr << "usage: fleet_inspect <fleet.jsonl> [--metric=NAME] "
+                 "[--top=K] [--alerts=N]\n";
+    return 1;
+  }
+
+  const std::string rank_metric =
+      flags.GetString("metric", "detect.latency_ticks");
+  const std::size_t top_k =
+      static_cast<std::size_t>(std::max<std::int64_t>(flags.GetInt("top", 10), 0));
+  const std::size_t dump_alerts =
+      static_cast<std::size_t>(std::max<std::int64_t>(flags.GetInt("alerts", 0), 0));
+
+  std::ifstream in(flags.positional()[0]);
+  if (!in) {
+    std::cerr << "cannot open " << flags.positional()[0] << "\n";
+    return 1;
+  }
+
+  std::uint64_t total_lines = 0;
+  std::uint64_t empty_lines = 0;
+  std::uint64_t malformed_lines = 0;
+  std::map<std::string, std::uint64_t> unknown_types;
+
+  std::map<std::string, MetricHealth> metrics;
+  std::map<std::pair<std::uint32_t, std::uint32_t>, TenantHealth> tenants;
+  std::vector<JsonObject> alerts;
+  std::vector<JsonObject> statuses;
+  JsonObject stats;
+  bool have_stats = false;
+
+  std::string line;
+  JsonObject obj;
+  while (std::getline(in, line)) {
+    ++total_lines;
+    if (line.empty()) {
+      ++empty_lines;
+      continue;
+    }
+    if (!ParseLine(line, obj)) {
+      ++malformed_lines;
+      continue;
+    }
+    const std::string type = StrOr(obj, "type", "?");
+    if (type == "rollup") {
+      const std::string metric = StrOr(obj, "metric", "?");
+      metrics[metric].Add(obj);
+      if (metric == rank_metric) {
+        const auto host = static_cast<std::uint32_t>(NumOr(obj, "host", 0.0));
+        const auto tenant =
+            static_cast<std::uint32_t>(NumOr(obj, "tenant", 0.0));
+        TenantHealth& t = tenants[{host, tenant}];
+        ++t.rows;
+        const double p95 = NumOr(obj, "p95", 0.0);
+        if (p95 > t.worst_p95) {
+          t.worst_p95 = p95;
+          t.worst_window = static_cast<std::int64_t>(NumOr(obj, "window", 0.0));
+        }
+        t.sum += NumOr(obj, "sum", 0.0);
+        t.count += static_cast<std::uint64_t>(NumOr(obj, "count", 0.0));
+      }
+    } else if (type == "rollup_stats") {
+      stats = obj;
+      have_stats = true;
+    } else if (type == "slo_alert") {
+      alerts.push_back(obj);
+    } else if (type == "slo_status") {
+      statuses.push_back(obj);
+    } else {
+      ++unknown_types[type];
+    }
+  }
+
+  std::cout << "fleet_inspect: " << flags.positional()[0] << "\n";
+  std::cout << "  lines=" << total_lines << " empty=" << empty_lines
+            << " malformed=" << malformed_lines;
+  if (!unknown_types.empty()) {
+    std::cout << " unknown_types={";
+    bool first = true;
+    for (const auto& [type, n] : unknown_types) {
+      if (!first) std::cout << ", ";
+      first = false;
+      std::cout << type << ":" << n;
+    }
+    std::cout << "}";
+  }
+  std::cout << "\n\n";
+
+  if (have_stats) {
+    std::cout << "rollup accounting: shards="
+              << static_cast<std::uint64_t>(NumOr(stats, "shards", 0.0))
+              << " window_ticks="
+              << static_cast<std::uint64_t>(NumOr(stats, "window_ticks", 0.0))
+              << " ingested="
+              << static_cast<std::uint64_t>(NumOr(stats, "ingested", 0.0))
+              << " rows="
+              << static_cast<std::uint64_t>(NumOr(stats, "rows", 0.0))
+              << " live_series="
+              << static_cast<std::uint64_t>(NumOr(stats, "live_series", 0.0))
+              << "\n  drops: late="
+              << static_cast<std::uint64_t>(NumOr(stats, "dropped_late", 0.0))
+              << " series="
+              << static_cast<std::uint64_t>(NumOr(stats, "dropped_series", 0.0))
+              << " samples="
+              << static_cast<std::uint64_t>(
+                     NumOr(stats, "dropped_samples", 0.0))
+              << "  memory=" << FormatFixed(
+                     NumOr(stats, "memory_bytes", 0.0) / 1024.0, 1)
+              << " KiB\n\n";
+  } else {
+    std::cout << "rollup accounting: no rollup_stats record in stream\n\n";
+  }
+
+  if (!metrics.empty()) {
+    std::cout << "fleet health by metric:\n";
+    TextTable table;
+    table.SetHeader({"metric", "rows", "samples", "mean", "min", "max",
+                     "worst p95", "worst p99", "windows"});
+    for (const auto& [name, m] : metrics) {
+      table.Row(name, TextTable::Str(m.rows), TextTable::Str(m.count),
+                FormatFixed(m.mean(), 3), FormatFixed(m.min, 3),
+                FormatFixed(m.max, 3), FormatFixed(m.worst_p95, 3),
+                FormatFixed(m.worst_p99, 3),
+                TextTable::Str(m.first_window) + ".." +
+                    TextTable::Str(m.last_window));
+    }
+    table.Print(std::cout);
+    std::cout << "\n";
+  } else {
+    std::cout << "fleet health: no rollup rows in stream\n\n";
+  }
+
+  if (!tenants.empty() && top_k > 0) {
+    std::vector<std::pair<std::pair<std::uint32_t, std::uint32_t>,
+                          TenantHealth>>
+        ranked(tenants.begin(), tenants.end());
+    std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+      if (a.second.worst_p95 != b.second.worst_p95)
+        return a.second.worst_p95 > b.second.worst_p95;
+      return a.first < b.first;  // deterministic tie-break
+    });
+    if (ranked.size() > top_k) ranked.resize(top_k);
+    std::cout << "top " << ranked.size() << " tenants by worst p95("
+              << rank_metric << "):\n";
+    TextTable table;
+    table.SetHeader(
+        {"host", "tenant", "worst p95", "at window", "mean", "rows"});
+    for (const auto& [key, t] : ranked) {
+      table.Row(TextTable::Str(key.first), TextTable::Str(key.second),
+                FormatFixed(t.worst_p95, 3), TextTable::Str(t.worst_window),
+                FormatFixed(t.mean(), 3), TextTable::Str(t.rows));
+    }
+    table.Print(std::cout);
+    std::cout << "\n";
+  } else if (top_k > 0) {
+    std::cout << "no rollup rows for metric \"" << rank_metric
+              << "\" — nothing to rank (see fleet health table for metric "
+                 "names)\n\n";
+  }
+
+  if (!statuses.empty()) {
+    std::cout << "slo status (" << alerts.size() << " alert transitions):\n";
+    TextTable table;
+    table.SetHeader({"rule", "expr", "level", "burn", "violating", "windows"});
+    for (const JsonObject& st : statuses) {
+      table.Row(StrOr(st, "rule", "?"), StrOr(st, "expr", "?"),
+                StrOr(st, "level", "?"), FormatFixed(NumOr(st, "burn", 0.0), 3),
+                TextTable::Str(
+                    static_cast<std::uint64_t>(NumOr(st, "violating", 0.0))),
+                TextTable::Str(
+                    static_cast<std::uint64_t>(NumOr(st, "windows", 0.0))));
+    }
+    table.Print(std::cout);
+    std::cout << "\n";
+  } else {
+    std::cout << "slo status: no slo_status records in stream\n\n";
+  }
+
+  if (dump_alerts > 0 && !alerts.empty()) {
+    std::cout << "first " << std::min(dump_alerts, alerts.size())
+              << " alert transitions:\n";
+    TextTable table;
+    table.SetHeader(
+        {"window", "rule", "level", "burn", "host", "tenant", "observed"});
+    for (std::size_t i = 0; i < alerts.size() && i < dump_alerts; ++i) {
+      const JsonObject& a = alerts[i];
+      table.Row(TextTable::Str(
+                    static_cast<std::int64_t>(NumOr(a, "window", 0.0))),
+                StrOr(a, "rule", "?"), StrOr(a, "level", "?"),
+                FormatFixed(NumOr(a, "burn", 0.0), 3),
+                TextTable::Str(
+                    static_cast<std::uint32_t>(NumOr(a, "host", 0.0))),
+                TextTable::Str(
+                    static_cast<std::uint32_t>(NumOr(a, "tenant", 0.0))),
+                FormatFixed(NumOr(a, "observed", 0.0), 3));
+    }
+    table.Print(std::cout);
+  }
+  return 0;
+}

@@ -41,7 +41,7 @@ constexpr LayerInfo kLayers[] = {
     {"pcm", 4, true},
     {"attacks", 5, true},    {"workloads", 5, true}, {"detect", 5, true},
     {"fault", 5, true},
-    {"cluster", 6, true},
+    {"cluster", 6, true},    {"obs", 6, true},
     {"eval", 7, false},
     {"tests", 100, false},   {"bench", 100, false},  {"tools", 100, false},
     {"examples", 100, false},
@@ -92,6 +92,11 @@ constexpr RestrictedLayer kRestrictedLayers[] = {
     // cluster and eval — may depend on it; the detectors under test must
     // never see the injection machinery.
     {"fault", "cluster,eval"},
+    // obs is the off-path observability plane: rollups, SLO scoring and
+    // detector snapshots consume detector state but nothing on the
+    // decision path may grow a dependency on its aggregates. Only eval
+    // (which replays merged streams) may include it from src/.
+    {"obs", "eval"},
 };
 
 const RestrictedLayer* FindRestricted(const std::string& name) {
@@ -483,6 +488,34 @@ class Analyzer {
       CheckUnorderedIteration(f);
     }
     CheckActuationIdempotent(f);
+    CheckSnapshotVersioned(f);
+  }
+
+  // det-snapshot-versioned: an obs-layer file that serializes or parses a
+  // snapshot byte stream (SnapshotWriter / SnapshotReader) must reference
+  // kSnapshotVersion somewhere in its code, so every blob format in the obs
+  // plane carries the version pin that OpenSnapshot rejects on (DESIGN.md
+  // §13). Detector-side SaveState payloads are out of scope: they are always
+  // wrapped in the versioned obs envelope before leaving the process.
+  void CheckSnapshotVersioned(ParsedFile& f) {
+    if (f.layer != "obs") return;
+    int first_use = 0;
+    bool versioned = false;
+    for (std::size_t i = 0; i < f.code.size(); ++i) {
+      const std::string& line = f.code[i];
+      if (first_use == 0 && (HasToken(line, "SnapshotWriter") ||
+                             HasToken(line, "SnapshotReader"))) {
+        first_use = static_cast<int>(i) + 1;
+      }
+      if (HasToken(line, "kSnapshotVersion")) versioned = true;
+    }
+    if (first_use != 0 && !versioned) {
+      Emit(f, first_use, kRuleDetSnapshotVersioned,
+           "obs-layer snapshot serialization without a kSnapshotVersion "
+           "reference: every blob format must carry the version pin that "
+           "OpenSnapshot validates, or restores after a format change would "
+           "misparse old bytes instead of rejecting them");
+    }
   }
 
   // det-actuation-idempotent: inside the cluster layer, only the Cluster

@@ -5,8 +5,9 @@
 // on (see DESIGN.md §11):
 //
 //   * the layer DAG  common → stats/signal → sim → vm → pcm →
-//     {attacks, workloads, detect, fault} → cluster → eval, with telemetry as
-//     a universal observability sink, and
+//     {attacks, workloads, detect, fault} → {cluster, obs} → eval, with
+//     telemetry as a universal observability sink and fault/obs restricted
+//     to their enumerated dependents, and
 //   * the determinism contract: no ambient randomness, no wall-clock reads,
 //     no pointer printing and no unordered-container iteration in the
 //     deterministic layers.
@@ -35,6 +36,7 @@ inline constexpr char kRuleDetPointerPrint[] = "det-pointer-print";
 inline constexpr char kRuleDetUnorderedIter[] = "det-unordered-iter";
 inline constexpr char kRuleDetActuationIdempotent[] =
     "det-actuation-idempotent";
+inline constexpr char kRuleDetSnapshotVersioned[] = "det-snapshot-versioned";
 inline constexpr char kRuleHdrPragmaOnce[] = "hdr-pragma-once";
 inline constexpr char kRuleHdrSelfContained[] = "hdr-self-contained";
 inline constexpr char kRuleHdrTelemetryFwd[] = "hdr-telemetry-fwd";

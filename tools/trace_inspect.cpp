@@ -185,6 +185,7 @@ int main(int argc, char** argv) {
   std::uint64_t empty_lines = 0, bad_lines = 0;
   std::map<std::string, std::uint64_t> unknown_types;
   std::optional<JsonObject> header;
+  std::optional<JsonObject> tracer_stats;
 
   std::string line;
   long long lineno = 0;
@@ -202,6 +203,8 @@ int main(int argc, char** argv) {
     const std::string type = StrOr(o, "type", "");
     if (type == "header") {
       header = o;
+    } else if (type == "tracer_stats") {
+      tracer_stats = o;
     } else if (type == "event") {
       const std::string layer = StrOr(o, "layer", "?");
       const std::string event = StrOr(o, "event", "?");
@@ -297,6 +300,35 @@ int main(int argc, char** argv) {
     }
     std::printf("\n");
   }
+  if (tracer_stats) {
+    // Ring saturation report: a saturated ring silently discards the oldest
+    // events, so say exactly how much history was lost and whose it was.
+    const auto dropped =
+        static_cast<long long>(NumOr(*tracer_stats, "dropped", 0));
+    const auto emitted =
+        static_cast<long long>(NumOr(*tracer_stats, "emitted", 0));
+    std::printf("\ntracer ring: capacity=%lld retained=%lld emitted=%lld "
+                "dropped=%lld",
+                static_cast<long long>(NumOr(*tracer_stats, "capacity", 0)),
+                static_cast<long long>(NumOr(*tracer_stats, "retained", 0)),
+                emitted, dropped);
+    if (dropped > 0 && emitted > 0) {
+      std::printf(" (%.1f%% of emitted events lost)",
+                  100.0 * static_cast<double>(dropped) /
+                      static_cast<double>(emitted));
+    }
+    std::printf("\n");
+    if (dropped > 0) {
+      std::printf("  dropped by layer:");
+      for (const auto& [key, value] : *tracer_stats) {
+        if (key.rfind("dropped.", 0) == 0) {
+          std::printf(" %s=%s", key.substr(8).c_str(), value.c_str());
+        }
+      }
+      std::printf("\n");
+    }
+  }
+
   std::printf("\nper-layer summary\n");
   std::printf("  %-12s %10s %12s %12s\n", "layer", "events", "first-tick",
               "last-tick");
