@@ -58,6 +58,9 @@ class SnapshotReader {
   bool ok() const { return ok_; }
   // True when every byte was consumed (trailing garbage is corruption).
   bool exhausted() const { return pos_ == data_.size(); }
+  // Bytes consumed so far — lets an envelope reader locate the payload that
+  // follows a header without re-deriving field widths.
+  std::size_t consumed() const { return pos_; }
 
  private:
   bool Take(char expected_tag);

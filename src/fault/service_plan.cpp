@@ -1,0 +1,31 @@
+#include "fault/service_plan.h"
+
+namespace sds::fault {
+
+const char* ServiceFaultKindName(ServiceFaultKind kind) {
+  switch (kind) {
+    case ServiceFaultKind::kCrashMidWalAppend:
+      return "crash_mid_wal_append";
+    case ServiceFaultKind::kCrashMidCheckpoint:
+      return "crash_mid_checkpoint";
+    case ServiceFaultKind::kCrashAfterWalAppend:
+      return "crash_after_wal_append";
+    case ServiceFaultKind::kKindCount:
+      break;
+  }
+  return "?";
+}
+
+ServiceFaultPlan ServiceFaultPlan::Single(ServiceFaultKind kind,
+                                          std::uint64_t op_index,
+                                          double byte_fraction) {
+  ServiceFaultPlan plan;
+  ServiceCrashPoint point;
+  point.kind = kind;
+  point.op_index = op_index;
+  point.byte_fraction = byte_fraction;
+  plan.points.push_back(point);
+  return plan;
+}
+
+}  // namespace sds::fault

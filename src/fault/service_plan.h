@@ -1,0 +1,82 @@
+// Deterministic fault plans for the STORAGE plane of the streaming detection
+// service (the durability counterpart of fault_plan.h's monitoring-plane and
+// actuation_plan.h's control-plane catalogs).
+//
+// Where a FaultPlan rots the detector's input stream and an
+// ActuationFaultPlan breaks the response path, a ServiceFaultPlan kills the
+// service PROCESS at an exact, reproducible point in its durability
+// protocol: mid-WAL-append (a torn log record), mid-checkpoint (a torn
+// snapshot blob in the inactive slot), after a whole append (clean final
+// record, everything after it lost), or between ticks (clean shutdown with
+// volatile state discarded). Real services die exactly like this — power
+// loss tears the tail of the log, a deploy kills the process between
+// fsyncs — which is why the WAL + checkpoint recovery machinery exists.
+//
+// The plan is plain data interpreted by the svc layer's StableStore: crash
+// points are addressed by OPERATION ORDINAL (the Nth WAL append, the Nth
+// checkpoint write), not by wall time, so a chaos run crashes at exactly the
+// same byte in every execution. A default-constructed plan is inert
+// (enabled() == false) and the store then never fails.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace sds::fault {
+
+enum class ServiceFaultKind : std::uint8_t {
+  // The process dies while appending a WAL record: only a prefix of the
+  // frame reaches stable storage (a torn record). `byte_fraction` selects
+  // how much of the frame survives.
+  kCrashMidWalAppend = 0,
+  // The process dies while writing a checkpoint blob into the inactive
+  // slot: the active checkpoint and the WAL survive intact, the torn blob
+  // must be rejected by its envelope checksum on recovery.
+  kCrashMidCheckpoint,
+  // The process dies immediately AFTER a WAL append completes: the final
+  // record is whole, but nothing later (queue contents, un-checkpointed
+  // eviction order) survives.
+  kCrashAfterWalAppend,
+  kKindCount,
+};
+
+inline constexpr std::size_t kServiceFaultKindCount =
+    static_cast<std::size_t>(ServiceFaultKind::kKindCount);
+
+const char* ServiceFaultKindName(ServiceFaultKind kind);
+
+// One deterministic crash point. The store counts operations of the kind's
+// class (WAL appends for the two append kinds, checkpoint writes for
+// kCrashMidCheckpoint) and fires when the count reaches `op_index`
+// (1-based: op_index 1 == the first such operation).
+struct ServiceCrashPoint {
+  ServiceFaultKind kind = ServiceFaultKind::kCrashMidWalAppend;
+  std::uint64_t op_index = 1;
+  // For kCrashMidWalAppend / kCrashMidCheckpoint: fraction of the frame's
+  // bytes that reach stable storage before the process dies, in [0, 1).
+  // The store rounds down to whole bytes; 0.0 means the append vanishes
+  // entirely (crash before the first byte).
+  double byte_fraction = 0.5;
+  // For kCrashMidWalAppend: when >= 0, the exact number of surviving bytes
+  // (overrides byte_fraction) — the torn-write tests sweep every offset.
+  std::int64_t byte_offset = -1;
+};
+
+struct ServiceFaultPlan {
+  // Crash points, fired in vector order: the store arms the first point,
+  // and once it fires the service is dead — later points only matter if a
+  // recovered service reuses the same plan (the chaos harness never does;
+  // it hands the recovered service an inert plan).
+  std::vector<ServiceCrashPoint> points;
+
+  bool enabled() const { return !points.empty(); }
+
+  // Convenience: a plan with exactly one crash point.
+  static ServiceFaultPlan Single(ServiceFaultKind kind,
+                                 std::uint64_t op_index,
+                                 double byte_fraction = 0.5);
+};
+
+}  // namespace sds::fault

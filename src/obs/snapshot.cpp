@@ -48,6 +48,8 @@ const char* SnapshotStatusName(SnapshotStatus status) {
       return "bad_kind";
     case SnapshotStatus::kBadFingerprint:
       return "bad_fingerprint";
+    case SnapshotStatus::kBadLength:
+      return "bad_length";
     case SnapshotStatus::kBadChecksum:
       return "bad_checksum";
     case SnapshotStatus::kCorrupt:
@@ -91,10 +93,16 @@ SnapshotStatus OpenSnapshot(std::string_view blob, std::string_view kind,
   if (fingerprint != config_fingerprint) {
     return SnapshotStatus::kBadFingerprint;
   }
-  // The header reader consumed a known number of bytes; what remains after
-  // it is the payload. Reconstruct its offset from the declared length.
-  if (length > blob.size()) return SnapshotStatus::kBadChecksum;
-  const std::string_view body = blob.substr(blob.size() - length);
+  // The payload is exactly what follows the header. The declared length must
+  // match it byte-for-byte — an over- or under-declared length would let a
+  // forged header choose which bytes the checksum covers (e.g. re-summing a
+  // slice of itself), and a zero-length payload cannot be a field stream at
+  // all. Both are rejected BEFORE any checksum math.
+  const std::string_view body =
+      blob.substr(kMagic.size() + header.consumed());
+  if (length == 0 || length != body.size()) {
+    return SnapshotStatus::kBadLength;
+  }
   if (Fnv1a(body) != checksum) return SnapshotStatus::kBadChecksum;
   *payload = std::string(body);
   return SnapshotStatus::kOk;

@@ -42,6 +42,9 @@ enum class SnapshotStatus : std::uint8_t {
   kBadVersion,      // sealed by a different release
   kBadKind,         // snapshot of a different detector type
   kBadFingerprint,  // detector configured differently than at save time
+  kBadLength,       // declared payload length is zero or does not match the
+                    // bytes actually present (checked BEFORE the checksum: a
+                    // forged length must never choose which bytes get summed)
   kBadChecksum,     // payload bytes corrupted
   kCorrupt,         // field stream inconsistent with the detector's state
 };

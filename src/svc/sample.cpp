@@ -1,0 +1,160 @@
+#include "svc/sample.h"
+
+#include <cctype>
+#include <cstdio>
+#include <ostream>
+
+namespace sds::svc {
+
+namespace {
+
+// Minimal strict scanner over one flat JSON object. No nesting, no arrays,
+// no escapes beyond none (keys/values the service emits never contain any):
+// exactly what FormatSampleLine produces, and nothing more.
+struct Scanner {
+  std::string_view s;
+  std::size_t pos = 0;
+  bool ok = true;
+
+  void SkipWs() {
+    while (pos < s.size() &&
+           std::isspace(static_cast<unsigned char>(s[pos])) != 0) {
+      ++pos;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (pos < s.size() && s[pos] == c) {
+      ++pos;
+      return true;
+    }
+    ok = false;
+    return false;
+  }
+
+  // Parses "quoted" and returns the body.
+  std::string_view QuotedString() {
+    SkipWs();
+    if (pos >= s.size() || s[pos] != '"') {
+      ok = false;
+      return {};
+    }
+    const std::size_t start = ++pos;
+    while (pos < s.size() && s[pos] != '"') {
+      if (s[pos] == '\\') {  // escapes never appear in svc_sample lines
+        ok = false;
+        return {};
+      }
+      ++pos;
+    }
+    if (pos >= s.size()) {
+      ok = false;
+      return {};
+    }
+    return s.substr(start, pos++ - start);
+  }
+
+  // Non-negative integer value. Rejects signs, decimals, exponents and
+  // overflow — counter readings are u64 and ticks are non-negative here.
+  std::uint64_t UInt() {
+    SkipWs();
+    const std::size_t start = pos;
+    std::uint64_t v = 0;
+    while (pos < s.size() &&
+           std::isdigit(static_cast<unsigned char>(s[pos])) != 0) {
+      const std::uint64_t digit = static_cast<std::uint64_t>(s[pos] - '0');
+      if (v > (UINT64_MAX - digit) / 10) {
+        ok = false;
+        return 0;
+      }
+      v = v * 10 + digit;
+      ++pos;
+    }
+    if (pos == start) ok = false;
+    return v;
+  }
+
+  bool AtEnd() {
+    SkipWs();
+    return pos == s.size();
+  }
+};
+
+}  // namespace
+
+std::string FormatSampleLine(const SvcSample& sample) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "{\"type\":\"svc_sample\",\"tenant\":%u,\"tick\":%lld,"
+                "\"access_num\":%llu,\"miss_num\":%llu}",
+                static_cast<unsigned>(sample.tenant),
+                static_cast<long long>(sample.tick),
+                static_cast<unsigned long long>(sample.access_num),
+                static_cast<unsigned long long>(sample.miss_num));
+  return buf;
+}
+
+void WriteSampleLine(std::ostream& os, const SvcSample& sample) {
+  os << FormatSampleLine(sample) << '\n';
+}
+
+std::optional<SvcSample> ParseSampleLine(std::string_view line) {
+  Scanner sc{line};
+  if (!sc.Consume('{')) return std::nullopt;
+
+  SvcSample out;
+  bool have_type = false;
+  bool have_tenant = false;
+  bool have_tick = false;
+  bool have_access = false;
+  bool have_miss = false;
+  bool first = true;
+  while (true) {
+    sc.SkipWs();
+    if (sc.pos < sc.s.size() && sc.s[sc.pos] == '}') {
+      ++sc.pos;
+      break;
+    }
+    if (!first && !sc.Consume(',')) return std::nullopt;
+    first = false;
+    const std::string_view key = sc.QuotedString();
+    if (!sc.ok || !sc.Consume(':')) return std::nullopt;
+    if (key == "type") {
+      if (have_type || sc.QuotedString() != "svc_sample") return std::nullopt;
+      have_type = true;
+    } else if (key == "tenant") {
+      if (have_tenant) return std::nullopt;
+      const std::uint64_t v = sc.UInt();
+      if (!sc.ok || v > UINT32_MAX) return std::nullopt;
+      out.tenant = static_cast<TenantId>(v);
+      have_tenant = true;
+    } else if (key == "tick") {
+      if (have_tick) return std::nullopt;
+      const std::uint64_t v = sc.UInt();
+      if (!sc.ok || v > static_cast<std::uint64_t>(INT64_MAX)) {
+        return std::nullopt;
+      }
+      out.tick = static_cast<Tick>(v);
+      have_tick = true;
+    } else if (key == "access_num") {
+      if (have_access) return std::nullopt;
+      out.access_num = sc.UInt();
+      have_access = true;
+    } else if (key == "miss_num") {
+      if (have_miss) return std::nullopt;
+      out.miss_num = sc.UInt();
+      have_miss = true;
+    } else {
+      return std::nullopt;  // unknown keys are poison, not extension points
+    }
+    if (!sc.ok) return std::nullopt;
+  }
+  if (!sc.AtEnd()) return std::nullopt;  // trailing garbage
+  if (!have_type || !have_tenant || !have_tick || !have_access || !have_miss) {
+    return std::nullopt;
+  }
+  return out;
+}
+
+}  // namespace sds::svc

@@ -1,0 +1,53 @@
+// The streaming detection service's ingest unit.
+//
+// A SvcSample is one per-tenant PCM counter reading as it arrives OFF-HOST:
+// the same (tick, access_num, miss_num) triple pcm::PcmSample carries, plus
+// the tenant it belongs to and the transport offset the feed assigned to the
+// delivery. The offset is the at-least-once dedup key — a feed that replays
+// after a service restart re-sends suffixes of its stream, and the service
+// drops everything at or below its durable watermark without re-judging it.
+// Offsets are strictly increasing per feed; ticks are the DATA timestamp and
+// are validated separately by the admission ladder (out-of-order, duplicate
+// and future-timestamped ticks are data-quality problems, not transport
+// problems).
+//
+// Wire format (one JSON object per line, the telemetry JSONL dialect):
+//   {"type":"svc_sample","tenant":N,"tick":T,"access_num":A,"miss_num":M}
+// The offset is implicit: line number in the feed file (1-based), assigned
+// by the reader. ParseSampleLine is deliberately strict — anything that does
+// not parse exactly is the admission ladder's kMalformed rung, never a
+// crash.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/types.h"
+
+namespace sds::svc {
+
+using TenantId = std::uint32_t;
+
+struct SvcSample {
+  TenantId tenant = 0;
+  Tick tick = 0;
+  std::uint64_t access_num = 0;
+  std::uint64_t miss_num = 0;
+  // Transport sequence assigned by the feed (1-based, strictly increasing).
+  std::uint64_t offset = 0;
+};
+
+// One svc_sample JSONL line, without trailing newline.
+std::string FormatSampleLine(const SvcSample& sample);
+void WriteSampleLine(std::ostream& os, const SvcSample& sample);
+
+// Parses a svc_sample line. Returns nullopt for anything malformed: wrong
+// type tag, missing field, non-numeric value, negative numbers, trailing
+// garbage. The returned sample's offset is 0 — the caller (feed reader)
+// assigns it.
+std::optional<SvcSample> ParseSampleLine(std::string_view line);
+
+}  // namespace sds::svc

@@ -1,0 +1,175 @@
+#include "svc/store.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+namespace sds::svc {
+
+namespace {
+
+std::uint64_t TornPrefixLen(const fault::ServiceCrashPoint& point,
+                            std::uint64_t total) {
+  if (point.byte_offset >= 0) {
+    return std::min<std::uint64_t>(
+        static_cast<std::uint64_t>(point.byte_offset), total);
+  }
+  double f = point.byte_fraction;
+  if (f < 0.0) f = 0.0;
+  if (f > 1.0) f = 1.0;
+  const auto kept = static_cast<std::uint64_t>(f * static_cast<double>(total));
+  return std::min(kept, total);
+}
+
+}  // namespace
+
+const fault::ServiceCrashPoint* MemStore::PointFor(
+    fault::ServiceFaultKind a, fault::ServiceFaultKind b,
+    std::uint64_t ordinal) const {
+  for (const auto& point : plan_.points) {
+    if ((point.kind == a || point.kind == b) && point.op_index == ordinal) {
+      return &point;
+    }
+  }
+  return nullptr;
+}
+
+bool MemStore::AppendWal(std::string_view bytes) {
+  if (crashed_) return false;
+  ++wal_appends_;
+  const auto* point = PointFor(fault::ServiceFaultKind::kCrashMidWalAppend,
+                               fault::ServiceFaultKind::kCrashAfterWalAppend,
+                               wal_appends_);
+  if (point == nullptr) {
+    wal_.append(bytes);
+    return true;
+  }
+  if (point->kind == fault::ServiceFaultKind::kCrashAfterWalAppend) {
+    wal_.append(bytes);  // whole frame made it; the process dies right after
+  } else {
+    wal_.append(bytes.substr(0, TornPrefixLen(*point, bytes.size())));
+  }
+  crashed_ = true;
+  return false;
+}
+
+bool MemStore::WriteCheckpoint(std::string_view blob) {
+  if (crashed_) return false;
+  ++checkpoint_writes_;
+  const int inactive = (active_slot_ == 0) ? 1 : 0;
+  const auto* point = PointFor(fault::ServiceFaultKind::kCrashMidCheckpoint,
+                               fault::ServiceFaultKind::kCrashMidCheckpoint,
+                               checkpoint_writes_);
+  if (point != nullptr) {
+    // The torn blob lands in the inactive slot; the active slot survives.
+    slots_[inactive] = blob.substr(0, TornPrefixLen(*point, blob.size()));
+    crashed_ = true;
+    return false;
+  }
+  slots_[inactive] = std::string(blob);
+  active_slot_ = inactive;  // atomic promotion
+  return true;
+}
+
+bool MemStore::TruncateWal(std::uint64_t bytes) {
+  if (crashed_) return false;
+  wal_.erase(0, std::min<std::uint64_t>(bytes, wal_.size()));
+  return true;
+}
+
+std::string MemStore::ReadCheckpoint() const {
+  return active_slot_ < 0 ? std::string() : slots_[active_slot_];
+}
+
+MemStore MemStore::Reincarnate() const {
+  MemStore fresh;
+  fresh.wal_ = wal_;
+  fresh.slots_[0] = slots_[0];
+  fresh.slots_[1] = slots_[1];
+  fresh.active_slot_ = active_slot_;
+  return fresh;
+}
+
+// ---------------------------------------------------------------------------
+// FileStore
+
+namespace {
+
+std::string ReadWholeFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+bool WriteWholeFile(const std::string& path, std::string_view bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  return out.good();
+}
+
+}  // namespace
+
+FileStore::FileStore(std::string dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) crashed_ = true;
+}
+
+std::string FileStore::WalPath() const { return dir_ + "/wal.log"; }
+std::string FileStore::CkptPath() const { return dir_ + "/ckpt.snap"; }
+
+bool FileStore::AppendWal(std::string_view bytes) {
+  if (crashed_) return false;
+  std::ofstream out(WalPath(), std::ios::binary | std::ios::app);
+  if (!out) {
+    crashed_ = true;
+    return false;
+  }
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  if (!out.good()) crashed_ = true;
+  return !crashed_;
+}
+
+bool FileStore::WriteCheckpoint(std::string_view blob) {
+  if (crashed_) return false;
+  const std::string tmp = CkptPath() + ".tmp";
+  if (!WriteWholeFile(tmp, blob)) {
+    crashed_ = true;
+    return false;
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, CkptPath(), ec);
+  if (ec) crashed_ = true;
+  return !crashed_;
+}
+
+bool FileStore::TruncateWal(std::uint64_t bytes) {
+  if (crashed_) return false;
+  std::string wal = ReadWholeFile(WalPath());
+  wal.erase(0, std::min<std::uint64_t>(bytes, wal.size()));
+  const std::string tmp = WalPath() + ".tmp";
+  if (!WriteWholeFile(tmp, wal)) {
+    crashed_ = true;
+    return false;
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, WalPath(), ec);
+  if (ec) crashed_ = true;
+  return !crashed_;
+}
+
+std::string FileStore::ReadWal() const { return ReadWholeFile(WalPath()); }
+
+std::string FileStore::ReadCheckpoint() const {
+  return ReadWholeFile(CkptPath());
+}
+
+}  // namespace sds::svc

@@ -1,0 +1,91 @@
+// Bounded-memory tenant table: TenantId -> per-tenant detection state,
+// with LRU eviction and loud accounting.
+//
+// "Monitor a million tenants" cannot mean a million resident analyzer
+// pipelines — the table holds at most `capacity` entries and evicts the
+// least-recently-touched tenant when a new one arrives. Eviction is LOSSY
+// BY DESIGN: the evicted tenant's pipeline state (warm-up trace, analyzer
+// windows, quarantine history) is discarded, and if the tenant re-appears
+// it is readmitted from scratch — a fresh profiling phase. Both events are
+// counted (evictions / readmissions) so capacity pressure is never silent;
+// the fleet operator sizes the table from those counters, not from OOMs.
+//
+// Each entry also carries the tenant's poison-input record: the offense
+// counter the admission ladder bumps and the quarantine deadline it sets.
+// Iteration order and eviction order are fully deterministic (std::list
+// recency order, std::map storage) — the table is part of the service's
+// checkpointed, bit-identically-recovered state.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <set>
+
+#include "common/snapshot.h"
+#include "common/types.h"
+#include "svc/pipeline.h"
+#include "svc/sample.h"
+
+namespace sds::svc {
+
+struct TenantEntry {
+  TenantPipeline pipeline;
+  // Poison-input record (admission ladder).
+  std::uint32_t offenses = 0;
+  Tick quarantined_until = kInvalidTick;  // kInvalidTick = not quarantined
+  // Newest tick enqueued for this tenant (the stale/duplicate watermark).
+  Tick last_enqueued_tick = kInvalidTick;
+
+  explicit TenantEntry(const PipelineConfig& config) : pipeline(config) {}
+};
+
+struct TenantTableStats {
+  std::uint64_t created = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t readmissions = 0;
+};
+
+class TenantTable {
+ public:
+  TenantTable(const PipelineConfig& pipeline_config, std::size_t capacity);
+
+  // Returns the tenant's entry, creating it (and possibly evicting the LRU
+  // tenant) if absent. Every call marks the tenant most-recently-used.
+  TenantEntry& Touch(TenantId tenant);
+
+  // Returns the entry without creating or promoting, or nullptr.
+  const TenantEntry* Find(TenantId tenant) const;
+  TenantEntry* FindMutable(TenantId tenant);
+
+  std::size_t size() const { return entries_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  const TenantTableStats& stats() const { return stats_; }
+
+  // Tenants in recency order, most recent first (checkpoint + inspection).
+  std::vector<TenantId> RecencyOrder() const;
+
+  void SaveState(SnapshotWriter& w) const;
+  bool RestoreState(SnapshotReader& r);
+
+ private:
+  struct Slot {
+    std::unique_ptr<TenantEntry> entry;
+    std::list<TenantId>::iterator lru_pos;
+  };
+
+  void EvictLru();
+
+  PipelineConfig pipeline_config_;
+  std::size_t capacity_;
+  // Front = most recently used.
+  std::list<TenantId> lru_;
+  std::map<TenantId, Slot> entries_;
+  // Tenants that were evicted at least once; a re-created member counts as
+  // a readmission.
+  std::set<TenantId> evicted_ever_;
+  TenantTableStats stats_;
+};
+
+}  // namespace sds::svc

@@ -1,0 +1,145 @@
+#include "svc/wal.h"
+
+#include "common/snapshot.h"
+#include "obs/snapshot.h"
+
+namespace sds::svc {
+
+namespace {
+
+// Frame header: u32 payload_len | u64 fnv1a(payload), little-endian.
+constexpr std::size_t kFrameHeaderBytes = 4 + 8;
+
+void PutU32(std::string* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU64(std::string* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+std::uint32_t GetU32(std::string_view bytes, std::size_t pos) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(
+             static_cast<unsigned char>(bytes[pos + static_cast<size_t>(i)]))
+         << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t GetU64(std::string_view bytes, std::size_t pos) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(
+             static_cast<unsigned char>(bytes[pos + static_cast<size_t>(i)]))
+         << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+const char* WalScanStopName(WalScanStop stop) {
+  switch (stop) {
+    case WalScanStop::kCleanEnd:
+      return "clean_end";
+    case WalScanStop::kTornFrame:
+      return "torn_frame";
+    case WalScanStop::kBadChecksum:
+      return "bad_checksum";
+    case WalScanStop::kBadVersion:
+      return "bad_version";
+    case WalScanStop::kBadRecord:
+      return "bad_record";
+  }
+  return "?";
+}
+
+std::string WalWriter::EncodeFrame(const WalRecord& record) {
+  SnapshotWriter payload;
+  payload.U32(kWalPayloadVersion);  // det-wal-versioned pin
+  payload.U32(static_cast<std::uint32_t>(record.kind));
+  payload.U64(record.lsn);
+  switch (record.kind) {
+    case WalRecordKind::kEvent:
+      payload.U64(record.sample.offset);
+      payload.U32(record.sample.tenant);
+      payload.I64(record.sample.tick);
+      payload.U64(record.sample.access_num);
+      payload.U64(record.sample.miss_num);
+      payload.U32(record.disposition);
+      break;
+    case WalRecordKind::kTick:
+      payload.I64(record.tick);
+      break;
+  }
+  const std::string& body = payload.data();
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + body.size());
+  PutU32(&frame, static_cast<std::uint32_t>(body.size()));
+  PutU64(&frame, Fnv1a(body));
+  frame.append(body);
+  return frame;
+}
+
+WalScanResult WalReader::Scan(std::string_view bytes) {
+  WalScanResult result;
+  std::size_t pos = 0;
+  while (pos < bytes.size()) {
+    if (bytes.size() - pos < kFrameHeaderBytes) {
+      result.stop = WalScanStop::kTornFrame;
+      break;
+    }
+    const std::uint32_t len = GetU32(bytes, pos);
+    const std::uint64_t checksum = GetU64(bytes, pos + 4);
+    if (bytes.size() - pos - kFrameHeaderBytes < len) {
+      result.stop = WalScanStop::kTornFrame;
+      break;
+    }
+    const std::string_view body =
+        bytes.substr(pos + kFrameHeaderBytes, len);
+    if (Fnv1a(body) != checksum) {
+      result.stop = WalScanStop::kBadChecksum;
+      break;
+    }
+    SnapshotReader reader(body);
+    const std::uint32_t version = reader.U32();
+    if (!reader.ok() || version != kWalPayloadVersion) {
+      result.stop = WalScanStop::kBadVersion;
+      break;
+    }
+    WalRecord record;
+    const std::uint32_t kind = reader.U32();
+    record.lsn = reader.U64();
+    if (kind == static_cast<std::uint32_t>(WalRecordKind::kEvent)) {
+      record.kind = WalRecordKind::kEvent;
+      record.sample.offset = reader.U64();
+      record.sample.tenant = reader.U32();
+      record.sample.tick = reader.I64();
+      record.sample.access_num = reader.U64();
+      record.sample.miss_num = reader.U64();
+      record.disposition = reader.U32();
+    } else if (kind == static_cast<std::uint32_t>(WalRecordKind::kTick)) {
+      record.kind = WalRecordKind::kTick;
+      record.tick = reader.I64();
+    } else {
+      result.stop = WalScanStop::kBadRecord;
+      break;
+    }
+    if (!reader.ok() || !reader.exhausted()) {
+      result.stop = WalScanStop::kBadRecord;
+      break;
+    }
+    result.records.push_back(record);
+    pos += kFrameHeaderBytes + len;
+    result.valid_bytes = pos;
+  }
+  return result;
+}
+
+}  // namespace sds::svc

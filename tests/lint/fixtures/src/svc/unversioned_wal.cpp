@@ -1,0 +1,11 @@
+// Seeded violation: a svc-layer file frames WAL records but never
+// references the payload version pin, so a recovery scan could misparse
+// frames written by a different release (det-wal-versioned).
+#include <string>
+
+namespace sds::svc {
+class WalWriter {
+ public:
+  static std::string EncodeFrame(const std::string& body) { return body; }
+};
+}  // namespace sds::svc

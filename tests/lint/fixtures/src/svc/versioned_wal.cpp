@@ -1,0 +1,16 @@
+// Clean: the same framing shape with the payload version pin written into
+// the byte stream, as svc/wal.cpp does for real frames. The alias
+// kWalPayloadVersion counts as a pin reference — svc/wal.h defines it as
+// obs::kSnapshotVersion.
+#include <string>
+
+namespace sds::svc {
+inline constexpr unsigned kWalPayloadVersion = 1;
+
+class WalWriter {
+ public:
+  static std::string EncodeFrame(const std::string& body) {
+    return std::string(1, static_cast<char>(kWalPayloadVersion)) + body;
+  }
+};
+}  // namespace sds::svc

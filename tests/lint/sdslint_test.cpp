@@ -77,6 +77,7 @@ TEST(SdslintFixtures, ExactDiagnosticSet) {
       {"src/sim/uses_rand.cpp", 13, kRuleDetRand},
       {"src/stats/no_pragma.h", 3, kRuleHdrPragmaOnce},
       {"src/stats/not_self_contained.h", 3, kRuleHdrSelfContained},
+      {"src/svc/unversioned_wal.cpp", 7, kRuleDetWalVersioned},
       {"src/vm/header_telemetry.h", 3, kRuleHdrTelemetryFwd},
   };
   for (const auto& e : kExpected) {
@@ -110,9 +111,10 @@ TEST(SdslintFixtures, SuppressionCommentSilencesEachRule) {
   EXPECT_EQ(CountForFile(r, "src/stats/no_pragma_allowed.h"), 0);
   EXPECT_EQ(CountForFile(r, "src/cluster/suppressed_direct.cpp"), 0);
   EXPECT_EQ(CountForFile(r, "src/obs/suppressed_unversioned.cpp"), 0);
+  EXPECT_EQ(CountForFile(r, "src/svc/suppressed_unversioned_wal.cpp"), 0);
   // ...and each allow() comment must be reported as used, so stale escape
   // hatches are auditable via --list-suppressions.
-  ASSERT_EQ(r.suppressions.size(), 7u);
+  ASSERT_EQ(r.suppressions.size(), 8u);
   for (const Suppression& s : r.suppressions) {
     EXPECT_TRUE(s.used) << s.file << ":" << s.comment_line;
   }
@@ -132,6 +134,8 @@ TEST(SdslintFixtures, CleanFilesStayClean) {
   // Snapshot serialization that does reference the version constant is
   // clean — the rule keys on the token, not on where it appears.
   EXPECT_EQ(CountForFile(r, "src/obs/versioned_snapshot.cpp"), 0);
+  // Same for WAL framing that references the payload version pin.
+  EXPECT_EQ(CountForFile(r, "src/svc/versioned_wal.cpp"), 0);
 }
 
 TEST(SdslintFixtures, JsonOutputIsWellFormedAndComplete) {
@@ -144,8 +148,8 @@ TEST(SdslintFixtures, JsonOutputIsWellFormedAndComplete) {
   for (const char* rule :
        {kRuleLayerDag, kRuleDetRand, kRuleDetClock, kRuleDetPointerPrint,
         kRuleDetUnorderedIter, kRuleDetActuationIdempotent,
-        kRuleDetSnapshotVersioned, kRuleHdrPragmaOnce, kRuleHdrSelfContained,
-        kRuleHdrTelemetryFwd}) {
+        kRuleDetSnapshotVersioned, kRuleDetWalVersioned, kRuleHdrPragmaOnce,
+        kRuleHdrSelfContained, kRuleHdrTelemetryFwd}) {
     EXPECT_NE(json.find(std::string("\"rule\":\"") + rule + "\""),
               std::string::npos)
         << rule;
@@ -162,7 +166,8 @@ TEST(SdslintLayers, RankTableMatchesDesignDoc) {
   EXPECT_EQ(LayerRank("detect"), LayerRank("workloads"));
   EXPECT_LT(LayerRank("detect"), LayerRank("cluster"));
   EXPECT_EQ(LayerRank("obs"), LayerRank("cluster"));
-  EXPECT_LT(LayerRank("cluster"), LayerRank("eval"));
+  EXPECT_LT(LayerRank("cluster"), LayerRank("svc"));
+  EXPECT_LT(LayerRank("svc"), LayerRank("eval"));
   EXPECT_LT(LayerRank("eval"), LayerRank("tests"));
   EXPECT_EQ(LayerRank("no-such-layer"), -1);
 
@@ -170,6 +175,7 @@ TEST(SdslintLayers, RankTableMatchesDesignDoc) {
   EXPECT_TRUE(IsDeterministicLayer("detect"));
   EXPECT_TRUE(IsDeterministicLayer("cluster"));
   EXPECT_TRUE(IsDeterministicLayer("obs"));
+  EXPECT_TRUE(IsDeterministicLayer("svc"));
   EXPECT_FALSE(IsDeterministicLayer("telemetry"));
   EXPECT_FALSE(IsDeterministicLayer("eval"));
   EXPECT_FALSE(IsDeterministicLayer("tests"));

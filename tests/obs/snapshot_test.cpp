@@ -80,6 +80,38 @@ TEST(SnapshotEnvelopeTest, RejectsCorruptedPayload) {
             SnapshotStatus::kBadChecksum);
 }
 
+TEST(SnapshotEnvelopeTest, RejectsBadPayloadLengths) {
+  std::string payload;
+
+  // A zero-length payload cannot be a field stream: rejected even though
+  // its declared length and checksum are self-consistent.
+  EXPECT_EQ(OpenSnapshot(SealSnapshot("kind", 7, ""), "kind", 7, &payload),
+            SnapshotStatus::kBadLength);
+
+  // Over-declared: the blob lost payload bytes (torn write). The length
+  // mismatch is reported — BEFORE any checksum math, so a forged length can
+  // never choose which bytes get summed.
+  std::string torn = SealSnapshot("kind", 7, "sensitive-payload");
+  torn.resize(torn.size() - 3);
+  EXPECT_EQ(OpenSnapshot(torn, "kind", 7, &payload),
+            SnapshotStatus::kBadLength);
+
+  // Under-declared: trailing bytes after the declared payload are not
+  // silently ignored (they would escape the checksum entirely).
+  std::string padded = SealSnapshot("kind", 7, "sensitive-payload");
+  padded += "extra";
+  EXPECT_EQ(OpenSnapshot(padded, "kind", 7, &payload),
+            SnapshotStatus::kBadLength);
+
+  // The ladder order is fixed: a blob that is BOTH torn and bit-flipped
+  // reports the length rung, not the checksum rung.
+  std::string both = SealSnapshot("kind", 7, "sensitive-payload");
+  both.back() ^= 0x01;
+  both.resize(both.size() - 2);
+  EXPECT_EQ(OpenSnapshot(both, "kind", 7, &payload),
+            SnapshotStatus::kBadLength);
+}
+
 TEST(SnapshotEnvelopeTest, FileRoundTrip) {
   const std::string path = testing::TempDir() + "/sds_snapshot_test.bin";
   const std::string blob = SealSnapshot("kind", 1, std::string("a\0b", 3));

@@ -1,0 +1,192 @@
+// WAL framing and torn-tail recovery (DESIGN.md §14): encode/scan round
+// trips, and — the crash-consistency workhorse — a scan truncated at EVERY
+// byte offset of the final frame must keep exactly the intact prefix and
+// report a torn tail, never misparse or crash. The checksum, version and
+// field-stream rungs of the scan's own rejection ladder are each pinned.
+#include "svc/wal.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/snapshot.h"
+#include "obs/snapshot.h"
+
+namespace sds::svc {
+namespace {
+
+SvcSample MakeSample(TenantId tenant, Tick tick, std::uint64_t offset) {
+  SvcSample s;
+  s.tenant = tenant;
+  s.tick = tick;
+  s.access_num = 2000 + offset;
+  s.miss_num = 500 + offset;
+  s.offset = offset;
+  return s;
+}
+
+WalRecord EventRecord(std::uint64_t lsn, const SvcSample& sample,
+                      std::uint32_t disposition) {
+  WalRecord r;
+  r.kind = WalRecordKind::kEvent;
+  r.lsn = lsn;
+  r.sample = sample;
+  r.disposition = disposition;
+  return r;
+}
+
+WalRecord TickRecord(std::uint64_t lsn, Tick tick) {
+  WalRecord r;
+  r.kind = WalRecordKind::kTick;
+  r.lsn = lsn;
+  r.tick = tick;
+  return r;
+}
+
+void AppendU32(std::string* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void AppendU64(std::string* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+// A frame with a CORRECT header for an arbitrary payload — the scan must
+// get past checksum verification and reject on payload content.
+std::string FrameAround(const std::string& payload) {
+  std::string frame;
+  AppendU32(&frame, static_cast<std::uint32_t>(payload.size()));
+  AppendU64(&frame, Fnv1a(payload));
+  frame += payload;
+  return frame;
+}
+
+TEST(WalTest, EventAndTickRoundTrip) {
+  const SvcSample sample = MakeSample(3, 77, 41);
+  const std::string log = WalWriter::EncodeFrame(EventRecord(9, sample, 2)) +
+                          WalWriter::EncodeFrame(TickRecord(10, 78));
+
+  const WalScanResult r = WalReader::Scan(log);
+  EXPECT_EQ(r.stop, WalScanStop::kCleanEnd);
+  EXPECT_EQ(r.valid_bytes, log.size());
+  ASSERT_EQ(r.records.size(), 2u);
+
+  EXPECT_EQ(r.records[0].kind, WalRecordKind::kEvent);
+  EXPECT_EQ(r.records[0].lsn, 9u);
+  EXPECT_EQ(r.records[0].sample.tenant, sample.tenant);
+  EXPECT_EQ(r.records[0].sample.tick, sample.tick);
+  EXPECT_EQ(r.records[0].sample.access_num, sample.access_num);
+  EXPECT_EQ(r.records[0].sample.miss_num, sample.miss_num);
+  EXPECT_EQ(r.records[0].sample.offset, sample.offset);
+  EXPECT_EQ(r.records[0].disposition, 2u);
+
+  EXPECT_EQ(r.records[1].kind, WalRecordKind::kTick);
+  EXPECT_EQ(r.records[1].lsn, 10u);
+  EXPECT_EQ(r.records[1].tick, 78);
+}
+
+TEST(WalTest, EmptyLogIsCleanEnd) {
+  const WalScanResult r = WalReader::Scan("");
+  EXPECT_EQ(r.stop, WalScanStop::kCleanEnd);
+  EXPECT_EQ(r.valid_bytes, 0u);
+  EXPECT_TRUE(r.records.empty());
+}
+
+// The crash-recovery workhorse: a write torn at ANY byte of the final frame
+// (header or payload, including zero surviving bytes) leaves a log whose
+// scan yields exactly the intact prefix.
+TEST(WalTest, TornFinalFrameAtEveryByteOffset) {
+  const std::string prefix =
+      WalWriter::EncodeFrame(EventRecord(1, MakeSample(0, 5, 1), 0)) +
+      WalWriter::EncodeFrame(TickRecord(2, 6));
+  const std::string final_frame =
+      WalWriter::EncodeFrame(EventRecord(3, MakeSample(1, 6, 2), 0));
+
+  for (std::size_t cut = 0; cut < final_frame.size(); ++cut) {
+    const std::string log = prefix + final_frame.substr(0, cut);
+    const WalScanResult r = WalReader::Scan(log);
+    ASSERT_EQ(r.records.size(), 2u) << "cut=" << cut;
+    EXPECT_EQ(r.valid_bytes, prefix.size()) << "cut=" << cut;
+    EXPECT_EQ(r.stop,
+              cut == 0 ? WalScanStop::kCleanEnd : WalScanStop::kTornFrame)
+        << "cut=" << cut;
+  }
+
+  // And the whole frame present again scans clean.
+  const WalScanResult whole = WalReader::Scan(prefix + final_frame);
+  EXPECT_EQ(whole.records.size(), 3u);
+  EXPECT_EQ(whole.stop, WalScanStop::kCleanEnd);
+  EXPECT_EQ(whole.valid_bytes, prefix.size() + final_frame.size());
+}
+
+TEST(WalTest, CorruptPayloadByteStopsWithBadChecksum) {
+  const std::string first =
+      WalWriter::EncodeFrame(TickRecord(1, 10));
+  std::string second =
+      WalWriter::EncodeFrame(EventRecord(2, MakeSample(4, 11, 9), 1));
+  second[second.size() - 3] ^= 0x20;  // flip a payload bit
+
+  const WalScanResult r = WalReader::Scan(first + second);
+  ASSERT_EQ(r.records.size(), 1u);
+  EXPECT_EQ(r.records[0].lsn, 1u);
+  EXPECT_EQ(r.valid_bytes, first.size());
+  EXPECT_EQ(r.stop, WalScanStop::kBadChecksum);
+}
+
+TEST(WalTest, OtherReleaseVersionStopsWithBadVersion) {
+  // A well-checksummed frame whose payload was sealed by a "future" release.
+  SnapshotWriter payload;
+  payload.U32(kWalPayloadVersion + 1);
+  payload.U32(static_cast<std::uint32_t>(WalRecordKind::kTick));
+  payload.U64(1);
+  payload.I64(5);
+
+  const WalScanResult r = WalReader::Scan(FrameAround(payload.data()));
+  EXPECT_TRUE(r.records.empty());
+  EXPECT_EQ(r.valid_bytes, 0u);
+  EXPECT_EQ(r.stop, WalScanStop::kBadVersion);
+}
+
+TEST(WalTest, MalformedFieldStreamStopsWithBadRecord) {
+  // Unknown record kind, good checksum.
+  SnapshotWriter unknown_kind;
+  unknown_kind.U32(kWalPayloadVersion);
+  unknown_kind.U32(99);
+  unknown_kind.U64(1);
+  const WalScanResult a = WalReader::Scan(FrameAround(unknown_kind.data()));
+  EXPECT_TRUE(a.records.empty());
+  EXPECT_EQ(a.stop, WalScanStop::kBadRecord);
+
+  // Known kind, field stream cut short (no tick field), good checksum.
+  SnapshotWriter short_stream;
+  short_stream.U32(kWalPayloadVersion);
+  short_stream.U32(static_cast<std::uint32_t>(WalRecordKind::kTick));
+  short_stream.U64(1);
+  const WalScanResult b = WalReader::Scan(FrameAround(short_stream.data()));
+  EXPECT_TRUE(b.records.empty());
+  EXPECT_EQ(b.stop, WalScanStop::kBadRecord);
+
+  // Known kind with TRAILING bytes after the last field: also corrupt.
+  SnapshotWriter trailing;
+  trailing.U32(kWalPayloadVersion);
+  trailing.U32(static_cast<std::uint32_t>(WalRecordKind::kTick));
+  trailing.U64(1);
+  trailing.I64(5);
+  trailing.U64(0xdead);
+  const WalScanResult c = WalReader::Scan(FrameAround(trailing.data()));
+  EXPECT_TRUE(c.records.empty());
+  EXPECT_EQ(c.stop, WalScanStop::kBadRecord);
+}
+
+// The WAL payload opens with the checkpoint envelope's version pin, so one
+// release bump invalidates both halves of the durable state together.
+TEST(WalTest, PayloadVersionIsTheSnapshotPin) {
+  EXPECT_EQ(kWalPayloadVersion, obs::kSnapshotVersion);
+}
+
+}  // namespace
+}  // namespace sds::svc

@@ -7,10 +7,13 @@
 //                                             (default detect.latency_ticks)
 //   fleet_inspect fleet.jsonl --top=K         show K noisiest tenants (def 10)
 //   fleet_inspect fleet.jsonl --alerts=N      dump the first N alert records
+//   fleet_inspect fleet.jsonl --svc           per-crash-point recovery rows
 //
 // Line types consumed: "rollup" (one window x series row), "rollup_stats"
-// (ingest/drop/memory accounting), "slo_alert" (level transitions) and
-// "slo_status" (final per-rule state). Like trace_inspect, the parser
+// (ingest/drop/memory accounting), "slo_alert" (level transitions),
+// "slo_status" (final per-rule state), plus the streaming-service
+// accounting pair "svc_ref" / "svc_recovery" written by
+// bench_svc_chaos_sweep --accounting_out. Like trace_inspect, the parser
 // handles exactly the flat one-object-per-line JSON this repo emits and
 // malformed input never crashes the tool: empty lines, truncated records
 // and unknown "type" values are counted and reported, and everything
@@ -158,7 +161,8 @@ int main(int argc, char** argv) {
           {{"metric",
             "metric used to rank tenants (default detect.latency_ticks)"},
            {"top", "noisiest tenants to show (default 10)"},
-           {"alerts", "dump the first N slo_alert records (default 0)"}})) {
+           {"alerts", "dump the first N slo_alert records (default 0)"},
+           {"svc", "dump per-crash-point service recovery rows", true}})) {
     return flags.help_requested() ? 0 : 1;
   }
   if (flags.positional().size() != 1) {
@@ -191,12 +195,18 @@ int main(int argc, char** argv) {
   std::vector<JsonObject> statuses;
   JsonObject stats;
   bool have_stats = false;
+  // Streaming-service accounting (bench_svc_chaos_sweep --accounting_out).
+  JsonObject svc_ref;
+  bool have_svc_ref = false;
+  std::vector<JsonObject> svc_recoveries;
 
   std::string line;
   JsonObject obj;
   while (std::getline(in, line)) {
     ++total_lines;
-    if (line.empty()) {
+    // Whitespace-only lines (including the \r a Windows editor leaves on an
+    // otherwise blank line) count as empty, not malformed.
+    if (line.find_first_not_of(" \t\r") == std::string::npos) {
       ++empty_lines;
       continue;
     }
@@ -229,6 +239,11 @@ int main(int argc, char** argv) {
       alerts.push_back(obj);
     } else if (type == "slo_status") {
       statuses.push_back(obj);
+    } else if (type == "svc_ref") {
+      svc_ref = obj;
+      have_svc_ref = true;
+    } else if (type == "svc_recovery") {
+      svc_recoveries.push_back(obj);
     } else {
       ++unknown_types[type];
     }
@@ -358,6 +373,83 @@ int main(int argc, char** argv) {
                 FormatFixed(NumOr(a, "observed", 0.0), 3));
     }
     table.Print(std::cout);
+  }
+
+  if (have_svc_ref || !svc_recoveries.empty()) {
+    // Streaming-service WAL / recovery / shed accounting, from the chaos
+    // sweep's --accounting_out stream. A recovery row with identical=0 means
+    // the crash-consistency pin broke for that crash point.
+    std::cout << "\nstreaming service";
+    if (have_svc_ref) {
+      std::cout << " (reference run): events="
+                << static_cast<std::uint64_t>(NumOr(svc_ref, "events", 0.0))
+                << " admitted="
+                << static_cast<std::uint64_t>(NumOr(svc_ref, "admitted", 0.0))
+                << " coalesced="
+                << static_cast<std::uint64_t>(NumOr(svc_ref, "coalesced", 0.0))
+                << " shed="
+                << static_cast<std::uint64_t>(NumOr(svc_ref, "shed", 0.0))
+                << " shed_rate="
+                << FormatFixed(NumOr(svc_ref, "shed_rate", 0.0), 3)
+                << "\n  wal_appends="
+                << static_cast<std::uint64_t>(
+                       NumOr(svc_ref, "wal_appends", 0.0))
+                << " checkpoints="
+                << static_cast<std::uint64_t>(
+                       NumOr(svc_ref, "checkpoints", 0.0))
+                << " quarantines="
+                << static_cast<std::uint64_t>(
+                       NumOr(svc_ref, "quarantines", 0.0))
+                << " alarms="
+                << static_cast<std::uint64_t>(NumOr(svc_ref, "alarms", 0.0))
+                << "\n";
+    } else {
+      std::cout << ": no svc_ref record in stream\n";
+    }
+    if (!svc_recoveries.empty()) {
+      std::uint64_t identical = 0, fired = 0;
+      std::uint64_t max_replayed = 0, max_deduped = 0;
+      for (const JsonObject& r : svc_recoveries) {
+        if (NumOr(r, "bit_identical", 0.0) != 0.0) ++identical;
+        if (NumOr(r, "fired", 0.0) != 0.0) ++fired;
+        max_replayed = std::max(
+            max_replayed,
+            static_cast<std::uint64_t>(NumOr(r, "replayed", 0.0)));
+        max_deduped = std::max(
+            max_deduped,
+            static_cast<std::uint64_t>(NumOr(r, "deduped", 0.0)));
+      }
+      std::cout << "  recovery: crash_points=" << svc_recoveries.size()
+                << " fired=" << fired << " bit_identical=" << identical << "/"
+                << svc_recoveries.size() << " max_replayed=" << max_replayed
+                << " max_deduped=" << max_deduped
+                << (identical == svc_recoveries.size()
+                        ? ""
+                        : "  ** PIN BROKEN **")
+                << "\n";
+      if (flags.GetBool("svc", false)) {
+        TextTable table;
+        table.SetHeader({"kind", "op", "bytes", "fired", "crash tick", "ckpt",
+                         "replayed", "deduped", "wal stop", "identical"});
+        for (const JsonObject& r : svc_recoveries) {
+          table.Row(StrOr(r, "kind", "?"),
+                    TextTable::Str(
+                        static_cast<std::uint64_t>(NumOr(r, "op_index", 0.0))),
+                    FormatFixed(NumOr(r, "byte_fraction", 0.0), 2),
+                    NumOr(r, "fired", 0.0) != 0.0 ? "yes" : "NO",
+                    TextTable::Str(static_cast<std::int64_t>(
+                        NumOr(r, "crash_tick", -1.0))),
+                    NumOr(r, "from_checkpoint", 0.0) != 0.0 ? "yes" : "no",
+                    TextTable::Str(
+                        static_cast<std::uint64_t>(NumOr(r, "replayed", 0.0))),
+                    TextTable::Str(
+                        static_cast<std::uint64_t>(NumOr(r, "deduped", 0.0))),
+                    StrOr(r, "wal_stop", "?"),
+                    NumOr(r, "bit_identical", 0.0) != 0.0 ? "yes" : "NO");
+        }
+        table.Print(std::cout);
+      }
+    }
   }
   return 0;
 }

@@ -42,7 +42,8 @@ constexpr LayerInfo kLayers[] = {
     {"attacks", 5, true},    {"workloads", 5, true}, {"detect", 5, true},
     {"fault", 5, true},
     {"cluster", 6, true},    {"obs", 6, true},
-    {"eval", 7, false},
+    {"svc", 7, true},
+    {"eval", 8, false},
     {"tests", 100, false},   {"bench", 100, false},  {"tools", 100, false},
     {"examples", 100, false},
 };
@@ -90,13 +91,18 @@ constexpr RestrictedLayer kRestrictedLayers[] = {
     // (monitoring-plane injection) and the Actuator's ActuationFaultPlan
     // (actuation-plane injection). Only the layers that own those seams —
     // cluster and eval — may depend on it; the detectors under test must
-    // never see the injection machinery.
-    {"fault", "cluster,eval"},
+    // never see the injection machinery. svc joins them for its stable-store
+    // crash points (fault/service_plan.h).
+    {"fault", "cluster,eval,svc"},
     // obs is the off-path observability plane: rollups, SLO scoring and
     // detector snapshots consume detector state but nothing on the
     // decision path may grow a dependency on its aggregates. Only eval
-    // (which replays merged streams) may include it from src/.
-    {"obs", "eval"},
+    // (which replays merged streams) and svc (whose checkpoints ride the
+    // versioned snapshot envelope) may include it from src/.
+    {"obs", "eval,svc"},
+    // svc is the streaming service shell around the detectors; only the
+    // evaluation harness may drive it from src/.
+    {"svc", "eval"},
 };
 
 const RestrictedLayer* FindRestricted(const std::string& name) {
@@ -489,6 +495,7 @@ class Analyzer {
     }
     CheckActuationIdempotent(f);
     CheckSnapshotVersioned(f);
+    CheckWalVersioned(f);
   }
 
   // det-snapshot-versioned: an obs-layer file that serializes or parses a
@@ -515,6 +522,38 @@ class Analyzer {
            "reference: every blob format must carry the version pin that "
            "OpenSnapshot validates, or restores after a format change would "
            "misparse old bytes instead of rejecting them");
+    }
+  }
+
+  // det-wal-versioned: a svc-layer file that encodes or scans WAL frames
+  // (WalWriter / WalReader) must reference obs::kSnapshotVersion somewhere
+  // in its code, so every WAL payload carries the same version pin the
+  // checkpoint envelope does (DESIGN.md §14). Without it, a recovery after
+  // a record-format change would misparse old frames as garbage counters
+  // instead of stopping the scan at a version mismatch.
+  void CheckWalVersioned(ParsedFile& f) {
+    if (f.layer != "svc") return;
+    int first_use = 0;
+    bool versioned = false;
+    for (std::size_t i = 0; i < f.code.size(); ++i) {
+      const std::string& line = f.code[i];
+      if (first_use == 0 &&
+          (HasToken(line, "WalWriter") || HasToken(line, "WalReader"))) {
+        first_use = static_cast<int>(i) + 1;
+      }
+      // kWalPayloadVersion is defined as obs::kSnapshotVersion in svc/wal.h,
+      // so referencing the alias references the pin.
+      if (HasToken(line, "kSnapshotVersion") ||
+          HasToken(line, "kWalPayloadVersion")) {
+        versioned = true;
+      }
+    }
+    if (first_use != 0 && !versioned) {
+      Emit(f, first_use, kRuleDetWalVersioned,
+           "svc-layer WAL framing without a kSnapshotVersion reference: "
+           "every WAL record must carry the snapshot version pin so a "
+           "recovery scan rejects frames written by a different format "
+           "instead of misparsing them");
     }
   }
 

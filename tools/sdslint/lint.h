@@ -5,7 +5,7 @@
 // on (see DESIGN.md §11):
 //
 //   * the layer DAG  common → stats/signal → sim → vm → pcm →
-//     {attacks, workloads, detect, fault} → {cluster, obs} → eval, with
+//     {attacks, workloads, detect, fault} → {cluster, obs} → svc → eval, with
 //     telemetry as a universal observability sink and fault/obs restricted
 //     to their enumerated dependents, and
 //   * the determinism contract: no ambient randomness, no wall-clock reads,
@@ -37,6 +37,7 @@ inline constexpr char kRuleDetUnorderedIter[] = "det-unordered-iter";
 inline constexpr char kRuleDetActuationIdempotent[] =
     "det-actuation-idempotent";
 inline constexpr char kRuleDetSnapshotVersioned[] = "det-snapshot-versioned";
+inline constexpr char kRuleDetWalVersioned[] = "det-wal-versioned";
 inline constexpr char kRuleHdrPragmaOnce[] = "hdr-pragma-once";
 inline constexpr char kRuleHdrSelfContained[] = "hdr-self-contained";
 inline constexpr char kRuleHdrTelemetryFwd[] = "hdr-telemetry-fwd";

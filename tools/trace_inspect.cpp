@@ -7,6 +7,9 @@
 //   trace_inspect run.jsonl --layer=detect   restrict event tables to a layer
 //   trace_inspect run.jsonl --audit          dump every audit record
 //   trace_inspect run.jsonl --events=N       also dump the first N events
+//   trace_inspect run.jsonl --svc            per-crash-point service
+//                                            recovery rows (svc_ref /
+//                                            svc_recovery records)
 //
 // The parser handles exactly the flat one-object-per-line JSON this repo
 // emits (string/number/bool values, numeric arrays); it is not a general
@@ -143,7 +146,9 @@ int main(int argc, char** argv) {
   if (!flags.Parse(argc, argv,
                    {{"layer", "restrict event tables to this layer"},
                     {"audit", "dump every audit record", true},
-                    {"events", "also dump the first N matching events"}})) {
+                    {"events", "also dump the first N matching events"},
+                    {"svc", "dump per-crash-point service recovery rows",
+                     true}})) {
     return flags.help_requested() ? 0 : 1;
   }
   if (flags.positional().size() != 1) {
@@ -154,6 +159,7 @@ int main(int argc, char** argv) {
   const std::string path = flags.positional()[0];
   const std::string layer_filter = flags.GetString("layer", "");
   const bool dump_audit = flags.GetBool("audit", false);
+  const bool dump_svc = flags.GetBool("svc", false);
   const long long dump_events = flags.GetInt("events", 0);
 
   std::ifstream in(path);
@@ -186,6 +192,10 @@ int main(int argc, char** argv) {
   std::map<std::string, std::uint64_t> unknown_types;
   std::optional<JsonObject> header;
   std::optional<JsonObject> tracer_stats;
+  // Streaming-service accounting records (bench_svc_chaos_sweep
+  // --accounting_out), mixed into a telemetry stream or inspected alone.
+  std::optional<JsonObject> svc_ref;
+  std::vector<JsonObject> svc_recoveries;
 
   std::string line;
   long long lineno = 0;
@@ -263,6 +273,10 @@ int main(int argc, char** argv) {
       profile_header = o;
     } else if (type == "span") {
       span_lines.push_back(line);
+    } else if (type == "svc_ref") {
+      svc_ref = o;
+    } else if (type == "svc_recovery") {
+      svc_recoveries.push_back(o);
     } else {
       // A future writer's record (or corruption that still parses): count it
       // by name, keep going.
@@ -491,6 +505,66 @@ int main(int argc, char** argv) {
       } else {
         std::printf("  %-36s %.6g\n", StrOr(o, "name", "?").c_str(),
                     NumOr(o, "value", 0.0));
+      }
+    }
+  }
+
+  if (svc_ref || !svc_recoveries.empty()) {
+    // Streaming-service WAL / recovery / shed accounting. Any recovery row
+    // that is not bit-identical means the crash-consistency pin broke.
+    std::printf("\nstreaming service accounting\n");
+    if (svc_ref) {
+      std::printf("  reference: events=%llu admitted=%llu coalesced=%llu "
+                  "shed=%llu shed_rate=%.3f\n",
+                  static_cast<unsigned long long>(NumOr(*svc_ref, "events", 0)),
+                  static_cast<unsigned long long>(
+                      NumOr(*svc_ref, "admitted", 0)),
+                  static_cast<unsigned long long>(
+                      NumOr(*svc_ref, "coalesced", 0)),
+                  static_cast<unsigned long long>(NumOr(*svc_ref, "shed", 0)),
+                  NumOr(*svc_ref, "shed_rate", 0.0));
+      std::printf("  wal_appends=%llu checkpoints=%llu quarantines=%llu "
+                  "alarms=%llu decisions=%llu\n",
+                  static_cast<unsigned long long>(
+                      NumOr(*svc_ref, "wal_appends", 0)),
+                  static_cast<unsigned long long>(
+                      NumOr(*svc_ref, "checkpoints", 0)),
+                  static_cast<unsigned long long>(
+                      NumOr(*svc_ref, "quarantines", 0)),
+                  static_cast<unsigned long long>(NumOr(*svc_ref, "alarms", 0)),
+                  static_cast<unsigned long long>(
+                      NumOr(*svc_ref, "decisions", 0)));
+    }
+    if (!svc_recoveries.empty()) {
+      std::uint64_t identical = 0, fired = 0;
+      for (const auto& r : svc_recoveries) {
+        if (NumOr(r, "bit_identical", 0) != 0.0) ++identical;
+        if (NumOr(r, "fired", 0) != 0.0) ++fired;
+      }
+      std::printf("  recovery: crash_points=%zu fired=%llu "
+                  "bit_identical=%llu/%zu%s\n",
+                  svc_recoveries.size(),
+                  static_cast<unsigned long long>(fired),
+                  static_cast<unsigned long long>(identical),
+                  svc_recoveries.size(),
+                  identical == svc_recoveries.size() ? ""
+                                                     : "  ** PIN BROKEN **");
+      if (dump_svc) {
+        std::printf("  %-24s %8s %6s %6s %10s %9s %8s %14s %9s\n", "kind",
+                    "op", "bytes", "fired", "crash-tick", "replayed",
+                    "deduped", "wal-stop", "identical");
+        for (const auto& r : svc_recoveries) {
+          std::printf("  %-24s %8llu %6.2f %6s %10lld %9llu %8llu %14s %9s\n",
+                      StrOr(r, "kind", "?").c_str(),
+                      static_cast<unsigned long long>(NumOr(r, "op_index", 0)),
+                      NumOr(r, "byte_fraction", 0.0),
+                      NumOr(r, "fired", 0) != 0.0 ? "yes" : "NO",
+                      static_cast<long long>(NumOr(r, "crash_tick", -1)),
+                      static_cast<unsigned long long>(NumOr(r, "replayed", 0)),
+                      static_cast<unsigned long long>(NumOr(r, "deduped", 0)),
+                      StrOr(r, "wal_stop", "?").c_str(),
+                      NumOr(r, "bit_identical", 0) != 0.0 ? "yes" : "NO");
+        }
       }
     }
   }
