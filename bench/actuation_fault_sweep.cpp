@@ -24,6 +24,7 @@
 #include "common/bench_common.h"
 #include "common/csv.h"
 #include "common/flags.h"
+#include "common/reporter.h"
 #include "eval/actuation.h"
 
 int main(int argc, char** argv) {
@@ -115,20 +116,12 @@ int main(int argc, char** argv) {
                "the chain converge even when every fallible action keeps "
                "failing.\n\n";
 
-  std::cout << "BENCH_actuation ";
-  eval::WriteActuationJson(std::cout, config, result);
-  std::cout << "\n";
-
-  const std::string json_out = flags.GetString("json_out", "");
-  if (!json_out.empty()) {
-    std::ofstream out(json_out);
-    if (!out) {
-      std::cerr << "cannot write " << json_out << "\n";
-      return 1;
-    }
-    eval::WriteActuationJson(out, config, result);
-    out << "\n";
-    std::cout << "JSON written to " << json_out << "\n";
+  if (!bench::EmitBenchJson(std::cout, "actuation",
+                            flags.GetString("json_out", ""),
+                            [&](std::ostream& os) {
+                              eval::WriteActuationJson(os, config, result);
+                            })) {
+    return 1;
   }
   return 0;
 }

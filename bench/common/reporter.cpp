@@ -1,0 +1,39 @@
+#include "common/reporter.h"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace sds::bench {
+
+bool EmitBenchJson(std::ostream& log, const std::string& name,
+                   const std::string& json_out_path,
+                   const std::function<void(std::ostream&)>& payload) {
+  std::ostringstream body;
+  payload(body);
+  const std::string raw = body.str();
+  SDS_CHECK(!raw.empty() && raw.front() == '{',
+            "bench payload must be one JSON object");
+  std::string stamped = "{\"schema_version\":";
+  stamped += std::to_string(kBenchSchemaVersion);
+  // A bare "{}" payload needs no separating comma.
+  if (raw.size() > 1 && raw[1] != '}') stamped += ',';
+  stamped.append(raw, 1, std::string::npos);
+
+  log << "BENCH_" << name << ' ' << stamped << '\n';
+
+  if (!json_out_path.empty()) {
+    std::ofstream out(json_out_path);
+    if (!out) {
+      log << "cannot write " << json_out_path << "\n";
+      return false;
+    }
+    out << stamped << '\n';
+    log << "JSON written to " << json_out_path << "\n";
+  }
+  return true;
+}
+
+}  // namespace sds::bench

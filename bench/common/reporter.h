@@ -1,0 +1,32 @@
+// Shared emitter for the machine-readable `BENCH_<name> {json}` lines.
+//
+// Every sweep binary ends with the same ritual: print the grep-able
+// `BENCH_<name> ` prefix, stream one JSON object, and optionally mirror the
+// payload to a --json_out file for the CI artifact upload. This reporter owns
+// that ritual so the protocol can evolve in one place; it also stamps a
+// `schema_version` field as the payload's first key, giving downstream trend
+// tooling an explicit handle for format migrations instead of sniffing
+// field sets.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+namespace sds::bench {
+
+// Version of the BENCH_*.json envelope (the schema_version splice itself and
+// the emission protocol), not of any one bench's payload fields.
+inline constexpr int kBenchSchemaVersion = 1;
+
+// Prints `BENCH_<name> {"schema_version":N,...}` to `log` and, when
+// `json_out_path` is non-empty, writes the same stamped payload (newline-
+// terminated) there as well. `payload` must stream exactly one JSON object
+// (starting with '{'); the schema_version key is spliced in directly after
+// the brace so existing Write*Json functions need no changes. Returns false
+// (after a message on `log`) only when the json_out file cannot be written.
+bool EmitBenchJson(std::ostream& log, const std::string& name,
+                   const std::string& json_out_path,
+                   const std::function<void(std::ostream&)>& payload);
+
+}  // namespace sds::bench

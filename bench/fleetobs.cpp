@@ -16,6 +16,7 @@
 #include "common/bench_common.h"
 #include "common/csv.h"
 #include "common/flags.h"
+#include "common/reporter.h"
 #include "eval/fleetobs.h"
 
 int main(int argc, char** argv) {
@@ -124,20 +125,12 @@ int main(int argc, char** argv) {
                "the 600-tick SLO\nthreshold and trade off away from it; a "
                "sharded-merge mismatch is a determinism\nregression.\n\n";
 
-  std::cout << "BENCH_fleetobs ";
-  eval::WriteFleetObsJson(config, result, std::cout);
-  std::cout << "\n";
-
-  const std::string json_out = flags.GetString("json_out", "");
-  if (!json_out.empty()) {
-    std::ofstream out(json_out);
-    if (!out) {
-      std::cerr << "cannot write " << json_out << "\n";
-      return 1;
-    }
-    eval::WriteFleetObsJson(config, result, out);
-    out << "\n";
-    std::cout << "JSON written to " << json_out << "\n";
+  if (!bench::EmitBenchJson(std::cout, "fleetobs",
+                            flags.GetString("json_out", ""),
+                            [&](std::ostream& os) {
+                              eval::WriteFleetObsJson(config, result, os);
+                            })) {
+    return 1;
   }
   if (!rollup_path.empty()) {
     std::cout << "rollup JSONL written to " << rollup_path << "\n";

@@ -29,6 +29,7 @@
 #include <string>
 
 #include "common/flags.h"
+#include "common/reporter.h"
 #include "detect/sds_detector.h"
 #include "eval/experiment.h"
 #include "eval/scenario.h"
@@ -86,7 +87,8 @@ int main(int argc, char** argv) {
            {"seconds", "virtual seconds of monitored attack run (default 60)"},
            {"seed", "scenario seed"},
            {"trace_out", "write a Perfetto/Chrome trace JSON to this path"},
-           {"profile_out", "write full telemetry JSONL to this path"}})) {
+           {"profile_out", "write full telemetry JSONL to this path"},
+           {"json_out", "also write the BENCH_perf JSON to this file"}})) {
     return flags.help_requested() ? 0 : 1;
   }
   const bool smoke = flags.GetBool("smoke", false);
@@ -153,11 +155,13 @@ int main(int argc, char** argv) {
     first = false;
   }
 
-  std::printf(
-      "BENCH_perf {\"ticks\":%" PRId64
+  char payload[4096];
+  std::snprintf(
+      payload, sizeof payload,
+      "{\"ticks\":%" PRId64
       ",\"wall_ms\":%.3f,\"ticks_per_sec\":%.0f,"
       "\"ns_per_cache_access\":%.2f,\"detector_ns_per_sample\":%.0f,"
-      "\"pcm_ns_per_sample\":%.0f,\"spans\":{%s}}\n",
+      "\"pcm_ns_per_sample\":%.0f,\"spans\":{%s}}",
       run_ticks, wall_ms,
       wall_ms > 0.0 ? static_cast<double>(run_ticks) / (wall_ms / 1000.0)
                     : 0.0,
@@ -169,6 +173,11 @@ int main(int argc, char** argv) {
                           static_cast<double>(pcm.count)
                     : 0.0,
       spans.c_str());
+  if (!sds::bench::EmitBenchJson(std::cout, "perf",
+                                 flags.GetString("json_out", ""),
+                                 [&](std::ostream& os) { os << payload; })) {
+    return 1;
+  }
 
   const std::string trace_out = flags.GetString("trace_out", "");
   if (!trace_out.empty()) {

@@ -22,6 +22,7 @@
 #include "common/bench_common.h"
 #include "common/csv.h"
 #include "common/flags.h"
+#include "common/reporter.h"
 #include "eval/robustness.h"
 
 int main(int argc, char** argv) {
@@ -112,20 +113,12 @@ int main(int argc, char** argv) {
                "rate, and specificity should stay near 1.0 for\nloss-type "
                "faults while corruption stresses the quarantine gate.\n\n";
 
-  std::cout << "BENCH_robustness ";
-  eval::WriteRobustnessJson(std::cout, config, result);
-  std::cout << "\n";
-
-  const std::string json_out = flags.GetString("json_out", "");
-  if (!json_out.empty()) {
-    std::ofstream out(json_out);
-    if (!out) {
-      std::cerr << "cannot write " << json_out << "\n";
-      return 1;
-    }
-    eval::WriteRobustnessJson(out, config, result);
-    out << "\n";
-    std::cout << "JSON written to " << json_out << "\n";
+  if (!bench::EmitBenchJson(std::cout, "robustness",
+                            flags.GetString("json_out", ""),
+                            [&](std::ostream& os) {
+                              eval::WriteRobustnessJson(os, config, result);
+                            })) {
+    return 1;
   }
   return 0;
 }

@@ -19,6 +19,7 @@
 #include "common/bench_common.h"
 #include "common/csv.h"
 #include "common/flags.h"
+#include "common/reporter.h"
 #include "eval/service_chaos.h"
 
 int main(int argc, char** argv) {
@@ -103,20 +104,11 @@ int main(int argc, char** argv) {
                "and dedupe more redelivered events; torn frames\nshow "
                "wal_stop=torn_frame while fraction-0 tears end cleanly.\n\n";
 
-  std::cout << "BENCH_svc ";
-  eval::WriteServiceChaosJson(config, result, std::cout);
-  std::cout << "\n";
-
-  const std::string json_out = flags.GetString("json_out", "");
-  if (!json_out.empty()) {
-    std::ofstream out(json_out);
-    if (!out) {
-      std::cerr << "cannot write " << json_out << "\n";
-      return 1;
-    }
-    eval::WriteServiceChaosJson(config, result, out);
-    out << "\n";
-    std::cout << "JSON written to " << json_out << "\n";
+  if (!bench::EmitBenchJson(std::cout, "svc", flags.GetString("json_out", ""),
+                            [&](std::ostream& os) {
+                              eval::WriteServiceChaosJson(config, result, os);
+                            })) {
+    return 1;
   }
   return result.all_bit_identical ? 0 : 1;
 }

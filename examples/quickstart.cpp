@@ -9,6 +9,9 @@
 //      telemetry handle (the same data --telemetry_out + trace_inspect use),
 //      and reconstruct the incident timeline: attack -> first check ->
 //      violation streak -> alarm, with the detection delay decomposed.
+//   5. With the hardware attribution ledger enabled, ask the forensics
+//      engine WHO did it: the alarm collapses the evidence window into a
+//      ranked-suspect forensic report (DESIGN.md section 15).
 //
 // Build & run:  ./build/examples/quickstart
 //               ./build/examples/quickstart --trace_out quickstart_trace.json
@@ -20,6 +23,7 @@
 #include <string>
 
 #include "common/flags.h"
+#include "detect/forensics.h"
 #include "detect/sds_detector.h"
 #include "eval/experiment.h"
 #include "eval/scenario.h"
@@ -64,10 +68,15 @@ int main(int argc, char** argv) {
   cfg.attack_start = clock.ToTicks(60.0);
   cfg.seed = 42;
   cfg.machine.telemetry = &telemetry;
+  // Tag inter-VM evictions and bus stalls with their culprit so the alarm
+  // below can be attributed from hardware evidence (off by default; the
+  // ledger never perturbs simulated timing, only records it).
+  cfg.machine.attribution = true;
   eval::Scenario scenario = eval::BuildScenario(cfg);
 
   detect::SdsDetector detector(*scenario.hypervisor, scenario.victim, profile,
                                params, detect::SdsMode::kCombined);
+  detect::ForensicsEngine forensics(*scenario.hypervisor, scenario.victim);
 
   // -- Run 120 s and report the first alarm. -------------------------------
   const Tick total = clock.ToTicks(120.0);
@@ -75,8 +84,10 @@ int main(int argc, char** argv) {
   for (Tick t = 0; t < total; ++t) {
     scenario.hypervisor->RunTick();
     detector.OnTick();
+    forensics.OnTick();
     if (alarm_tick == kInvalidTick && detector.attack_active()) {
       alarm_tick = scenario.hypervisor->now();
+      forensics.OnAlarm(alarm_tick);
     }
   }
 
@@ -99,6 +110,12 @@ int main(int argc, char** argv) {
         rec.detector, rec.check, rec.channel, rec.value, rec.lower, rec.upper,
         rec.margin, rec.consecutive);
     break;
+  }
+
+  // -- And WHO: the hardware attribution ledger's verdict. -----------------
+  if (!forensics.reports().empty()) {
+    detect::WriteForensicReportText(std::cout, forensics.reports().front());
+    std::cout.flush();
   }
 
   // -- And WHEN: the reconstructed incident timeline with the detection

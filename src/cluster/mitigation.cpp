@@ -140,6 +140,25 @@ void MitigationEngine::OnAlarm(OwnerId attributed_attacker) {
   Dispatch();
 }
 
+void MitigationEngine::OnAlarm(OwnerId attributed_attacker,
+                               OwnerId forensic_suspect) {
+  const bool primary_unusable =
+      attributed_attacker == 0 || attributed_attacker == victim_.id;
+  const bool suspect_usable =
+      forensic_suspect != 0 && forensic_suspect != victim_.id;
+  const bool substitute =
+      config_.prefer_forensic_suspect && primary_unusable && suspect_usable;
+  const bool will_act =
+      state_ == MitigationState::kIdle &&
+      config_.policy != MitigationPolicy::kNone;
+  OnAlarm(substitute ? forensic_suspect : attributed_attacker);
+  // Audited after the fact: alarm_tel_ is pinned inside OnAlarm.
+  if (substitute && will_act) {
+    AuditStep("forensic_substitution", static_cast<double>(forensic_suspect),
+              false);
+  }
+}
+
 void MitigationEngine::Dispatch() {
   const Action action = chain_[chain_index_];
   if (action == Action::kThrottle) {

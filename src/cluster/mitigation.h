@@ -112,6 +112,12 @@ struct MitigationConfig {
   // alarm (OnRetraction): un-quarantine via resume, or migrate the victim
   // back. Off by default.
   bool rollback_on_retraction = false;
+
+  // Let the two-argument OnAlarm substitute the forensic prime suspect for
+  // an unusable primary attribution (unattributed, or the victim itself)
+  // before the quarantine chain is chosen. Off by default: an unattributed
+  // alarm then falls back to migrating the victim as before.
+  bool prefer_forensic_suspect = false;
 };
 
 struct MitigationStats {
@@ -143,6 +149,15 @@ class MitigationEngine {
   // during an active response are absorbed, but a fresh alarm after a
   // rollback re-arms the engine.
   void OnAlarm(OwnerId attributed_attacker);
+
+  // Alarm with a second opinion: `forensic_suspect` is the attribution
+  // ledger's prime suspect (detect::ForensicReport::prime_suspect; 0 when
+  // the report went unattributed). With prefer_forensic_suspect set it
+  // stands in for an unusable primary attribution, so a quarantine policy
+  // can act on hardware evidence when the KStest identification sweep came
+  // back empty. The substitution is audited (channel
+  // "forensic_substitution").
+  void OnAlarm(OwnerId attributed_attacker, OwnerId forensic_suspect);
 
   // Reports that the detector withdrew the alarm (falling edge). With
   // rollback_on_retraction: cancels an in-flight response outright, or

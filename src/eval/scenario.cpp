@@ -22,6 +22,19 @@ Scenario BuildScenario(const ScenarioConfig& config) {
   SDS_CHECK(workloads::IsKnownApp(config.app), "unknown application");
   SDS_CHECK(config.benign_vms >= 0, "benign VM count must be non-negative");
 
+  auto make_program = [&config](AttackKind kind) {
+    std::unique_ptr<vm::Workload> program;
+    if (kind == AttackKind::kBusLock) {
+      program = std::make_unique<attacks::BusLockAttacker>(config.bus_lock);
+    } else {
+      attacks::LlcCleansingConfig cc = config.cleansing;
+      cc.cache_sets = config.machine.cache.sets;
+      cc.cache_ways = config.machine.cache.ways;
+      program = std::make_unique<attacks::LlcCleansingAttacker>(cc);
+    }
+    return program;
+  };
+
   Scenario s;
   s.machine = std::make_unique<sim::Machine>(config.machine);
   Rng root(config.seed);
@@ -33,19 +46,17 @@ Scenario BuildScenario(const ScenarioConfig& config) {
                                     workloads::MakeApp(config.app));
 
   if (config.attack != AttackKind::kNone) {
-    std::unique_ptr<vm::Workload> program;
-    if (config.attack == AttackKind::kBusLock) {
-      program = std::make_unique<attacks::BusLockAttacker>(config.bus_lock);
-    } else {
-      attacks::LlcCleansingConfig cc = config.cleansing;
-      cc.cache_sets = config.machine.cache.sets;
-      cc.cache_ways = config.machine.cache.ways;
-      program = std::make_unique<attacks::LlcCleansingAttacker>(cc);
-    }
     s.attacker = s.hypervisor->CreateVm(
-        "attacker",
-        std::make_unique<attacks::ScheduledWorkload>(
-            std::move(program), config.attack_start, config.attack_stop));
+        "attacker", std::make_unique<attacks::ScheduledWorkload>(
+                        make_program(config.attack), config.attack_start,
+                        config.attack_stop));
+  }
+
+  if (config.attack2 != AttackKind::kNone) {
+    s.attacker2 = s.hypervisor->CreateVm(
+        "attacker2", std::make_unique<attacks::ScheduledWorkload>(
+                         make_program(config.attack2), config.attack2_start,
+                         config.attack2_stop));
   }
 
   for (int i = 0; i < config.benign_vms; ++i) {

@@ -25,6 +25,11 @@ struct ScenarioConfig {
   // Ticks at which the attack program starts/stops; stop < 0 = never stops.
   Tick attack_start = 0;
   Tick attack_stop = -1;
+  // Optional second, colluding attack VM (the attribution sweep's two-
+  // attacker cell). Scheduled independently of the first.
+  AttackKind attack2 = AttackKind::kNone;
+  Tick attack2_start = 0;
+  Tick attack2_stop = -1;
   // Number of benign co-tenant VMs (paper: 7).
   int benign_vms = 7;
   std::uint64_t seed = 1;
@@ -37,12 +42,14 @@ struct ScenarioConfig {
 };
 
 // A built scenario. The machine must outlive the hypervisor; both are owned
-// here. `attacker` is 0 when the scenario has no attack VM.
+// here. `attacker` is 0 when the scenario has no attack VM; `attacker2` is 0
+// unless config.attack2 requested the colluding second attack VM.
 struct Scenario {
   std::unique_ptr<sim::Machine> machine;
   std::unique_ptr<vm::Hypervisor> hypervisor;
   OwnerId victim = 0;
   OwnerId attacker = 0;
+  OwnerId attacker2 = 0;
 
   void RunTicks(Tick n) {
     for (Tick t = 0; t < n; ++t) hypervisor->RunTick();

@@ -1,0 +1,57 @@
+#include "pcm/attribution_sampler.h"
+
+#include "common/check.h"
+#include "sim/attribution.h"
+
+namespace sds::pcm {
+
+AttributionSampler::AttributionSampler(vm::Hypervisor& hypervisor,
+                                       OwnerId target)
+    : hypervisor_(hypervisor), target_(target) {
+  SDS_CHECK(hypervisor_.machine().attribution() != nullptr,
+            "AttributionSampler needs MachineConfig::attribution enabled");
+  const sim::AttributionLedger& ledger = *hypervisor_.machine().attribution();
+  SDS_CHECK(target < ledger.max_owners(), "target owner out of range");
+  base_evictions_.assign(ledger.max_owners(), 0);
+  base_bus_delay_.assign(ledger.max_owners(), 0);
+  base_occupancy_.assign(ledger.max_owners(), 0);
+  Start();
+}
+
+void AttributionSampler::Start() {
+  const sim::AttributionLedger& ledger = *hypervisor_.machine().attribution();
+  for (OwnerId o = 0; o < ledger.max_owners(); ++o) {
+    base_evictions_[o] = ledger.evictions_inflicted(o, target_);
+    base_bus_delay_[o] = ledger.bus_delay_imposed(o, target_);
+    base_occupancy_[o] = ledger.occupancy_slots(o);
+  }
+  last_read_tick_ = hypervisor_.now();
+}
+
+AttributionSpan AttributionSampler::Sample() {
+  const Tick now = hypervisor_.now();
+  SDS_CHECK(now != last_read_tick_,
+            "AttributionSampler::Sample() called twice in one tick");
+  const sim::AttributionLedger& ledger = *hypervisor_.machine().attribution();
+  AttributionSpan span;
+  span.tick = now;
+  span.span = now - last_read_tick_;
+  last_read_tick_ = now;
+  span.slices.resize(ledger.max_owners());
+  for (OwnerId o = 0; o < ledger.max_owners(); ++o) {
+    AttributionSlice& s = span.slices[o];
+    s.owner = o;
+    const std::uint64_t ev = ledger.evictions_inflicted(o, target_);
+    const std::uint64_t bd = ledger.bus_delay_imposed(o, target_);
+    const std::uint64_t oc = ledger.occupancy_slots(o);
+    s.evictions_on_target = ev - base_evictions_[o];
+    s.bus_delay_on_target = bd - base_bus_delay_[o];
+    s.occupancy_slots = oc - base_occupancy_[o];
+    base_evictions_[o] = ev;
+    base_bus_delay_[o] = bd;
+    base_occupancy_[o] = oc;
+  }
+  return span;
+}
+
+}  // namespace sds::pcm

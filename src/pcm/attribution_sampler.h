@@ -1,0 +1,75 @@
+// Delta sampler over the interference attribution ledger.
+//
+// PcmSampler reads what the monitored VM experienced each T_PCM interval;
+// this sampler reads, from sim::AttributionLedger, who caused it: for one
+// target VM it emits the per-interval delta of every co-tenant's evictions
+// inflicted on the target, stall delay imposed on the target, and raw bus
+// occupancy. The forensics engine (detect/forensics.h) keeps a window of
+// these spans and collapses it into ranked suspects when a detector alarms.
+//
+// Unlike PcmSampler this sampler does NOT attach to the hypervisor's
+// monitoring-load model: reading the ledger piggybacks on the same per-tick
+// sampling pass that already reads the PCM counters, so it must not perturb
+// the machine a second time (doing so would shift every detector timing the
+// transparency golden pins).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "vm/hypervisor.h"
+
+namespace sds::pcm {
+
+// Per-interval attribution slice for one candidate culprit against the
+// sampler's target VM.
+struct AttributionSlice {
+  OwnerId owner = 0;
+  // Valid lines of the target this owner evicted in the interval.
+  std::uint64_t evictions_on_target = 0;
+  // Stall-charge slots this owner imposed on the target in the interval.
+  std::uint64_t bus_delay_on_target = 0;
+  // Bus slots this owner consumed in the interval (all victims).
+  std::uint64_t occupancy_slots = 0;
+};
+
+struct AttributionSpan {
+  Tick tick = 0;
+  // Intervals the deltas cover (1 unless ticks were skipped).
+  Tick span = 1;
+  // One slice per owner id in [0, max_owners); slices[target] reports the
+  // target's own occupancy and self-interference baseline.
+  std::vector<AttributionSlice> slices;
+};
+
+class AttributionSampler {
+ public:
+  // Samples attribution evidence against VM `target`. The hypervisor's
+  // machine must have been built with MachineConfig::attribution set.
+  AttributionSampler(vm::Hypervisor& hypervisor, OwnerId target);
+
+  AttributionSampler(const AttributionSampler&) = delete;
+  AttributionSampler& operator=(const AttributionSampler&) = delete;
+
+  // Re-baselines so the next Sample() delta starts at the current tick.
+  void Start();
+
+  // Returns the per-owner attribution deltas since the previous Sample()
+  // (or Start()). Same once-per-tick contract as PcmSampler::Sample():
+  // double reads in one tick abort, skipped ticks widen the delta.
+  AttributionSpan Sample();
+
+  OwnerId target() const { return target_; }
+
+ private:
+  vm::Hypervisor& hypervisor_;
+  OwnerId target_;
+  // Cumulative baselines per owner, updated on every read.
+  std::vector<std::uint64_t> base_evictions_;
+  std::vector<std::uint64_t> base_bus_delay_;
+  std::vector<std::uint64_t> base_occupancy_;
+  Tick last_read_tick_ = kInvalidTick;
+};
+
+}  // namespace sds::pcm

@@ -1,0 +1,58 @@
+#include "sim/attribution.h"
+
+#include "common/check.h"
+
+namespace sds::sim {
+
+AttributionLedger::AttributionLedger(OwnerId max_owners)
+    : max_owners_(max_owners) {
+  SDS_CHECK(max_owners > 0, "attribution ledger needs at least one owner");
+  const std::size_t n = static_cast<std::size_t>(max_owners) * max_owners;
+  evictions_.assign(n, 0);
+  bus_delay_.assign(n, 0);
+  occupancy_.assign(max_owners, 0);
+  tick_occupancy_.assign(max_owners, 0);
+}
+
+void AttributionLedger::RecordTickStart() {
+  tick_occupancy_.assign(max_owners_, 0);
+}
+
+void AttributionLedger::RecordEviction(OwnerId culprit, OwnerId victim) {
+  SDS_DCHECK(culprit < max_owners_ && victim < max_owners_,
+             "owner out of range");
+  ++evictions_[Index(culprit, victim)];
+}
+
+void AttributionLedger::RecordBusOccupancy(OwnerId owner,
+                                           std::uint32_t slots) {
+  SDS_DCHECK(owner < max_owners_, "owner out of range");
+  occupancy_[owner] += slots;
+  tick_occupancy_[owner] += slots;
+}
+
+void AttributionLedger::RecordBusStall(OwnerId victim) {
+  SDS_DCHECK(victim < max_owners_, "owner out of range");
+  for (OwnerId o = 0; o < max_owners_; ++o) {
+    if (o == victim) continue;
+    bus_delay_[Index(o, victim)] += tick_occupancy_[o];
+  }
+}
+
+std::uint64_t AttributionLedger::evictions_suffered(OwnerId victim) const {
+  std::uint64_t total = 0;
+  for (OwnerId o = 0; o < max_owners_; ++o) {
+    if (o != victim) total += evictions_[Index(o, victim)];
+  }
+  return total;
+}
+
+std::uint64_t AttributionLedger::bus_delay_suffered(OwnerId victim) const {
+  std::uint64_t total = 0;
+  for (OwnerId o = 0; o < max_owners_; ++o) {
+    if (o != victim) total += bus_delay_[Index(o, victim)];
+  }
+  return total;
+}
+
+}  // namespace sds::sim

@@ -1,0 +1,95 @@
+// Per-resource interference attribution ledger.
+//
+// The counters in sim::Machine say WHAT a VM experienced (accesses, misses,
+// stalls); this ledger says WHO caused it. The cache records, per
+// (culprit, victim) pair, how many of the victim's valid lines the culprit
+// evicted; the bus records each owner's slot occupancy and, whenever an
+// owner's request stalls on the exhausted budget, charges every co-tenant by
+// the slots it consumed in that tick — a deterministic, integer-only
+// queue-delay attribution. Detectors raise alarms from the statistics;
+// forensics (detect/forensics.h) turns this ledger into ranked suspects.
+//
+// Cost contract: the ledger is attached by sim::Machine only when
+// MachineConfig::attribution is set. Detached (the default), every hook is
+// one null-pointer test — the golden regression tests pin that an
+// attribution-off run is bit-identical to the pre-ledger simulator. The
+// ledger is a pure observer either way: attaching it never changes a single
+// simulated outcome, only what is remembered about it.
+//
+// Mutation policy (enforced by sdslint's det-attrib-ledger rule): the
+// Record* mutators are called from the sim layer only — the cache's eviction
+// path and the bus's consume/stall paths. Every other layer reads the
+// cumulative matrices through the const accessors.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace sds::sim {
+
+class AttributionLedger {
+ public:
+  // Sized like the machine's counter file: owner ids in [0, max_owners).
+  explicit AttributionLedger(OwnerId max_owners);
+
+  // -- sim-layer mutators (see the mutation policy above) -------------------
+
+  // Starts a new tick: resets the per-tick occupancy the stall charges key
+  // on. Driven from Machine::BeginTick.
+  void RecordTickStart();
+
+  // `culprit` filled a line by evicting a valid line owned by `victim`.
+  // Same-owner self-evictions are counted on the diagonal — they are the
+  // baseline that makes a cleansing attacker's off-diagonal row stand out.
+  void RecordEviction(OwnerId culprit, OwnerId victim);
+
+  // `owner` consumed `slots` bus slots this tick (accesses, miss transfers
+  // and atomic lock windows alike).
+  void RecordBusOccupancy(OwnerId owner, std::uint32_t slots);
+
+  // `victim`'s request found the bus budget exhausted. Each co-tenant is
+  // charged by the slots it consumed so far this tick: the owners that ate
+  // the budget are, in exact proportion, the owners that imposed the delay.
+  void RecordBusStall(OwnerId victim);
+
+  // -- read side (any layer) ------------------------------------------------
+
+  OwnerId max_owners() const { return max_owners_; }
+
+  // Valid lines of `victim` evicted by `culprit` since construction.
+  std::uint64_t evictions_inflicted(OwnerId culprit, OwnerId victim) const {
+    return evictions_[Index(culprit, victim)];
+  }
+  // Stall charges: slot-weighted delay `culprit` imposed on `victim`.
+  std::uint64_t bus_delay_imposed(OwnerId culprit, OwnerId victim) const {
+    return bus_delay_[Index(culprit, victim)];
+  }
+  // Total bus slots `owner` consumed since construction.
+  std::uint64_t occupancy_slots(OwnerId owner) const {
+    return occupancy_[owner];
+  }
+  // Slots `owner` consumed in the current tick (resets at RecordTickStart).
+  std::uint32_t tick_occupancy_slots(OwnerId owner) const {
+    return tick_occupancy_[owner];
+  }
+
+  // Row/column sums over culprits other than `owner` itself.
+  std::uint64_t evictions_suffered(OwnerId victim) const;
+  std::uint64_t bus_delay_suffered(OwnerId victim) const;
+
+ private:
+  std::size_t Index(OwnerId culprit, OwnerId victim) const {
+    return static_cast<std::size_t>(culprit) * max_owners_ + victim;
+  }
+
+  OwnerId max_owners_;
+  // max_owners x max_owners, culprit-major.
+  std::vector<std::uint64_t> evictions_;
+  std::vector<std::uint64_t> bus_delay_;
+  std::vector<std::uint64_t> occupancy_;
+  std::vector<std::uint32_t> tick_occupancy_;
+};
+
+}  // namespace sds::sim

@@ -1,5 +1,7 @@
 #include "sim/bus.h"
 
+#include "sim/attribution.h"
+
 namespace sds::sim {
 
 MemoryBus::MemoryBus(const BusConfig& config)
@@ -10,22 +12,24 @@ void MemoryBus::BeginTick() {
   saturation_recorded_ = false;
 }
 
-bool MemoryBus::TryConsume(std::uint32_t slots) {
+bool MemoryBus::TryConsume(OwnerId owner, std::uint32_t slots) {
   if (slots > remaining_) {
     ++stats_.stalled_requests;
     if (!saturation_recorded_) {
       ++stats_.saturated_ticks;
       saturation_recorded_ = true;
     }
+    if (ledger_ != nullptr) ledger_->RecordBusStall(owner);
     return false;
   }
   remaining_ -= slots;
   stats_.slots_consumed += slots;
+  if (ledger_ != nullptr) ledger_->RecordBusOccupancy(owner, slots);
   return true;
 }
 
-bool MemoryBus::TryAtomicLock() {
-  if (!TryConsume(config_.atomic_lock_slots)) return false;
+bool MemoryBus::TryAtomicLock(OwnerId owner) {
+  if (!TryConsume(owner, config_.atomic_lock_slots)) return false;
   ++stats_.atomic_locks;
   return true;
 }

@@ -17,6 +17,8 @@
 
 namespace sds::sim {
 
+class AttributionLedger;
+
 struct BusConfig {
   // Transaction slots available per tick (aggregate bus bandwidth).
   std::uint32_t slots_per_tick = 12000;
@@ -44,12 +46,18 @@ class MemoryBus {
   // Starts a new tick, refilling the slot budget.
   void BeginTick();
 
-  // Attempts to reserve `slots` in the current tick. On failure nothing is
-  // consumed and the request counts as stalled.
-  bool TryConsume(std::uint32_t slots);
+  // Attempts to reserve `slots` in the current tick on behalf of `owner`.
+  // On failure nothing is consumed and the request counts as stalled; with
+  // a ledger attached, success records the owner's occupancy and failure
+  // charges the queue delay to the owners that consumed the budget.
+  bool TryConsume(OwnerId owner, std::uint32_t slots);
 
-  // Attempts to reserve an atomic lock window.
-  bool TryAtomicLock();
+  // Attempts to reserve an atomic lock window for `owner`.
+  bool TryAtomicLock(OwnerId owner);
+
+  // Attaches the interference attribution ledger (nullptr detaches). The
+  // only cost on the detached path is one null test per reservation.
+  void AttachLedger(AttributionLedger* ledger) { ledger_ = ledger; }
 
   std::uint32_t slots_remaining() const { return remaining_; }
   const BusConfig& config() const { return config_; }
@@ -60,6 +68,7 @@ class MemoryBus {
   std::uint32_t remaining_ = 0;
   bool saturation_recorded_ = false;
   BusStats stats_;
+  AttributionLedger* ledger_ = nullptr;  // not owned; see AttachLedger
 };
 
 }  // namespace sds::sim

@@ -1,6 +1,7 @@
 #include "sim/cache.h"
 
 #include "common/check.h"
+#include "sim/attribution.h"
 
 namespace sds::sim {
 
@@ -57,6 +58,7 @@ CacheAccessResult LastLevelCache::Access(OwnerId owner, LineAddr addr) {
     }
     result.evicted_valid = true;
     result.evicted_owner = victim->owner;
+    if (ledger_ != nullptr) ledger_->RecordEviction(owner, victim->owner);
   }
   victim->tag = addr;
   victim->owner = owner;

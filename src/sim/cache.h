@@ -15,6 +15,8 @@
 
 namespace sds::sim {
 
+class AttributionLedger;
+
 struct CacheConfig {
   // Number of sets; must be a power of two.
   std::uint32_t sets = 2048;
@@ -37,6 +39,14 @@ class LastLevelCache {
   // Performs a load of `addr` on behalf of `owner`: on hit refreshes LRU, on
   // miss fills the line (evicting the LRU way).
   CacheAccessResult Access(OwnerId owner, LineAddr addr);
+
+  // Attaches the interference attribution ledger (nullptr detaches). While
+  // attached, every eviction of a valid line is recorded against the owner
+  // that forced it — ways are already tagged with their owner, so the
+  // inflicted/suffered matrix falls out of the replacement decision itself.
+  // The only cost on the detached path is a null test in the eviction
+  // branch; the hit path is untouched.
+  void AttachLedger(AttributionLedger* ledger) { ledger_ = ledger; }
 
   // True when the line currently resides in the cache (no state change).
   bool Contains(LineAddr addr) const;
@@ -74,6 +84,7 @@ class LastLevelCache {
   std::uint32_t set_mask_;
   std::vector<Line> lines_;  // sets * ways, row-major by set
   std::uint64_t lru_clock_ = 0;
+  AttributionLedger* ledger_ = nullptr;  // not owned; see AttachLedger
 };
 
 }  // namespace sds::sim

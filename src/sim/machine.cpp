@@ -12,6 +12,11 @@ Machine::Machine(const MachineConfig& config)
       bus_(config.bus),
       dram_(config.dram),
       counters_(config.max_owners) {
+  if (config_.attribution) {
+    ledger_ = std::make_unique<AttributionLedger>(config_.max_owners);
+    cache_.AttachLedger(ledger_.get());
+    bus_.AttachLedger(ledger_.get());
+  }
   if (tel::Telemetry* t = config_.telemetry) {
     instrumented_ = true;
     prof_ = &t->profiler();
@@ -62,6 +67,7 @@ void Machine::BeginTick() {
   SDS_PROFILE_SPAN(prof_, span_tick_);
   bus_.BeginTick();
   dram_.BeginTick();
+  if (ledger_) ledger_->RecordTickStart();
   saturation_traced_ = false;
   ++now_;
   if (instrumented_) [[unlikely]] {
@@ -113,7 +119,7 @@ AccessOutcome Machine::FinishAccess(OwnerId owner, LineAddr addr) {
   // The DRAM transfer needs extra bus slots. If the budget runs dry the fill
   // still completes (the hardware would simply slip into the next interval),
   // so the failure only registers as bus pressure.
-  bus_.TryConsume(config_.bus.miss_extra_slots);
+  bus_.TryConsume(owner, config_.bus.miss_extra_slots);
   const double latency = dram_.Read();
   ctr.dram_latency_ns += latency;
   if (instrumented_) [[unlikely]] {
@@ -124,7 +130,7 @@ AccessOutcome Machine::FinishAccess(OwnerId owner, LineAddr addr) {
 
 AccessOutcome Machine::Access(OwnerId owner, LineAddr addr) {
   SDS_DCHECK(owner < counters_.size(), "owner out of range");
-  if (!bus_.TryConsume(config_.bus.access_slots)) {
+  if (!bus_.TryConsume(owner, config_.bus.access_slots)) {
     RecordStall(owner);
     return AccessOutcome::kStalled;
   }
@@ -142,7 +148,7 @@ void Machine::InstrumentAtomic(OwnerId owner) {
 
 AccessOutcome Machine::AtomicAccess(OwnerId owner, LineAddr addr) {
   SDS_DCHECK(owner < counters_.size(), "owner out of range");
-  if (!bus_.TryAtomicLock()) {
+  if (!bus_.TryAtomicLock(owner)) {
     RecordStall(owner);
     return AccessOutcome::kStalled;
   }

@@ -9,10 +9,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/check.h"
 #include "common/types.h"
+#include "sim/attribution.h"
 #include "sim/bus.h"
 #include "sim/cache.h"
 #include "sim/dram.h"
@@ -32,6 +34,12 @@ struct MachineConfig {
   DramConfig dram;
   // Highest owner id (exclusive) the counter file is sized for.
   OwnerId max_owners = 32;
+  // Maintain the per-resource interference attribution ledger
+  // (sim/attribution.h): inter-VM eviction matrix from the cache, per-owner
+  // occupancy and stall charges from the bus. Off (the default) the ledger
+  // is never allocated and every hook is a null test — counter streams and
+  // outcomes are bit-identical to the pre-ledger simulator.
+  bool attribution = false;
   // Optional observability handle (not owned; must outlive the machine).
   // Everything running on this machine — hypervisor, samplers, detectors —
   // shares this one handle, so wiring a run for telemetry is this single
@@ -79,6 +87,10 @@ class Machine {
     return counters_[owner];
   }
 
+  // The interference attribution ledger (nullptr unless
+  // MachineConfig::attribution was set). Read-only outside the sim layer.
+  const AttributionLedger* attribution() const { return ledger_.get(); }
+
   LastLevelCache& cache() { return cache_; }
   const LastLevelCache& cache() const { return cache_; }
   MemoryBus& bus() { return bus_; }
@@ -110,6 +122,9 @@ class Machine {
   MemoryBus bus_;
   Dram dram_;
   std::vector<OwnerCounters> counters_;
+  // Allocated only when config_.attribution is set; cache_ and bus_ hold
+  // raw observer pointers to it.
+  std::unique_ptr<AttributionLedger> ledger_;
   Tick now_ = 0;
 
   // True when config_.telemetry is attached; the ONLY telemetry cost on the

@@ -1,0 +1,16 @@
+// Seeded violations: a detector fabricating hardware evidence by mutating
+// the attribution ledger from the detect layer (det-attrib-ledger).
+namespace sds::detect {
+struct FakeLedger {
+  void RecordTickStart();
+  void RecordEviction(unsigned culprit, unsigned victim);
+  void RecordBusOccupancy(unsigned owner, unsigned slots);
+  void RecordBusStall(unsigned victim);
+};
+void FrameTenant(FakeLedger& ledger, FakeLedger* remote) {
+  ledger.RecordEviction(2, 1);
+  ledger.RecordBusStall(1);
+  remote->RecordBusOccupancy(2, 40);
+  remote->RecordTickStart();
+}
+}  // namespace sds::detect

@@ -1,0 +1,10 @@
+// Seeded suppression: a justified ledger mutation outside sim (e.g. a
+// test double being primed) silenced with the escape hatch.
+namespace sds::detect {
+struct FakeLedger {
+  void RecordEviction(unsigned culprit, unsigned victim);
+};
+void Prime(FakeLedger& ledger) {
+  ledger.RecordEviction(2, 1);  // sdslint: allow(det-attrib-ledger)
+}
+}  // namespace sds::detect

@@ -1,0 +1,16 @@
+// Clean: the hardware models recording into the attribution ledger from
+// INSIDE the sim layer is exactly what det-attrib-ledger permits.
+namespace sds::sim {
+struct FakeLedger {
+  void RecordTickStart();
+  void RecordEviction(unsigned culprit, unsigned victim);
+  void RecordBusOccupancy(unsigned owner, unsigned slots);
+  void RecordBusStall(unsigned victim);
+};
+void Evict(FakeLedger& ledger, FakeLedger* attached) {
+  ledger.RecordTickStart();
+  ledger.RecordEviction(2, 1);
+  attached->RecordBusOccupancy(1, 12);
+  attached->RecordBusStall(1);
+}
+}  // namespace sds::sim

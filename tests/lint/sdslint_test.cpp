@@ -66,6 +66,10 @@ TEST(SdslintFixtures, ExactDiagnosticSet) {
       {"src/cluster/includes_obs.cpp", 4, kRuleLayerDag},
       {"src/detect/includes_eval.h", 3, kRuleLayerDag},
       {"src/detect/includes_fault.cpp", 4, kRuleLayerDag},
+      {"src/detect/mutates_ledger.cpp", 11, kRuleDetAttribLedger},
+      {"src/detect/mutates_ledger.cpp", 12, kRuleDetAttribLedger},
+      {"src/detect/mutates_ledger.cpp", 13, kRuleDetAttribLedger},
+      {"src/detect/mutates_ledger.cpp", 14, kRuleDetAttribLedger},
       {"src/detect/unordered_iter.cpp", 12, kRuleDetUnorderedIter},
       {"src/obs/unversioned_snapshot.cpp", 8, kRuleDetSnapshotVersioned},
       {"src/pcm/wallclock.cpp", 5, kRuleDetClock},
@@ -112,9 +116,10 @@ TEST(SdslintFixtures, SuppressionCommentSilencesEachRule) {
   EXPECT_EQ(CountForFile(r, "src/cluster/suppressed_direct.cpp"), 0);
   EXPECT_EQ(CountForFile(r, "src/obs/suppressed_unversioned.cpp"), 0);
   EXPECT_EQ(CountForFile(r, "src/svc/suppressed_unversioned_wal.cpp"), 0);
+  EXPECT_EQ(CountForFile(r, "src/detect/suppressed_ledger.cpp"), 0);
   // ...and each allow() comment must be reported as used, so stale escape
   // hatches are auditable via --list-suppressions.
-  ASSERT_EQ(r.suppressions.size(), 8u);
+  ASSERT_EQ(r.suppressions.size(), 9u);
   for (const Suppression& s : r.suppressions) {
     EXPECT_TRUE(s.used) << s.file << ":" << s.comment_line;
   }
@@ -136,6 +141,9 @@ TEST(SdslintFixtures, CleanFilesStayClean) {
   EXPECT_EQ(CountForFile(r, "src/obs/versioned_snapshot.cpp"), 0);
   // Same for WAL framing that references the payload version pin.
   EXPECT_EQ(CountForFile(r, "src/svc/versioned_wal.cpp"), 0);
+  // The sim layer recording into the attribution ledger is the sanctioned
+  // mutation path — det-attrib-ledger only fires OUTSIDE sim.
+  EXPECT_EQ(CountForFile(r, "src/sim/ledger_ok.cpp"), 0);
 }
 
 TEST(SdslintFixtures, JsonOutputIsWellFormedAndComplete) {
@@ -148,6 +156,7 @@ TEST(SdslintFixtures, JsonOutputIsWellFormedAndComplete) {
   for (const char* rule :
        {kRuleLayerDag, kRuleDetRand, kRuleDetClock, kRuleDetPointerPrint,
         kRuleDetUnorderedIter, kRuleDetActuationIdempotent,
+        kRuleDetAttribLedger,
         kRuleDetSnapshotVersioned, kRuleDetWalVersioned, kRuleHdrPragmaOnce,
         kRuleHdrSelfContained, kRuleHdrTelemetryFwd}) {
     EXPECT_NE(json.find(std::string("\"rule\":\"") + rule + "\""),

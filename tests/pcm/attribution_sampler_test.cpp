@@ -1,0 +1,98 @@
+#include "pcm/attribution_sampler.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/scenario.h"
+#include "sim/attribution.h"
+
+namespace sds::pcm {
+namespace {
+
+eval::Scenario CleansingScenario() {
+  eval::ScenarioConfig cfg;
+  cfg.app = "bayes";
+  cfg.attack = eval::AttackKind::kLlcCleansing;
+  cfg.attack_start = 0;
+  cfg.machine.attribution = true;
+  cfg.seed = 11;
+  return eval::BuildScenario(cfg);
+}
+
+TEST(AttributionSamplerTest, RequiresAttributionEnabled) {
+  eval::ScenarioConfig cfg;
+  eval::Scenario s = eval::BuildScenario(cfg);
+  EXPECT_DEATH(AttributionSampler(*s.hypervisor, s.victim),
+               "attribution enabled");
+}
+
+TEST(AttributionSamplerTest, DeltasSumToCumulativeLedger) {
+  eval::Scenario s = CleansingScenario();
+  AttributionSampler sampler(*s.hypervisor, s.victim);
+  std::uint64_t ev = 0;
+  std::uint64_t bd = 0;
+  std::uint64_t oc = 0;
+  for (int t = 0; t < 120; ++t) {
+    s.hypervisor->RunTick();
+    const AttributionSpan span = sampler.Sample();
+    EXPECT_EQ(span.span, 1);
+    ev += span.slices[s.attacker].evictions_on_target;
+    bd += span.slices[s.attacker].bus_delay_on_target;
+    oc += span.slices[s.attacker].occupancy_slots;
+  }
+  const sim::AttributionLedger& ledger = *s.machine->attribution();
+  EXPECT_EQ(ev, ledger.evictions_inflicted(s.attacker, s.victim));
+  EXPECT_EQ(bd, ledger.bus_delay_imposed(s.attacker, s.victim));
+  EXPECT_EQ(oc, ledger.occupancy_slots(s.attacker));
+  // The cleansing attack actually left eviction evidence to sum.
+  EXPECT_GT(ev, 0u);
+}
+
+TEST(AttributionSamplerTest, AttackerSliceDominatesEvictions) {
+  eval::Scenario s = CleansingScenario();
+  AttributionSampler sampler(*s.hypervisor, s.victim);
+  s.RunTicks(120);
+  const AttributionSpan span = sampler.Sample();
+  const std::uint64_t attacker_ev =
+      span.slices[s.attacker].evictions_on_target;
+  EXPECT_GT(attacker_ev, 0u);
+  for (const AttributionSlice& slice : span.slices) {
+    if (slice.owner == s.attacker || slice.owner == s.victim) continue;
+    EXPECT_GT(attacker_ev, slice.evictions_on_target)
+        << "owner " << slice.owner;
+  }
+}
+
+TEST(AttributionSamplerTest, SkippedTicksWidenTheSpan) {
+  eval::Scenario s = CleansingScenario();
+  AttributionSampler sampler(*s.hypervisor, s.victim);
+  s.RunTicks(5);
+  const AttributionSpan span = sampler.Sample();
+  EXPECT_EQ(span.span, 5);
+  EXPECT_EQ(span.tick, s.hypervisor->now());
+}
+
+TEST(AttributionSamplerTest, DoubleSampleInOneTickAborts) {
+  eval::Scenario s = CleansingScenario();
+  AttributionSampler sampler(*s.hypervisor, s.victim);
+  s.hypervisor->RunTick();
+  sampler.Sample();
+  EXPECT_DEATH(sampler.Sample(), "twice in one tick");
+}
+
+TEST(AttributionSamplerTest, StartRebaselines) {
+  eval::Scenario s = CleansingScenario();
+  AttributionSampler sampler(*s.hypervisor, s.victim);
+  s.RunTicks(100);
+  // Re-baseline: the accumulated attack evidence must not leak into the
+  // next delta.
+  sampler.Start();
+  s.hypervisor->RunTick();
+  const AttributionSpan span = sampler.Sample();
+  EXPECT_EQ(span.span, 1);
+  const sim::AttributionLedger& ledger = *s.machine->attribution();
+  EXPECT_LT(span.slices[s.attacker].evictions_on_target,
+            ledger.evictions_inflicted(s.attacker, s.victim));
+}
+
+}  // namespace
+}  // namespace sds::pcm

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "sim/attribution.h"
+
 namespace sds::sim {
 namespace {
 
@@ -17,7 +19,7 @@ BusConfig SmallBus() {
 TEST(BusTest, BudgetRefillsEachTick) {
   MemoryBus bus(SmallBus());
   EXPECT_EQ(bus.slots_remaining(), 100u);
-  EXPECT_TRUE(bus.TryConsume(60));
+  EXPECT_TRUE(bus.TryConsume(1, 60));
   EXPECT_EQ(bus.slots_remaining(), 40u);
   bus.BeginTick();
   EXPECT_EQ(bus.slots_remaining(), 100u);
@@ -25,16 +27,16 @@ TEST(BusTest, BudgetRefillsEachTick) {
 
 TEST(BusTest, ExhaustionRejectsWithoutConsuming) {
   MemoryBus bus(SmallBus());
-  EXPECT_TRUE(bus.TryConsume(99));
-  EXPECT_FALSE(bus.TryConsume(2));
+  EXPECT_TRUE(bus.TryConsume(1, 99));
+  EXPECT_FALSE(bus.TryConsume(1, 2));
   EXPECT_EQ(bus.slots_remaining(), 1u);
-  EXPECT_TRUE(bus.TryConsume(1));
+  EXPECT_TRUE(bus.TryConsume(1, 1));
   EXPECT_EQ(bus.slots_remaining(), 0u);
 }
 
 TEST(BusTest, AtomicLockConsumesLockWindow) {
   MemoryBus bus(SmallBus());
-  EXPECT_TRUE(bus.TryAtomicLock());
+  EXPECT_TRUE(bus.TryAtomicLock(1));
   EXPECT_EQ(bus.slots_remaining(), 60u);
   EXPECT_EQ(bus.stats().atomic_locks, 1u);
 }
@@ -44,18 +46,18 @@ TEST(BusTest, AtomicLocksStarveTheBus) {
   // that would serve dozens of normal accesses.
   MemoryBus bus(SmallBus());
   int locks = 0;
-  while (bus.TryAtomicLock()) ++locks;
+  while (bus.TryAtomicLock(2)) ++locks;
   EXPECT_EQ(locks, 2);  // 2*40 = 80 <= 100 < 3*40
   int accesses = 0;
-  while (bus.TryConsume(1)) ++accesses;
+  while (bus.TryConsume(1, 1)) ++accesses;
   EXPECT_EQ(accesses, 20);
 }
 
 TEST(BusTest, StatsTrackConsumptionAndStalls) {
   MemoryBus bus(SmallBus());
-  bus.TryConsume(50);
-  bus.TryConsume(60);  // fails
-  bus.TryConsume(10);
+  bus.TryConsume(1, 50);
+  bus.TryConsume(1, 60);  // fails
+  bus.TryConsume(1, 10);
   EXPECT_EQ(bus.stats().slots_consumed, 60u);
   EXPECT_EQ(bus.stats().stalled_requests, 1u);
   EXPECT_EQ(bus.stats().saturated_ticks, 1u);
@@ -63,22 +65,69 @@ TEST(BusTest, StatsTrackConsumptionAndStalls) {
 
 TEST(BusTest, SaturationCountedOncePerTick) {
   MemoryBus bus(SmallBus());
-  bus.TryConsume(100);
-  bus.TryConsume(1);
-  bus.TryConsume(1);
-  bus.TryConsume(1);
+  bus.TryConsume(1, 100);
+  bus.TryConsume(1, 1);
+  bus.TryConsume(1, 1);
+  bus.TryConsume(1, 1);
   EXPECT_EQ(bus.stats().saturated_ticks, 1u);
   EXPECT_EQ(bus.stats().stalled_requests, 3u);
   bus.BeginTick();
-  bus.TryConsume(100);
-  bus.TryConsume(1);
+  bus.TryConsume(1, 100);
+  bus.TryConsume(1, 1);
   EXPECT_EQ(bus.stats().saturated_ticks, 2u);
 }
 
 TEST(BusTest, ZeroSlotConsumeAlwaysSucceeds) {
   MemoryBus bus(SmallBus());
-  bus.TryConsume(100);
-  EXPECT_TRUE(bus.TryConsume(0));
+  bus.TryConsume(1, 100);
+  EXPECT_TRUE(bus.TryConsume(1, 0));
+}
+
+TEST(BusTest, LedgerRecordsOccupancyPerOwner) {
+  MemoryBus bus(SmallBus());
+  AttributionLedger ledger(4);
+  bus.AttachLedger(&ledger);
+  ledger.RecordTickStart();
+  EXPECT_TRUE(bus.TryConsume(1, 30));
+  EXPECT_TRUE(bus.TryAtomicLock(2));
+  EXPECT_EQ(ledger.occupancy_slots(1), 30u);
+  EXPECT_EQ(ledger.occupancy_slots(2), 40u);
+  EXPECT_EQ(ledger.tick_occupancy_slots(2), 40u);
+}
+
+TEST(BusTest, LedgerChargesStallToBudgetConsumers) {
+  MemoryBus bus(SmallBus());
+  AttributionLedger ledger(4);
+  bus.AttachLedger(&ledger);
+  ledger.RecordTickStart();
+  // Owner 2 eats 80 of 100 slots with atomics; owner 3 takes 15; owner 1's
+  // request then finds 5 remaining and stalls.
+  EXPECT_TRUE(bus.TryAtomicLock(2));
+  EXPECT_TRUE(bus.TryAtomicLock(2));
+  EXPECT_TRUE(bus.TryConsume(3, 15));
+  EXPECT_FALSE(bus.TryConsume(1, 10));
+  EXPECT_EQ(ledger.bus_delay_imposed(2, 1), 80u);
+  EXPECT_EQ(ledger.bus_delay_imposed(3, 1), 15u);
+  // The victim is never charged for its own stall...
+  EXPECT_EQ(ledger.bus_delay_imposed(1, 1), 0u);
+  // ...and owners that imposed nothing on other victims stay clean.
+  EXPECT_EQ(ledger.bus_delay_imposed(2, 3), 0u);
+  EXPECT_EQ(ledger.bus_delay_suffered(1), 95u);
+}
+
+TEST(BusTest, LedgerTickOccupancyResetsWithRecordTickStart) {
+  MemoryBus bus(SmallBus());
+  AttributionLedger ledger(4);
+  bus.AttachLedger(&ledger);
+  ledger.RecordTickStart();
+  EXPECT_TRUE(bus.TryConsume(2, 90));
+  bus.BeginTick();
+  ledger.RecordTickStart();
+  // Stall charges key on THIS tick's occupancy, not history.
+  EXPECT_TRUE(bus.TryConsume(2, 95));
+  EXPECT_FALSE(bus.TryConsume(1, 10));
+  EXPECT_EQ(ledger.bus_delay_imposed(2, 1), 95u);
+  EXPECT_EQ(ledger.occupancy_slots(2), 185u);
 }
 
 }  // namespace

@@ -65,7 +65,7 @@ TEST(MachineTest, StalledAccessDoesNotTouchCache) {
   Machine m(SmallMachine());
   m.BeginTick();
   // Drain the bus.
-  while (m.bus().TryConsume(1)) {
+  while (m.bus().TryConsume(0, 1)) {
   }
   EXPECT_EQ(m.Access(1, 77), AccessOutcome::kStalled);
   EXPECT_EQ(m.counters(1).llc_accesses, 0u);
@@ -103,7 +103,7 @@ TEST(MachineTest, TickAdvancesClock) {
 TEST(MachineTest, BusRefillsAcrossTicks) {
   Machine m(SmallMachine());
   m.BeginTick();
-  while (m.bus().TryConsume(1)) {
+  while (m.bus().TryConsume(0, 1)) {
   }
   EXPECT_EQ(m.Access(1, 3), AccessOutcome::kStalled);
   m.BeginTick();

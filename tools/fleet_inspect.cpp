@@ -8,12 +8,15 @@
 //   fleet_inspect fleet.jsonl --top=K         show K noisiest tenants (def 10)
 //   fleet_inspect fleet.jsonl --alerts=N      dump the first N alert records
 //   fleet_inspect fleet.jsonl --svc           per-crash-point recovery rows
+//   fleet_inspect fleet.jsonl --forensics     per-VM conviction table over
+//                                             the stream's forensic reports
 //
 // Line types consumed: "rollup" (one window x series row), "rollup_stats"
 // (ingest/drop/memory accounting), "slo_alert" (level transitions),
-// "slo_status" (final per-rule state), plus the streaming-service
+// "slo_status" (final per-rule state), the streaming-service
 // accounting pair "svc_ref" / "svc_recovery" written by
-// bench_svc_chaos_sweep --accounting_out. Like trace_inspect, the parser
+// bench_svc_chaos_sweep --accounting_out, and "forensic_report"
+// (detect::WriteForensicReportJson incident records). Like trace_inspect, the parser
 // handles exactly the flat one-object-per-line JSON this repo emits and
 // malformed input never crashes the tool: empty lines, truncated records
 // and unknown "type" values are counted and reported, and everything
@@ -162,7 +165,9 @@ int main(int argc, char** argv) {
             "metric used to rank tenants (default detect.latency_ticks)"},
            {"top", "noisiest tenants to show (default 10)"},
            {"alerts", "dump the first N slo_alert records (default 0)"},
-           {"svc", "dump per-crash-point service recovery rows", true}})) {
+           {"svc", "dump per-crash-point service recovery rows", true},
+           {"forensics", "per-VM conviction table over forensic reports",
+            true}})) {
     return flags.help_requested() ? 0 : 1;
   }
   if (flags.positional().size() != 1) {
@@ -199,6 +204,8 @@ int main(int argc, char** argv) {
   JsonObject svc_ref;
   bool have_svc_ref = false;
   std::vector<JsonObject> svc_recoveries;
+  // Forensic incident reports, aggregated per convicted VM.
+  std::vector<JsonObject> forensic_reports;
 
   std::string line;
   JsonObject obj;
@@ -244,6 +251,8 @@ int main(int argc, char** argv) {
       have_svc_ref = true;
     } else if (type == "svc_recovery") {
       svc_recoveries.push_back(obj);
+    } else if (type == "forensic_report") {
+      forensic_reports.push_back(obj);
     } else {
       ++unknown_types[type];
     }
@@ -373,6 +382,63 @@ int main(int argc, char** argv) {
                 FormatFixed(NumOr(a, "observed", 0.0), 3));
     }
     table.Print(std::cout);
+  }
+
+  if (!forensic_reports.empty()) {
+    // Fleet-level forensics: how often each VM was convicted across the
+    // stream's incident reports, and how often the KStest identification
+    // sweep concurred. A VM convicted repeatedly across incidents is a
+    // serial offender; a low agreement rate flags divergence between the
+    // hardware evidence and the perturbation-based baseline.
+    struct Conviction {
+      std::uint64_t incidents = 0;
+      std::uint64_t ks_named = 0;   // KStest also produced a culprit
+      std::uint64_t ks_agreed = 0;  // ... and it was this VM
+      double worst_score = 0.0;
+    };
+    std::map<std::uint64_t, Conviction> convictions;
+    std::uint64_t unattributed = 0;
+    for (const JsonObject& r : forensic_reports) {
+      if (StrOr(r, "attributed", "false") != "true") {
+        ++unattributed;
+        continue;
+      }
+      const auto vm = static_cast<std::uint64_t>(NumOr(r, "prime_suspect", 0));
+      Conviction& c = convictions[vm];
+      ++c.incidents;
+      if (NumOr(r, "kstest_culprit", 0.0) != 0.0) {
+        ++c.ks_named;
+        if (StrOr(r, "kstest_agrees", "false") == "true") ++c.ks_agreed;
+      }
+      // The report's suspect list is score-sorted; the prime suspect's
+      // score is the first "score" in the verbatim array. Cheaper to carry
+      // it as a top-level field would be a format change; instead reuse the
+      // array text up to the first object boundary.
+      const std::string raw = StrOr(r, "suspects", "[]");
+      const auto pos = raw.find("\"score\":");
+      if (pos != std::string::npos) {
+        try {
+          c.worst_score = std::max(c.worst_score, std::stod(raw.substr(pos + 8)));
+        } catch (...) {
+          // damaged row: keep the running max
+        }
+      }
+    }
+    std::cout << "\nforensic convictions (" << forensic_reports.size()
+              << " reports, " << unattributed << " unattributed):\n";
+    if (flags.GetBool("forensics", false) && !convictions.empty()) {
+      TextTable table;
+      table.SetHeader({"vm", "incidents", "worst score", "kstest named",
+                       "kstest agreed"});
+      for (const auto& [vm, c] : convictions) {
+        table.Row(TextTable::Str(vm), TextTable::Str(c.incidents),
+                  FormatFixed(c.worst_score, 3), TextTable::Str(c.ks_named),
+                  TextTable::Str(c.ks_agreed));
+      }
+      table.Print(std::cout);
+    } else if (!convictions.empty()) {
+      std::cout << "  (run with --forensics for the per-VM table)\n";
+    }
   }
 
   if (have_svc_ref || !svc_recoveries.empty()) {

@@ -494,6 +494,7 @@ class Analyzer {
       CheckUnorderedIteration(f);
     }
     CheckActuationIdempotent(f);
+    CheckAttribLedger(f);
     CheckSnapshotVersioned(f);
     CheckWalVersioned(f);
   }
@@ -591,6 +592,42 @@ class Analyzer {
                    "through the Actuator (SubmitMigrate/SubmitStop/"
                    "SubmitResume) so the idempotency guard and the actuation "
                    "fault plan apply");
+        }
+      }
+    }
+  }
+
+  // det-attrib-ledger: the interference attribution ledger is a sim-layer
+  // observer — only the hardware models (cache, bus, machine) may record
+  // into it. A software layer member-calling a Record* mutation verb would
+  // fabricate hardware evidence, and a forensic report built on fabricated
+  // evidence convicts whoever the caller wanted convicted. Consumers (pcm
+  // sampler, forensics engine) read through the const accessors only.
+  // Tests/bench/tools are out of scope (they are not src layers).
+  void CheckAttribLedger(ParsedFile& f) {
+    if (!IsSrcLayer(f.layer) || f.layer == "sim") return;
+    static constexpr const char* kVerbs[] = {"RecordTickStart",
+                                             "RecordEviction",
+                                             "RecordBusOccupancy",
+                                             "RecordBusStall"};
+    for (std::size_t i = 0; i < f.code.size(); ++i) {
+      const std::string& line = f.code[i];
+      for (const char* verb : kVerbs) {
+        for (std::size_t p = FindToken(line, verb); p != std::string::npos;
+             p = FindToken(line, verb, p + 1)) {
+          // Member-call syntax only: obj.Verb( / ptr->Verb(. Declarations
+          // never match (word boundary / preceding character).
+          if (p == 0) continue;
+          const char before = line[p - 1];
+          if (before != '.' && before != '>') continue;
+          std::size_t q =
+              line.find_first_not_of(" \t", p + std::strlen(verb));
+          if (q == std::string::npos || line[q] != '(') continue;
+          Emit(f, static_cast<int>(i) + 1, kRuleDetAttribLedger,
+               std::string(verb) + "() mutates the AttributionLedger from "
+                   "layer '" + f.layer + "': hardware evidence may only be "
+                   "recorded by the sim layer; every other layer reads the "
+                   "ledger through its const accessors");
         }
       }
     }

@@ -36,6 +36,7 @@ inline constexpr char kRuleDetPointerPrint[] = "det-pointer-print";
 inline constexpr char kRuleDetUnorderedIter[] = "det-unordered-iter";
 inline constexpr char kRuleDetActuationIdempotent[] =
     "det-actuation-idempotent";
+inline constexpr char kRuleDetAttribLedger[] = "det-attrib-ledger";
 inline constexpr char kRuleDetSnapshotVersioned[] = "det-snapshot-versioned";
 inline constexpr char kRuleDetWalVersioned[] = "det-wal-versioned";
 inline constexpr char kRuleHdrPragmaOnce[] = "hdr-pragma-once";

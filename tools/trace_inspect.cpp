@@ -10,6 +10,8 @@
 //   trace_inspect run.jsonl --svc            per-crash-point service
 //                                            recovery rows (svc_ref /
 //                                            svc_recovery records)
+//   trace_inspect run.jsonl --forensics      per-suspect evidence rows under
+//                                            each forensic incident report
 //
 // The parser handles exactly the flat one-object-per-line JSON this repo
 // emits (string/number/bool values, numeric arrays); it is not a general
@@ -106,6 +108,21 @@ std::string StrOr(const JsonObject& o, const std::string& key,
   return it == o.end() ? fallback : it->second;
 }
 
+// Parses an "[{...},{...}]" array of FLAT objects (as ParseLine keeps them
+// verbatim — the forensic "suspects" field). Damaged elements are skipped.
+std::vector<JsonObject> ParseObjectArray(const std::string& raw) {
+  std::vector<JsonObject> out;
+  std::size_t i = 0;
+  while ((i = raw.find('{', i)) != std::string::npos) {
+    const auto end = raw.find('}', i);
+    if (end == std::string::npos) break;
+    JsonObject o;
+    if (ParseLine(raw.substr(i, end - i + 1), o)) out.push_back(std::move(o));
+    i = end + 1;
+  }
+  return out;
+}
+
 // Parses a "[1,2,3]" array value (as ParseLine keeps them) into numbers.
 // Unparseable elements are skipped rather than fatal.
 std::vector<double> ParseNumberArray(const std::string& raw) {
@@ -148,6 +165,9 @@ int main(int argc, char** argv) {
                     {"audit", "dump every audit record", true},
                     {"events", "also dump the first N matching events"},
                     {"svc", "dump per-crash-point service recovery rows",
+                     true},
+                    {"forensics",
+                     "dump per-suspect evidence under each forensic report",
                      true}})) {
     return flags.help_requested() ? 0 : 1;
   }
@@ -160,6 +180,7 @@ int main(int argc, char** argv) {
   const std::string layer_filter = flags.GetString("layer", "");
   const bool dump_audit = flags.GetBool("audit", false);
   const bool dump_svc = flags.GetBool("svc", false);
+  const bool dump_forensics = flags.GetBool("forensics", false);
   const long long dump_events = flags.GetInt("events", 0);
 
   std::ifstream in(path);
@@ -196,6 +217,8 @@ int main(int argc, char** argv) {
   // --accounting_out), mixed into a telemetry stream or inspected alone.
   std::optional<JsonObject> svc_ref;
   std::vector<JsonObject> svc_recoveries;
+  // Forensic incident reports (detect::WriteForensicReportJson lines).
+  std::vector<JsonObject> forensic_reports;
 
   std::string line;
   long long lineno = 0;
@@ -277,6 +300,8 @@ int main(int argc, char** argv) {
       svc_ref = o;
     } else if (type == "svc_recovery") {
       svc_recoveries.push_back(o);
+    } else if (type == "forensic_report") {
+      forensic_reports.push_back(o);
     } else {
       // A future writer's record (or corruption that still parses): count it
       // by name, keep going.
@@ -438,6 +463,48 @@ int main(int argc, char** argv) {
     }
   } else {
     std::printf("\nalarm timeline: (no alarm events)\n");
+  }
+
+  if (!forensic_reports.empty()) {
+    // Incident forensics: whom the hardware attribution ledger convicts for
+    // each alarm, and whether the KStest identification sweep concurred.
+    // One line per report; --forensics adds the per-suspect evidence rows.
+    std::printf("\nforensic incident reports\n");
+    for (const auto& r : forensic_reports) {
+      const auto tick = static_cast<long long>(NumOr(r, "alarm_tick", -1));
+      std::printf("  t=%8lld (%7.2fs)  ", tick, clock.ToSeconds(tick));
+      if (StrOr(r, "attributed", "false") == "true") {
+        std::printf("prime suspect VM %lld",
+                    static_cast<long long>(NumOr(r, "prime_suspect", 0)));
+      } else {
+        std::printf("unattributed");
+      }
+      std::printf("  evidence t=%lld..%lld",
+                  static_cast<long long>(NumOr(r, "window_start", -1)),
+                  static_cast<long long>(NumOr(r, "window_end", -1)));
+      const auto ks = static_cast<long long>(NumOr(r, "kstest_culprit", 0));
+      if (ks != 0) {
+        std::printf("  kstest=VM %lld (%s)", ks,
+                    StrOr(r, "kstest_agrees", "false") == "true"
+                        ? "agrees"
+                        : "DISAGREES");
+      }
+      std::printf("\n");
+      if (dump_forensics) {
+        for (const auto& s : ParseObjectArray(StrOr(r, "suspects", "[]"))) {
+          std::printf("    VM %-4lld score=%.3f evictions=%llu "
+                      "bus_delay=%llu occupancy=%llu\n",
+                      static_cast<long long>(NumOr(s, "vm", 0)),
+                      NumOr(s, "score", 0.0),
+                      static_cast<unsigned long long>(
+                          NumOr(s, "evictions", 0)),
+                      static_cast<unsigned long long>(
+                          NumOr(s, "bus_delay", 0)),
+                      static_cast<unsigned long long>(
+                          NumOr(s, "occupancy", 0)));
+        }
+      }
+    }
   }
 
   if (!span_lines.empty()) {
