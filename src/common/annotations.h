@@ -1,0 +1,33 @@
+// Concurrency-discipline annotations, enforced by sdslint (DESIGN.md §16).
+//
+// The macros expand to nothing: they are structured comments with teeth.
+// sdslint's pass 4 reads them lexically and enforces:
+//
+//   SDS_GUARDED_BY(mu)   on a field: every method of the owning class that
+//                        touches the field must hold `mu` — via a
+//                        lock_guard/unique_lock/scoped_lock/shared_lock on
+//                        it, a direct mu.lock(), or SDS_ASSERT_HELD(mu)
+//                        when the lock is taken by the caller. Constructors
+//                        and destructors are exempt (no concurrent access
+//                        before/after the object's lifetime).
+//
+//   SDS_SHARD_OWNED      on a field: the field has single-thread shard
+//                        affinity — exactly one thread ever touches it, by
+//                        partitioning, so it needs no lock. Methods of the
+//                        owning class must NOT acquire any lock (a locked
+//                        method is evidence the state is shared after all),
+//                        and a field cannot be both guarded and shard-owned.
+//
+//   SDS_ASSERT_HELD(mu)  in a method body: documents (and satisfies the
+//                        checker for) a lock acquired by the caller. The
+//                        expansion type-checks the mutex name without
+//                        odr-using it, so typos fail to compile.
+//
+// Keeping the expansion empty (rather than clang's thread-safety
+// attributes) keeps the annotations portable across the GCC/Clang matrix;
+// sdslint is the single enforcement engine either way.
+#pragma once
+
+#define SDS_GUARDED_BY(mu)
+#define SDS_SHARD_OWNED
+#define SDS_ASSERT_HELD(mu) ((void)sizeof(&(mu)))

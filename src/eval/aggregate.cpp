@@ -2,12 +2,49 @@
 
 #include <algorithm>
 #include <atomic>
+#include <exception>
+#include <mutex>
 #include <thread>
 
+#include "common/annotations.h"
 #include "common/check.h"
 #include "common/types.h"
 
 namespace sds::eval {
+namespace {
+
+// First exception thrown by any worker, carried back to the caller. Without
+// this, an exception escaping a worker thread is std::terminate — a CHECK
+// failure inside one seeded run used to kill the whole sweep process with no
+// usable message.
+class ErrorSlot {
+ public:
+  void Capture(std::exception_ptr error) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!first_) first_ = error;
+    }
+    armed_.store(true, std::memory_order_relaxed);
+  }
+
+  bool armed() const {
+    // Relaxed is enough: this is only a scheduling hint; Rethrow holds the
+    // lock for the authoritative read.
+    return armed_.load(std::memory_order_relaxed);
+  }
+
+  void Rethrow() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (first_) std::rethrow_exception(first_);
+  }
+
+ private:
+  std::mutex mu_;
+  std::exception_ptr first_ SDS_GUARDED_BY(mu_);
+  std::atomic<bool> armed_{false};
+};
+
+}  // namespace
 
 void ParallelFor(int n, int threads, const std::function<void(int)>& fn) {
   SDS_CHECK(n >= 0, "negative iteration count");
@@ -18,14 +55,24 @@ void ParallelFor(int n, int threads, const std::function<void(int)>& fn) {
     return;
   }
   std::atomic<int> next{0};
+  ErrorSlot error;
   std::vector<std::thread> pool;
   pool.reserve(static_cast<std::size_t>(workers));
   for (int w = 0; w < workers; ++w) {
     pool.emplace_back([&] {
-      for (int i = next.fetch_add(1); i < n; i = next.fetch_add(1)) fn(i);
+      for (int i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+        if (error.armed()) return;  // stop claiming work after a failure
+        try {
+          fn(i);
+        } catch (...) {
+          error.Capture(std::current_exception());
+          return;
+        }
+      }
     });
   }
   for (auto& t : pool) t.join();
+  error.Rethrow();
 }
 
 int DefaultThreads(int max_threads) {

@@ -40,6 +40,9 @@ AggregatedOverhead AggregateOverhead(const OverheadRunConfig& config,
 
 // Simple index-parallel loop used by the aggregators and benches. `threads`
 // <= 1 runs inline. fn must be safe to call concurrently for distinct i.
+// An exception thrown by fn stops the loop (remaining indices are skipped,
+// in-flight ones finish) and is rethrown on the calling thread after every
+// worker joins; with multiple concurrent throwers one of them wins.
 void ParallelFor(int n, int threads, const std::function<void(int)>& fn);
 
 // Picks a sensible worker count from the hardware, capped by `max_threads`.

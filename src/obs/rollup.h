@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/types.h"
 #include "obs/quantile_sketch.h"
 
@@ -130,19 +131,22 @@ class ShardWriter {
 
   void Seal(const SeriesKey& key, const SeriesState& state);
 
-  RollupConfig config_;
-  std::uint32_t shard_index_;
+  // The whole writer is shard-owned: BarrierMerge workers each drive exactly
+  // one ShardWriter, so no field here may ever need a lock — sdslint's
+  // conc-shard-owned rule rejects any future method that acquires one.
+  RollupConfig config_ SDS_SHARD_OWNED;
+  std::uint32_t shard_index_ SDS_SHARD_OWNED;
   // Ordered so Drain emits deterministically regardless of arrival order.
-  std::map<SeriesKey, SeriesState> series_;
+  std::map<SeriesKey, SeriesState> series_ SDS_SHARD_OWNED;
   // Distinct keys rejected at the ceiling, capped at the ceiling itself.
-  std::set<SeriesKey> rejected_keys_;
+  std::set<SeriesKey> rejected_keys_ SDS_SHARD_OWNED;
   // Rows sealed by in-place roll-over, awaiting the next barrier.
-  std::vector<RollupRow> pending_;
-  std::int64_t sealed_before_ = 0;
-  std::uint64_t ingested_ = 0;
-  std::uint64_t dropped_late_ = 0;
-  std::uint64_t dropped_series_ = 0;
-  std::uint64_t dropped_samples_ = 0;
+  std::vector<RollupRow> pending_ SDS_SHARD_OWNED;
+  std::int64_t sealed_before_ SDS_SHARD_OWNED = 0;
+  std::uint64_t ingested_ SDS_SHARD_OWNED = 0;
+  std::uint64_t dropped_late_ SDS_SHARD_OWNED = 0;
+  std::uint64_t dropped_series_ SDS_SHARD_OWNED = 0;
+  std::uint64_t dropped_samples_ SDS_SHARD_OWNED = 0;
 };
 
 // Shard assignment: pure function of the key, independent of shard count

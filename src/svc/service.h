@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/types.h"
 #include "obs/snapshot.h"
 #include "svc/admission.h"
@@ -168,8 +169,13 @@ class DetectionService {
   Tick current_tick_ = -1;
   std::uint64_t transport_watermark_ = 0;
   std::uint64_t next_lsn_ = 1;
-  std::deque<QueueEntry> queue_;
-  TenantTable table_;
+  // The service is single-threaded by charter (see the header comment); the
+  // queue and the tenant table are the two structures a parallel tick engine
+  // would be most tempted to share. Shard-owned pins that door shut: sdslint
+  // rejects any service method that takes a lock around them — the parallel
+  // engine must partition tenants across service instances instead.
+  std::deque<QueueEntry> queue_ SDS_SHARD_OWNED;
+  TenantTable table_ SDS_SHARD_OWNED;
   SvcAccounting acct_;
   SvcIncarnation inc_;
   std::vector<DecisionEvent> decision_log_;

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <set>
+#include <stdexcept>
 
 #include <gtest/gtest.h>
 
@@ -26,6 +27,40 @@ TEST(ParallelForTest, SingleThreadInline) {
   std::vector<int> order;
   ParallelFor(5, 1, [&](int i) { order.push_back(i); });
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelForTest, WorkerExceptionPropagatesToCaller) {
+  // A throw inside a worker used to escape the thread and terminate the
+  // process; now the first exception is rethrown after all workers join.
+  EXPECT_THROW(
+      ParallelFor(64, 4,
+                  [](int i) {
+                    if (i == 17) throw std::runtime_error("run 17 failed");
+                  }),
+      std::runtime_error);
+}
+
+TEST(ParallelForTest, ExceptionStopsSchedulingRemainingWork) {
+  std::atomic<int> ran{0};
+  try {
+    // Every even index throws, so each worker fails within its first couple
+    // of claims no matter how the scheduler interleaves them.
+    ParallelFor(10000, 2, [&](int i) {
+      if (i % 2 == 0) throw std::runtime_error("fail fast");
+      ++ran;
+    });
+    FAIL() << "expected the worker exception to propagate";
+  } catch (const std::runtime_error&) {
+  }
+  // Workers stop claiming indices after the first failure; only a bounded
+  // prefix of the 5000 odd iterations can have run.
+  EXPECT_LT(ran.load(), 100);
+}
+
+TEST(ParallelForTest, InlinePathPropagatesException) {
+  EXPECT_THROW(
+      ParallelFor(3, 1, [](int) { throw std::runtime_error("inline"); }),
+      std::runtime_error);
 }
 
 TEST(DefaultThreadsTest, Bounded) {

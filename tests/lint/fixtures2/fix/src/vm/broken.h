@@ -1,0 +1,21 @@
+// Fixture for --fix: missing #pragma once and missing <string>/<vector>
+// includes; the fixer must add all three and a second pass must find the
+// header clean.
+
+#include <cstdint>
+
+namespace sds::vm {
+
+inline std::vector<std::string> NameParts(const std::string& name) {
+  std::vector<std::string> parts;
+  std::size_t begin = 0;
+  for (std::size_t i = 0; i <= name.size(); ++i) {
+    if (i == name.size() || name[i] == '.') {
+      parts.push_back(name.substr(begin, i - begin));
+      begin = i + 1;
+    }
+  }
+  return parts;
+}
+
+}  // namespace sds::vm

@@ -1,0 +1,21 @@
+// Fixture: this file contains NO determinism sink token of its own — the
+// per-file token scanner finds nothing here. The violation is reachable only
+// through the call graph: PlanThresholds -> SeededMixture (stats/mixture.h)
+// -> NoiseFloor (stats/noise_floor.h) -> std::random_device.
+#include "detect/planner.h"
+
+#include "stats/mixture.h"
+
+namespace sds::detect {
+
+using sds::stats::SeededMixture;
+
+double PlanThresholds(int windows) {
+  double acc = 0.0;
+  for (int i = 0; i < windows; ++i) {
+    acc += SeededMixture(i);
+  }
+  return acc;
+}
+
+}  // namespace sds::detect

@@ -1,0 +1,9 @@
+// Fixture: deterministic-layer entry point whose implementation reaches a
+// nondeterministic sink only through two intermediate cross-file calls.
+#pragma once
+
+namespace sds::detect {
+
+double PlanThresholds(int windows);
+
+}  // namespace sds::detect

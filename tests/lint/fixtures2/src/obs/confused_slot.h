@@ -1,0 +1,17 @@
+// Fixture: a field cannot be both lock-guarded and shard-owned; the
+// contradictory declaration itself is diagnosed.
+#pragma once
+
+#include <mutex>
+
+#include "common/annotations.h"
+
+namespace sds::obs {
+
+class ConfusedSlot {
+ private:
+  std::mutex mu_;
+  int value_ SDS_GUARDED_BY(mu_) SDS_SHARD_OWNED = 0;
+};
+
+}  // namespace sds::obs

@@ -1,0 +1,33 @@
+// Fixture: SDS_GUARDED_BY enforcement. Record holds the mutex; Peek touches
+// the guarded field with no lock and no SDS_ASSERT_HELD — that access is the
+// violation. Held-by-caller is legal when asserted: PeekLocked.
+#pragma once
+
+#include <mutex>
+
+#include "common/annotations.h"
+
+namespace sds::obs {
+
+class GuardedCache {
+ public:
+  void Record(int v) {
+    std::lock_guard<std::mutex> lock(mu_);
+    last_ = v;
+  }
+
+  int Peek() const {
+    return last_;
+  }
+
+  int PeekLocked() const {
+    SDS_ASSERT_HELD(mu_);
+    return last_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  int last_ SDS_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace sds::obs

@@ -1,0 +1,33 @@
+// Fixture: lock-order cycle. First acquires a_mu_ then b_mu_, Second
+// acquires b_mu_ then a_mu_ — two threads running them concurrently can
+// deadlock. The acquisition that closes the cycle is diagnosed.
+#pragma once
+
+#include <mutex>
+
+#include "common/annotations.h"
+
+namespace sds::obs {
+
+class OrderedLocks {
+ public:
+  void First() {
+    std::lock_guard<std::mutex> a(a_mu_);
+    std::lock_guard<std::mutex> b(b_mu_);
+    ++forward_;
+  }
+
+  void Second() {
+    std::lock_guard<std::mutex> b(b_mu_);
+    std::lock_guard<std::mutex> a(a_mu_);
+    ++backward_;
+  }
+
+ private:
+  std::mutex a_mu_;
+  std::mutex b_mu_;
+  int forward_ = 0;
+  int backward_ = 0;
+};
+
+}  // namespace sds::obs

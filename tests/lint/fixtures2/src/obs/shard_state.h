@@ -1,0 +1,24 @@
+// Fixture: SDS_SHARD_OWNED enforcement. The field claims single-thread shard
+// affinity, yet Tally acquires a lock around it — the two disciplines are
+// contradictory, and the locked access is the violation.
+#pragma once
+
+#include <mutex>
+
+#include "common/annotations.h"
+
+namespace sds::obs {
+
+class ShardState {
+ public:
+  void Tally(int v) {
+    std::lock_guard<std::mutex> lock(mu_);
+    counter_ += v;
+  }
+
+ private:
+  std::mutex mu_;
+  int counter_ SDS_SHARD_OWNED = 0;
+};
+
+}  // namespace sds::obs

@@ -1,0 +1,12 @@
+// Fixture: declares an unordered container that a DIFFERENT file iterates.
+// The per-file scanner only sees the container type here and the range-for
+// there — the cross-TU unordered-iteration check joins the two.
+#pragma once
+
+#include <unordered_map>
+
+namespace sds::sim {
+
+inline std::unordered_map<int, int> live_table;
+
+}  // namespace sds::sim

@@ -1,0 +1,16 @@
+// Fixture: iterates a container whose unordered-ness is only visible in the
+// header that declares it (sim/registry.h). The per-file rule cannot see the
+// type; the closure-aware pass can.
+#include "sim/registry.h"
+
+namespace sds::sim {
+
+int SumLive() {
+  int total = 0;
+  for (const auto& entry : live_table) {
+    total += entry.second;
+  }
+  return total;
+}
+
+}  // namespace sds::sim

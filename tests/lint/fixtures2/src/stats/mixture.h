@@ -1,0 +1,13 @@
+// Fixture: middle hop of the taint chain. No sink token here either — the
+// nondeterminism lives one more call away, in stats/noise_floor.h.
+#pragma once
+
+#include "stats/noise_floor.h"
+
+namespace sds::stats {
+
+inline double SeededMixture(int salt) {
+  return static_cast<double>(salt) + NoiseFloor();
+}
+
+}  // namespace sds::stats

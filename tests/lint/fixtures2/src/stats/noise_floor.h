@@ -1,0 +1,15 @@
+// Fixture: the sink. std::random_device in a deterministic layer — the
+// direct det-rand rule fires here, and the taint pass propagates the fact
+// backward to every deterministic caller that can reach it.
+#pragma once
+
+#include <random>
+
+namespace sds::stats {
+
+inline double NoiseFloor() {
+  std::random_device entropy;
+  return static_cast<double>(entropy()) * 1e-12;
+}
+
+}  // namespace sds::stats

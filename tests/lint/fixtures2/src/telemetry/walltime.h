@@ -1,0 +1,15 @@
+// Fixture: telemetry is the write-only observability plane — wall clocks are
+// its charter, so this sink must seed NO taint (negative case for the
+// telemetry stop in the taint pass).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace sds::telemetry {
+
+inline std::int64_t WallNanos() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace sds::telemetry

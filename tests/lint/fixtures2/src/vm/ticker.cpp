@@ -1,0 +1,14 @@
+// Fixture: a deterministic-layer caller into the telemetry plane. The callee
+// reads a wall clock, but telemetry functions are never tainted — this file
+// must stay clean (the telemetry-stop negative case).
+#include <cstdint>
+
+#include "telemetry/walltime.h"
+
+namespace sds::vm {
+
+using sds::telemetry::WallNanos;
+
+std::int64_t StampTick(std::int64_t tick) { return tick + (WallNanos() & 1); }
+
+}  // namespace sds::vm

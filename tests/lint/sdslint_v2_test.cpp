@@ -1,0 +1,327 @@
+// Tests for the multi-pass analyzer: cross-TU call graph linkage,
+// interprocedural determinism taint, the concurrency rule family, the
+// summary cache, the baseline filter, SARIF/stats output, and --fix.
+//
+// The seeded tree lives in tests/lint/fixtures2 (data, never compiled).
+// Scan sets are chosen per test so each pass is exercised in isolation; the
+// full-tree pin at the end freezes the exact (file, line, rule) set.
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sdslint/baseline.h"
+#include "sdslint/lint.h"
+
+namespace sdslint {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string Fix2(const std::string& sub) {
+  return std::string(SDSLINT_FIXTURE2_DIR) + (sub.empty() ? "" : "/" + sub);
+}
+
+Result RunOn(const std::vector<std::string>& paths,
+             const std::string& include_root) {
+  Options options;
+  options.paths = paths;
+  options.include_root = include_root;
+  return Run(options);
+}
+
+using Triple = std::tuple<std::string, int, std::string>;  // file, line, rule
+
+std::set<Triple> Triples(const Result& r, const std::string& root) {
+  std::set<Triple> out;
+  for (const Diagnostic& d : r.diagnostics) {
+    out.insert({fs::relative(d.file, root).generic_string(), d.line, d.rule});
+  }
+  return out;
+}
+
+// Copies the fixture subtree into a fresh temp dir (for tests that mutate
+// files: cache invalidation, --fix).
+std::string CopyTree(const std::string& from, const std::string& tag) {
+  const fs::path to = fs::path(::testing::TempDir()) / ("sdslint_" + tag);
+  fs::remove_all(to);
+  fs::create_directories(to);
+  fs::copy(from, to, fs::copy_options::recursive);
+  return to.generic_string();
+}
+
+// ---------------------------------------------------------------------------
+// Interprocedural determinism taint
+// ---------------------------------------------------------------------------
+
+// The tentpole demonstration: detect/planner.cpp contains no sink token of
+// its own — the violation is reachable only through two intermediate calls
+// in headers of another layer. The taint pass reports it at the call site
+// with the full chain down to the sink.
+TEST(SdslintTaint, CrossFileChainThroughTwoIntermediateCalls) {
+  const Result r = RunOn({Fix2("src/detect")}, Fix2(""));
+  ASSERT_EQ(r.diagnostics.size(), 1u);
+  const Diagnostic& d = r.diagnostics[0];
+  EXPECT_EQ(fs::path(d.file).filename(), "planner.cpp");
+  EXPECT_EQ(d.line, 16);
+  EXPECT_EQ(d.rule, kRuleDetTaint);
+  // Full chain: caller-side callee -> intermediate -> sink token with the
+  // sink's own location.
+  EXPECT_NE(d.message.find("sds::stats::SeededMixture"), std::string::npos);
+  EXPECT_NE(d.message.find("sds::stats::NoiseFloor"), std::string::npos);
+  EXPECT_NE(d.message.find("random_device [det-rand]"), std::string::npos);
+  EXPECT_NE(d.message.find("noise_floor.h:11"), std::string::npos);
+}
+
+// The same scan set with include resolution broken: the per-file token rules
+// (the scanner this pass replaces as the only line of defence) find NOTHING
+// in planner.cpp — proof the violation is invisible without the cross-TU
+// call graph.
+TEST(SdslintTaint, TokenScannerAloneMissesTheViolation) {
+  const Result r =
+      RunOn({Fix2("src/detect")}, Fix2("no/such/include/root"));
+  EXPECT_TRUE(r.diagnostics.empty());
+  EXPECT_EQ(r.files_scanned, 2);  // planner.h + planner.cpp were scanned
+}
+
+// Telemetry is the write-only observability plane: its wall-clock reads are
+// charter, never taint. A deterministic caller into telemetry stays clean.
+TEST(SdslintTaint, TelemetryCalleeSeedsNoTaint) {
+  const Result r = RunOn({Fix2("src/vm")}, Fix2(""));
+  EXPECT_TRUE(r.diagnostics.empty()) << FormatText(r.diagnostics.front());
+}
+
+// Unordered-ness declared in one file, iterated in another: the per-file
+// rule sees neither half, the closure-aware pass joins them.
+TEST(SdslintTaint, CrossFileUnorderedIterationDetected) {
+  const Result r = RunOn({Fix2("src/sim")}, Fix2(""));
+  ASSERT_EQ(r.diagnostics.size(), 1u);
+  const Diagnostic& d = r.diagnostics[0];
+  EXPECT_EQ(fs::path(d.file).filename(), "registry_iter.cpp");
+  EXPECT_EQ(d.line, 10);
+  EXPECT_EQ(d.rule, kRuleDetUnorderedIter);
+  EXPECT_NE(d.message.find("'live_table'"), std::string::npos);
+  EXPECT_NE(d.message.find("registry.h"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency rule family
+// ---------------------------------------------------------------------------
+
+TEST(SdslintConc, GuardedShardOwnedAndLockOrder) {
+  const Result r = RunOn({Fix2("src/obs")}, Fix2(""));
+  const std::set<Triple> expected = {
+      {"src/obs/confused_slot.h", 14, kRuleConcShardOwned},
+      {"src/obs/guarded_cache.h", 20, kRuleConcGuardedBy},
+      {"src/obs/ordered_locks.h", 22, kRuleConcLockOrder},
+      {"src/obs/shard_state.h", 16, kRuleConcShardOwned},
+  };
+  EXPECT_EQ(Triples(r, Fix2("")), expected);
+  // GuardedCache::Record (lock held) and ::PeekLocked (SDS_ASSERT_HELD) are
+  // legal accesses — implied by the exact set above.
+  EXPECT_EQ(r.diagnostics.size(), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Full-tree pin
+// ---------------------------------------------------------------------------
+
+TEST(SdslintV2Fixtures, ExactDiagnosticSet) {
+  const Result r = RunOn({Fix2("src")}, Fix2(""));
+  const std::set<Triple> expected = {
+      {"src/detect/planner.cpp", 16, kRuleDetTaint},
+      {"src/obs/confused_slot.h", 14, kRuleConcShardOwned},
+      {"src/obs/guarded_cache.h", 20, kRuleConcGuardedBy},
+      {"src/obs/ordered_locks.h", 22, kRuleConcLockOrder},
+      {"src/obs/shard_state.h", 16, kRuleConcShardOwned},
+      {"src/sim/registry_iter.cpp", 10, kRuleDetUnorderedIter},
+      {"src/stats/mixture.h", 10, kRuleDetTaint},
+      {"src/stats/noise_floor.h", 11, kRuleDetRand},
+  };
+  EXPECT_EQ(Triples(r, Fix2("")), expected);
+  EXPECT_EQ(r.diagnostics.size(), 8u);
+}
+
+TEST(SdslintV2Fixtures, StatsCountTheGraph) {
+  const Result r = RunOn({Fix2("src")}, Fix2(""));
+  EXPECT_GT(r.stats.functions, 0);
+  EXPECT_GE(r.stats.call_edges, 3);       // planner->mixture->noise + vm->telemetry
+  EXPECT_GE(r.stats.taint_seeds, 2);      // random_device + unordered iter
+  EXPECT_GE(r.stats.tainted_functions, 3);  // NoiseFloor, SeededMixture, PlanThresholds
+  ASSERT_TRUE(r.stats.rule_hits.count(kRuleDetTaint));
+  EXPECT_EQ(r.stats.rule_hits.at(kRuleDetTaint), 2);
+  const std::string json = StatsJson(r);
+  EXPECT_NE(json.find("\"call_edges\":"), std::string::npos);
+  EXPECT_NE(json.find("\"rule_hits\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"det-taint\":2"), std::string::npos);
+}
+
+TEST(SdslintV2Fixtures, SarifOutputIsWellFormed) {
+  const Result r = RunOn({Fix2("src")}, Fix2(""));
+  const std::string sarif = ToSarif(r, Fix2(""));
+  EXPECT_NE(sarif.find("\"version\":\"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"name\":\"sdslint\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"id\":\"det-taint\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"id\":\"conc-lock-order\""), std::string::npos);
+  // Root-relative forward-slash URIs for code scanning.
+  EXPECT_NE(sarif.find("\"uri\":\"src/detect/planner.cpp\""),
+            std::string::npos);
+  EXPECT_NE(sarif.find("\"startLine\":16"), std::string::npos);
+  // One result per diagnostic.
+  std::size_t results = 0, at = 0;
+  while ((at = sarif.find("\"ruleId\":", at)) != std::string::npos) {
+    ++results;
+    ++at;
+  }
+  EXPECT_EQ(results, r.diagnostics.size());
+}
+
+// ---------------------------------------------------------------------------
+// Summary cache
+// ---------------------------------------------------------------------------
+
+TEST(SdslintCache, WarmRunParsesNothingAndAgreesExactly) {
+  const fs::path cache = fs::path(::testing::TempDir()) / "sdslint_cache_warm";
+  fs::remove_all(cache);
+  Options options;
+  options.paths = {Fix2("src")};
+  options.include_root = Fix2("");
+  options.cache_dir = cache.generic_string();
+
+  const Result cold = ::sdslint::Run(options);
+  EXPECT_EQ(cold.stats.cache_hits, 0);
+  EXPECT_GT(cold.stats.parsed, 0);
+
+  const Result warm = ::sdslint::Run(options);
+  EXPECT_EQ(warm.stats.parsed, 0);
+  EXPECT_EQ(warm.stats.cache_hits, cold.stats.parsed);
+
+  // The cached summaries must reproduce every diagnostic bit-for-bit.
+  ASSERT_EQ(warm.diagnostics.size(), cold.diagnostics.size());
+  for (std::size_t i = 0; i < cold.diagnostics.size(); ++i) {
+    EXPECT_EQ(warm.diagnostics[i].file, cold.diagnostics[i].file);
+    EXPECT_EQ(warm.diagnostics[i].line, cold.diagnostics[i].line);
+    EXPECT_EQ(warm.diagnostics[i].rule, cold.diagnostics[i].rule);
+    EXPECT_EQ(warm.diagnostics[i].message, cold.diagnostics[i].message);
+  }
+  EXPECT_EQ(warm.stats.call_edges, cold.stats.call_edges);
+  EXPECT_EQ(warm.stats.tainted_functions, cold.stats.tainted_functions);
+}
+
+TEST(SdslintCache, ContentChangeInvalidatesOnlyThatFile) {
+  const std::string tree = CopyTree(Fix2(""), "cache_inval");
+  const fs::path cache = fs::path(::testing::TempDir()) / "sdslint_cache_inv";
+  fs::remove_all(cache);
+  Options options;
+  options.paths = {tree + "/src"};
+  options.include_root = tree;
+  options.cache_dir = cache.generic_string();
+
+  const Result cold = ::sdslint::Run(options);
+  const int total = cold.stats.parsed;
+  ASSERT_GT(total, 1);
+
+  // Append a comment: content hash changes, diagnostics don't.
+  {
+    std::ofstream out(tree + "/src/vm/ticker.cpp", std::ios::app);
+    out << "// trailing comment\n";
+  }
+  const Result touched = ::sdslint::Run(options);
+  EXPECT_EQ(touched.stats.parsed, 1);
+  EXPECT_EQ(touched.stats.cache_hits, total - 1);
+  EXPECT_EQ(touched.diagnostics.size(), cold.diagnostics.size());
+}
+
+// ---------------------------------------------------------------------------
+// Baseline
+// ---------------------------------------------------------------------------
+
+TEST(SdslintBaseline, SuppressesAcceptedFindingsAndFlagsStaleEntries) {
+  const fs::path file = fs::path(::testing::TempDir()) / "sdslint_baseline";
+  const Result live = RunOn({Fix2("src")}, Fix2(""));
+  ASSERT_EQ(live.diagnostics.size(), 8u);
+  ASSERT_TRUE(WriteBaseline(file.generic_string(), live, Fix2("")));
+
+  Options options;
+  options.paths = {Fix2("src")};
+  options.include_root = Fix2("");
+  options.baseline_path = file.generic_string();
+  const Result filtered = ::sdslint::Run(options);
+  EXPECT_TRUE(filtered.diagnostics.empty());
+  EXPECT_EQ(filtered.baselined.size(), 8u);
+  EXPECT_TRUE(filtered.stale_baseline_entries.empty());
+
+  // An entry whose finding no longer fires is reported as stale.
+  {
+    std::ofstream out(file, std::ios::app);
+    out << "00000000deadbeef det-rand src/gone.cpp:1 fixed long ago\n";
+  }
+  const Result with_stale = ::sdslint::Run(options);
+  EXPECT_EQ(with_stale.baselined.size(), 8u);
+  ASSERT_EQ(with_stale.stale_baseline_entries.size(), 1u);
+  EXPECT_NE(with_stale.stale_baseline_entries[0].find("gone.cpp"),
+            std::string::npos);
+}
+
+TEST(SdslintBaseline, FingerprintIsStableAcrossLineDrift) {
+  Diagnostic a{Fix2("src/stats/noise_floor.h"), 11, "det-rand",
+               "random_device in deterministic layer stats: why"};
+  Diagnostic b = a;
+  b.line = 42;  // unrelated edit pushed the finding down the file
+  b.message = "random_device in deterministic layer stats: why";
+  EXPECT_EQ(BaselineFingerprint(a, Fix2("")), BaselineFingerprint(b, Fix2("")));
+  Diagnostic c = a;
+  c.rule = "det-clock";
+  EXPECT_NE(BaselineFingerprint(a, Fix2("")), BaselineFingerprint(c, Fix2("")));
+}
+
+// ---------------------------------------------------------------------------
+// --fix
+// ---------------------------------------------------------------------------
+
+TEST(SdslintFix, InsertsPragmaAndIncludesThenConverges) {
+  const std::string tree = CopyTree(Fix2("fix"), "fixpass");
+  Options options;
+  options.paths = {tree + "/src"};
+  options.include_root = tree;
+
+  const Result before = ::sdslint::Run(options);
+  std::set<std::string> rules;
+  for (const Diagnostic& d : before.diagnostics) rules.insert(d.rule);
+  EXPECT_TRUE(rules.count(kRuleHdrPragmaOnce));
+  EXPECT_TRUE(rules.count(kRuleHdrSelfContained));
+
+  std::vector<std::string> fixed_files;
+  EXPECT_EQ(ApplyFixes(options, &fixed_files), 1);
+  ASSERT_EQ(fixed_files.size(), 1u);
+  EXPECT_EQ(fs::path(fixed_files[0]).filename(), "broken.h");
+
+  // The fixed header lints clean and the fixer has nothing left to do.
+  const Result after = ::sdslint::Run(options);
+  EXPECT_TRUE(after.diagnostics.empty())
+      << FormatText(after.diagnostics.front());
+  EXPECT_EQ(ApplyFixes(options, nullptr), 0);
+
+  // Structure: #pragma once above the (sorted, deduped) include block.
+  std::ifstream in(fixed_files[0]);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  const std::size_t pragma_at = text.find("#pragma once");
+  ASSERT_NE(pragma_at, std::string::npos);
+  const std::size_t cstdint_at = text.find("#include <cstdint>");
+  const std::size_t string_at = text.find("#include <string>");
+  const std::size_t vector_at = text.find("#include <vector>");
+  ASSERT_NE(cstdint_at, std::string::npos);
+  ASSERT_NE(string_at, std::string::npos);
+  ASSERT_NE(vector_at, std::string::npos);
+  EXPECT_LT(pragma_at, cstdint_at);
+  EXPECT_LT(cstdint_at, string_at);
+  EXPECT_LT(string_at, vector_at);
+}
+
+}  // namespace
+}  // namespace sdslint

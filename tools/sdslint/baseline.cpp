@@ -1,0 +1,86 @@
+#include "sdslint/baseline.h"
+
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "sdslint/model.h"
+
+namespace sdslint {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Root-relative generic path when `path` lives under `root`, else unchanged.
+// Keeps fingerprints identical between a repo-root run and an absolute-path
+// run (the test harness uses absolute paths, CI uses relative ones).
+std::string Relativize(const std::string& path, const std::string& root) {
+  if (root.empty()) return path;
+  std::error_code ec;
+  const fs::path rel = fs::relative(path, root, ec);
+  if (ec || rel.empty()) return path;
+  const std::string g = rel.generic_string();
+  if (g.rfind("..", 0) == 0) return path;  // outside root
+  return g;
+}
+
+std::string StripDigits(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (std::isdigit(static_cast<unsigned char>(c)) == 0) out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string BaselineFingerprint(const Diagnostic& d, const std::string& root) {
+  const std::string key =
+      d.rule + "|" + Relativize(d.file, root) + "|" + StripDigits(d.message);
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(Fnv1a64(key)));
+  return buf;
+}
+
+bool LoadBaseline(const std::string& path,
+                  std::map<std::string, std::string>* entries) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t sp = line.find(' ');
+    const std::string fp = sp == std::string::npos ? line : line.substr(0, sp);
+    if (fp.size() == 16) entries->emplace(fp, line);
+  }
+  return true;
+}
+
+bool WriteBaseline(const std::string& path, const Result& result,
+                   const std::string& include_root) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << "# sdslint baseline: accepted findings, one per line as\n"
+         "#   <fingerprint> <rule> <file>:<line> <message>\n"
+         "# The fingerprint (rule | root-relative file | digit-stripped\n"
+         "# message) is what matching uses; the rest is context. Regenerate\n"
+         "# with `sdslint --update-baseline ...`; prefer fixing findings or\n"
+         "# adding a reviewed allow(...) comment over baselining them.\n";
+  // Both live and already-baselined findings survive an update, so
+  // refreshing the file never silently drops accepted entries.
+  for (const std::vector<Diagnostic>* list :
+       {&result.diagnostics, &result.baselined}) {
+    for (const Diagnostic& d : *list) {
+      out << BaselineFingerprint(d, include_root) << ' ' << d.rule << ' '
+          << Relativize(d.file, include_root) << ':' << d.line << ' '
+          << d.message << '\n';
+    }
+  }
+  return static_cast<bool>(out);
+}
+
+}  // namespace sdslint

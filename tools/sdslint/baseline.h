@@ -1,0 +1,28 @@
+// Baseline (accepted-findings) file support. A baseline entry is a stable
+// fingerprint of a diagnostic — fnv1a64 over rule | root-relative path |
+// message with digits stripped — so line-number drift and chain-line drift
+// do not invalidate it, while a different file or a different finding does.
+//
+// File format, one finding per line (comment lines start with '#'):
+//   <16-hex fingerprint> <rule> <file>:<line> <message>
+// Everything after the fingerprint is human context only; matching uses the
+// fingerprint alone. --update-baseline rewrites the file from the current
+// run; entries that no longer match anything are reported as stale.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "sdslint/lint.h"
+
+namespace sdslint {
+
+std::string BaselineFingerprint(const Diagnostic& d, const std::string& root);
+
+// Loads `path` into fingerprint -> entry-line-text. Returns false when the
+// file cannot be read (a missing baseline is not an error for callers that
+// auto-detect; they just skip the filter).
+bool LoadBaseline(const std::string& path,
+                  std::map<std::string, std::string>* entries);
+
+}  // namespace sdslint

@@ -1,0 +1,258 @@
+#include "sdslint/cache.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "sdslint/source.h"
+
+namespace sdslint {
+namespace {
+
+namespace fs = std::filesystem;
+
+// One cache file per source file: <cache_dir>/<fnv1a64(path)>.sum. The entry
+// is line-oriented: a `sdslint-cache <format> <hash>` header, then one
+// tagged, tab-separated record per IR item. Strings are escaped so embedded
+// tabs/newlines (possible in range-expression text) survive the round trip.
+
+std::string HexHash(std::uint64_t h) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(h));
+  return buf;
+}
+
+fs::path EntryPath(const std::string& cache_dir, const std::string& path) {
+  return fs::path(cache_dir) / (HexHash(Fnv1a64(path)) + ".sum");
+}
+
+std::string Esc(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\t': out += "\\t"; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string Unesc(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\' || i + 1 >= s.size()) {
+      out.push_back(s[i]);
+      continue;
+    }
+    ++i;
+    switch (s[i]) {
+      case 't': out.push_back('\t'); break;
+      case 'n': out.push_back('\n'); break;
+      default: out.push_back(s[i]);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> SplitTabs(const std::string& line) {
+  std::vector<std::string> out;
+  std::size_t b = 0;
+  while (true) {
+    const std::size_t e = line.find('\t', b);
+    if (e == std::string::npos) {
+      out.push_back(line.substr(b));
+      return out;
+    }
+    out.push_back(line.substr(b, e - b));
+    b = e + 1;
+  }
+}
+
+// Strict int parse; flips *ok on failure so one bad record poisons the
+// whole entry (a partial summary is worse than a cache miss).
+long Num(const std::string& s, bool* ok) {
+  if (s.empty()) {
+    *ok = false;
+    return 0;
+  }
+  char* end = nullptr;
+  const long v = std::strtol(s.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') *ok = false;
+  return v;
+}
+
+}  // namespace
+
+bool LoadCachedSummary(const std::string& cache_dir, const std::string& path,
+                       std::uint64_t content_hash, FileSummary* out) {
+  std::ifstream in(EntryPath(cache_dir, path));
+  if (!in) return false;
+  std::string line;
+  if (!std::getline(in, line)) return false;
+  {
+    std::istringstream header(line);
+    std::string magic, hex;
+    int format = 0;
+    header >> magic >> format >> hex;
+    if (magic != "sdslint-cache" || format != kSummaryFormatVersion ||
+        hex != HexHash(content_hash)) {
+      return false;
+    }
+  }
+
+  FileSummary s;
+  s.content_hash = content_hash;
+  bool ok = true;
+  while (ok && std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::vector<std::string> f = SplitTabs(line);
+    const std::string& tag = f[0];
+    auto need = [&](std::size_t n) {
+      if (f.size() < n) ok = false;
+      return ok;
+    };
+    if (tag == "p" && need(4)) {
+      s.path = Unesc(f[1]);
+      s.layer = f[2];
+      s.is_header = f[3] == "1";
+    } else if (tag == "i" && need(4)) {
+      s.includes.push_back({static_cast<int>(Num(f[1], &ok)), Unesc(f[3]),
+                            f[2] == "1"});
+    } else if (tag == "a" && need(4)) {
+      AllowComment a;
+      a.target_line = static_cast<int>(Num(f[1], &ok));
+      a.comment_line = static_cast<int>(Num(f[2], &ok));
+      a.raw_rules = Unesc(f[3]);
+      a.rules = SplitAllowRules(a.raw_rules);
+      s.allows.push_back(std::move(a));
+    } else if (tag == "F" && need(8)) {
+      FunctionSym fn;
+      fn.name = Unesc(f[1]);
+      fn.qualified = Unesc(f[2]);
+      fn.class_name = Unesc(f[3]);
+      fn.line = static_cast<int>(Num(f[4], &ok));
+      fn.body_begin = static_cast<int>(Num(f[5], &ok));
+      fn.body_end = static_cast<int>(Num(f[6], &ok));
+      fn.is_definition = f[7] == "1";
+      s.functions.push_back(std::move(fn));
+    } else if (tag == "C" && need(5)) {
+      s.calls.push_back({static_cast<int>(Num(f[1], &ok)),
+                         static_cast<int>(Num(f[2], &ok)), Unesc(f[3]),
+                         Unesc(f[4])});
+    } else if (tag == "D" && need(8)) {
+      FieldDecl d;
+      d.class_name = Unesc(f[1]);
+      d.name = Unesc(f[2]);
+      d.line = static_cast<int>(Num(f[3], &ok));
+      d.guarded_by = Unesc(f[4]);
+      d.shard_owned = f[5] == "1";
+      d.is_mutex = f[6] == "1";
+      d.is_unordered = f[7] == "1";
+      s.fields.push_back(std::move(d));
+    } else if (tag == "L" && need(4)) {
+      LockOp op;
+      op.func = static_cast<int>(Num(f[1], &ok));
+      op.line = static_cast<int>(Num(f[2], &ok));
+      op.assert_held = f[3] == "1";
+      for (std::size_t i = 4; i < f.size(); ++i) op.args.push_back(Unesc(f[i]));
+      s.locks.push_back(std::move(op));
+    } else if (tag == "S" && need(5)) {
+      s.sinks.push_back({static_cast<int>(Num(f[1], &ok)),
+                         static_cast<int>(Num(f[2], &ok)), Unesc(f[3]),
+                         Unesc(f[4])});
+    } else if (tag == "I" && need(4)) {
+      s.iters.push_back({static_cast<int>(Num(f[1], &ok)),
+                         static_cast<int>(Num(f[2], &ok)), Unesc(f[3])});
+    } else if (tag == "U" && need(2)) {
+      s.unordered_names.push_back(Unesc(f[1]));
+    } else if (tag == "X" && need(3)) {
+      s.std_uses.push_back({Unesc(f[1]), static_cast<int>(Num(f[2], &ok))});
+    } else if (tag == "V" && need(3)) {
+      s.verb_calls.push_back({static_cast<int>(Num(f[1], &ok)), Unesc(f[2])});
+    } else if (tag == "P" && need(2)) {
+      s.pragma_diag_line = static_cast<int>(Num(f[1], &ok));
+    } else if (tag == "N" && need(5)) {
+      s.snapshot.first_use = static_cast<int>(Num(f[1], &ok));
+      s.snapshot.versioned = f[2] == "1";
+      s.wal.first_use = static_cast<int>(Num(f[3], &ok));
+      s.wal.versioned = f[4] == "1";
+    } else {
+      ok = false;  // unknown tag: written by a future format, discard
+    }
+  }
+  if (!ok || s.path != path) return false;
+  *out = std::move(s);
+  return true;
+}
+
+bool StoreCachedSummary(const std::string& cache_dir,
+                        const FileSummary& s) {
+  std::error_code ec;
+  fs::create_directories(cache_dir, ec);
+  std::ofstream outf(EntryPath(cache_dir, s.path),
+                     std::ios::trunc | std::ios::binary);
+  if (!outf) return false;
+  outf << "sdslint-cache " << kSummaryFormatVersion << ' '
+       << HexHash(s.content_hash) << '\n';
+  outf << "p\t" << Esc(s.path) << '\t' << s.layer << '\t' << (s.is_header ? 1 : 0)
+       << '\n';
+  for (const IncludeDirective& inc : s.includes) {
+    outf << "i\t" << inc.line << '\t' << (inc.angle ? 1 : 0) << '\t'
+         << Esc(inc.target) << '\n';
+  }
+  for (const AllowComment& a : s.allows) {
+    outf << "a\t" << a.target_line << '\t' << a.comment_line << '\t'
+         << Esc(a.raw_rules) << '\n';
+  }
+  for (const FunctionSym& fn : s.functions) {
+    outf << "F\t" << Esc(fn.name) << '\t' << Esc(fn.qualified) << '\t'
+         << Esc(fn.class_name) << '\t' << fn.line << '\t' << fn.body_begin
+         << '\t' << fn.body_end << '\t' << (fn.is_definition ? 1 : 0) << '\n';
+  }
+  for (const CallSite& c : s.calls) {
+    outf << "C\t" << c.func << '\t' << c.line << '\t' << Esc(c.name) << '\t'
+         << Esc(c.qualifier) << '\n';
+  }
+  for (const FieldDecl& d : s.fields) {
+    outf << "D\t" << Esc(d.class_name) << '\t' << Esc(d.name) << '\t'
+         << d.line << '\t' << Esc(d.guarded_by) << '\t' << (d.shard_owned ? 1 : 0)
+         << '\t' << (d.is_mutex ? 1 : 0) << '\t' << (d.is_unordered ? 1 : 0)
+         << '\n';
+  }
+  for (const LockOp& op : s.locks) {
+    outf << "L\t" << op.func << '\t' << op.line << '\t'
+         << (op.assert_held ? 1 : 0);
+    for (const std::string& a : op.args) outf << '\t' << Esc(a);
+    outf << '\n';
+  }
+  for (const SinkOccur& sk : s.sinks) {
+    outf << "S\t" << sk.func << '\t' << sk.line << '\t' << Esc(sk.rule) << '\t'
+         << Esc(sk.token) << '\n';
+  }
+  for (const IterSite& it : s.iters) {
+    outf << "I\t" << it.func << '\t' << it.line << '\t' << Esc(it.range_text)
+         << '\n';
+  }
+  for (const std::string& n : s.unordered_names) {
+    outf << "U\t" << Esc(n) << '\n';
+  }
+  for (const StdUse& u : s.std_uses) {
+    outf << "X\t" << Esc(u.ident) << '\t' << u.line << '\n';
+  }
+  for (const VerbCall& v : s.verb_calls) {
+    outf << "V\t" << v.line << '\t' << Esc(v.verb) << '\n';
+  }
+  outf << "P\t" << s.pragma_diag_line << '\n';
+  outf << "N\t" << s.snapshot.first_use << '\t' << (s.snapshot.versioned ? 1 : 0)
+       << '\t' << s.wal.first_use << '\t' << (s.wal.versioned ? 1 : 0) << '\n';
+  return static_cast<bool>(outf);
+}
+
+}  // namespace sdslint

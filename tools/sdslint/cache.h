@@ -1,0 +1,27 @@
+// Incremental on-disk analysis cache: pass-1 FileSummary records keyed by
+// raw-content hash. Only pass 1 is cached — passes 2-4 always re-link from
+// the summaries, so cross-TU facts (call graph, taint, closures) can never
+// go stale behind an unchanged file. A format bump (kSummaryFormatVersion)
+// or any parse hiccup simply discards the entry; the cache is best-effort
+// and never authoritative.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sdslint/model.h"
+
+namespace sdslint {
+
+// Loads the cached summary for `path` if one exists and its recorded
+// content hash matches `content_hash`. Returns false on miss, version skew,
+// hash mismatch, or any decode error.
+bool LoadCachedSummary(const std::string& cache_dir, const std::string& path,
+                       std::uint64_t content_hash, FileSummary* out);
+
+// Writes `summary` (whose content_hash must already be set) into the cache.
+// Best-effort: returns false when the directory or file cannot be written.
+bool StoreCachedSummary(const std::string& cache_dir,
+                        const FileSummary& summary);
+
+}  // namespace sdslint

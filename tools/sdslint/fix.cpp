@@ -1,0 +1,145 @@
+// --fix: auto-remediation for the two mechanical header rules.
+//
+//   hdr-pragma-once      insert `#pragma once` before the header's first
+//                        code line (leading comment banners stay on top).
+//   hdr-self-contained   insert the missing `#include <hdr>` into the
+//                        header's angle-include block, kept sorted; when no
+//                        block exists, one is opened after #pragma once.
+//
+// Fixes are computed from a fresh analyzer run (baseline ignored — a
+// baselined finding is still worth fixing), applied bottom-up so line
+// numbers stay valid, and are idempotent: a second run finds nothing to do
+// because the first run's insertions satisfy the rules.
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sdslint/lint.h"
+#include "sdslint/source.h"
+
+namespace sdslint {
+namespace {
+
+// Pulls the missing header out of a hdr-self-contained message
+// ("... never pulls in <cstdint>; include it directly ..."). Empty when the
+// message shape ever drifts — the fix is skipped rather than misapplied.
+std::string MissingHeaderOf(const std::string& message) {
+  const std::size_t tag = message.find("pulls in <");
+  if (tag == std::string::npos) return "";
+  const std::size_t open = tag + 10;
+  const std::size_t close = message.find('>', open);
+  if (close == std::string::npos) return "";
+  return message.substr(open, close - open);
+}
+
+struct FilePlan {
+  bool add_pragma = false;
+  std::vector<std::string> add_includes;
+};
+
+bool ApplyPlan(const std::string& path, const FilePlan& plan) {
+  SourceText text;
+  if (!LoadSource(path, &text)) return false;
+  std::vector<std::string> lines = text.raw;
+
+  if (plan.add_pragma) {
+    // Before the first code line (leading comment banners stay on top).
+    std::size_t at = lines.size();
+    for (std::size_t i = 0; i < text.code.size(); ++i) {
+      if (!Trimmed(text.code[i]).empty()) {
+        at = i;
+        break;
+      }
+    }
+    lines.insert(lines.begin() + static_cast<std::ptrdiff_t>(at),
+                 "#pragma once");
+  }
+
+  if (!plan.add_includes.empty()) {
+    std::vector<std::string> adds;
+    for (const std::string& hdr : plan.add_includes) {
+      adds.push_back("#include <" + hdr + ">");
+    }
+    std::sort(adds.begin(), adds.end());
+    adds.erase(std::unique(adds.begin(), adds.end()), adds.end());
+
+    // Find the first contiguous block of #include <...> lines.
+    std::size_t block_begin = lines.size();
+    std::size_t block_end = lines.size();
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      if (Trimmed(lines[i]).rfind("#include <", 0) == 0) {
+        block_begin = i;
+        block_end = i + 1;
+        while (block_end < lines.size() &&
+               Trimmed(lines[block_end]).rfind("#include <", 0) == 0) {
+          ++block_end;
+        }
+        break;
+      }
+    }
+    if (block_begin < lines.size()) {
+      std::vector<std::string> block(
+          lines.begin() + static_cast<std::ptrdiff_t>(block_begin),
+          lines.begin() + static_cast<std::ptrdiff_t>(block_end));
+      for (const std::string& add : adds) {
+        if (std::find(block.begin(), block.end(), add) == block.end()) {
+          block.push_back(add);
+        }
+      }
+      std::sort(block.begin(), block.end());
+      lines.erase(lines.begin() + static_cast<std::ptrdiff_t>(block_begin),
+                  lines.begin() + static_cast<std::ptrdiff_t>(block_end));
+      lines.insert(lines.begin() + static_cast<std::ptrdiff_t>(block_begin),
+                   block.begin(), block.end());
+    } else {
+      // No block yet: open one after #pragma once (or at the top).
+      std::size_t at = 0;
+      for (std::size_t i = 0; i < lines.size(); ++i) {
+        if (Trimmed(lines[i]) == "#pragma once") {
+          at = i + 1;
+          break;
+        }
+      }
+      std::vector<std::string> insert;
+      insert.emplace_back("");
+      insert.insert(insert.end(), adds.begin(), adds.end());
+      lines.insert(lines.begin() + static_cast<std::ptrdiff_t>(at),
+                   insert.begin(), insert.end());
+    }
+  }
+
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  for (const std::string& line : lines) out << line << '\n';
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
+int ApplyFixes(const Options& options, std::vector<std::string>* fixed_files) {
+  Options run_options = options;
+  run_options.baseline_path.clear();
+  const Result result = Run(run_options);
+
+  std::map<std::string, FilePlan> plans;
+  for (const Diagnostic& d : result.diagnostics) {
+    if (d.rule == kRuleHdrPragmaOnce) {
+      plans[d.file].add_pragma = true;
+    } else if (d.rule == kRuleHdrSelfContained) {
+      const std::string hdr = MissingHeaderOf(d.message);
+      if (!hdr.empty()) plans[d.file].add_includes.push_back(hdr);
+    }
+  }
+
+  int fixed = 0;
+  for (const auto& [path, plan] : plans) {
+    if (!ApplyPlan(path, plan)) continue;
+    ++fixed;
+    if (fixed_files != nullptr) fixed_files->push_back(path);
+  }
+  return fixed;
+}
+
+}  // namespace sdslint

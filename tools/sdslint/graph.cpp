@@ -1,0 +1,342 @@
+// Passes 2 and 3: cross-TU call graph and interprocedural determinism taint.
+//
+// Linkage is closure-scoped: a call site in file A may bind to a definition
+// in file B only when A's quoted-include closure reaches B, B's sibling
+// header, or a declaration of the same (class, name). That keeps the graph
+// honest without a real linker — an unresolvable name simply drops out.
+//
+// Taint seeds are the direct determinism sinks (ambient randomness, wall
+// clocks, pointer printing, unordered-container iteration) that are not
+// silenced by an allow(...) comment or a builtin allow. Seeds propagate
+// backward over the call graph; telemetry-layer functions are never tainted
+// and never propagate (the telemetry plane is a write-only observability
+// sink by charter — DESIGN.md §16). A deterministic-layer function calling
+// across files into a tainted function is diagnosed with the full chain.
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sdslint/passes.h"
+#include "sdslint/source.h"
+
+namespace sdslint {
+namespace {
+
+using Key = std::pair<int, int>;  // (file index, function index)
+
+constexpr Key kNoKey{-1, -1};
+
+// Names with more definitions than this are too generic to link (Get, Size,
+// ...); binding them would flood the graph with false edges.
+constexpr std::size_t kMaxCandidates = 12;
+
+struct TaintRecord {
+  Key next = kNoKey;  // hop toward the sink; kNoKey at the seed itself
+  std::string sink_token;
+  std::string sink_rule;
+  std::string sink_file;
+  int sink_line = 0;
+};
+
+struct Edge {
+  Key to;
+  int line = 0;  // call-site line in the caller's file
+};
+
+class GraphPass {
+ public:
+  explicit GraphPass(PassContext& ctx) : ctx_(ctx) {
+    for (FileSummary* f : ctx.files) {
+      scan_set_.insert(static_cast<int>(all_.size()));
+      IndexOf(f);
+    }
+  }
+
+  void Run() {
+    BuildEdges();
+    SeedSinks();
+    SeedUnorderedIters();
+    Propagate();
+    EmitTaint();
+  }
+
+ private:
+  int IndexOf(FileSummary* f) {
+    auto it = index_.find(f);
+    if (it != index_.end()) return it->second;
+    const int id = static_cast<int>(all_.size());
+    all_.push_back(f);
+    index_.emplace(f, id);
+    path_index_.emplace(f->path, id);
+    return id;
+  }
+
+  // Quoted-include closure of file `fi` (as indices into all_), self
+  // included. Demand-loads out-of-scan-set dependencies through resolve().
+  const std::set<int>& Closure(int fi) {
+    auto it = closures_.find(fi);
+    if (it != closures_.end()) return it->second;
+    std::set<int>& out = closures_[fi];
+    std::vector<int> queue{fi};
+    out.insert(fi);
+    while (!queue.empty()) {
+      const int cur = queue.back();
+      queue.pop_back();
+      // IndexOf may grow all_; take the pointer first.
+      const FileSummary* f = all_[static_cast<std::size_t>(cur)];
+      for (const IncludeDirective& inc : f->includes) {
+        if (inc.angle) continue;
+        FileSummary* dep = ctx_.resolve(inc.target);
+        if (dep == nullptr) continue;
+        const int di = IndexOf(dep);
+        if (out.insert(di).second) queue.push_back(di);
+      }
+    }
+    return out;
+  }
+
+  const FunctionSym& Fn(const Key& k) const {
+    return all_[static_cast<std::size_t>(k.first)]
+        ->functions[static_cast<std::size_t>(k.second)];
+  }
+  const FileSummary& File(const Key& k) const {
+    return *all_[static_cast<std::size_t>(k.first)];
+  }
+
+  static std::string SiblingHeader(const std::string& path) {
+    const std::size_t dot = path.rfind('.');
+    if (dot == std::string::npos) return "";
+    return path.substr(0, dot) + ".h";
+  }
+
+  void BuildEdges() {
+    // Closures first: they can demand-load files that contribute symbols.
+    const std::size_t scan_count = all_.size();
+    for (std::size_t fi = 0; fi < scan_count; ++fi) Closure(static_cast<int>(fi));
+
+    // Definition and declaration indexes over everything now known.
+    std::map<std::string, std::vector<Key>> defs;
+    std::map<std::string, std::vector<Key>> decls;
+    for (std::size_t fi = 0; fi < all_.size(); ++fi) {
+      const FileSummary* f = all_[fi];
+      for (std::size_t k = 0; k < f->functions.size(); ++k) {
+        const FunctionSym& fn = f->functions[k];
+        if (fn.name.empty()) continue;
+        (fn.is_definition ? defs : decls)[fn.name].push_back(
+            {static_cast<int>(fi), static_cast<int>(k)});
+      }
+      if (ctx_.stats != nullptr && scan_set_.count(static_cast<int>(fi)) != 0) {
+        ctx_.stats->functions += static_cast<int>(f->functions.size());
+      }
+    }
+
+    for (std::size_t fi = 0; fi < all_.size(); ++fi) {
+      const FileSummary* f = all_[fi];
+      const std::set<int>& closure = Closure(static_cast<int>(fi));
+      for (const CallSite& call : f->calls) {
+        if (call.func < 0) continue;
+        if (call.qualifier == "std") continue;
+        auto dit = defs.find(call.name);
+        if (dit == defs.end() || dit->second.size() > kMaxCandidates) continue;
+        const Key from{static_cast<int>(fi), call.func};
+        for (const Key& cand : dit->second) {
+          if (cand == from) continue;
+          const FunctionSym& target = Fn(cand);
+          if (!call.qualifier.empty() &&
+              target.class_name != call.qualifier &&
+              target.qualified.find(call.qualifier + "::") ==
+                  std::string::npos) {
+            continue;
+          }
+          if (!Authorized(closure, cand, decls)) continue;
+          edges_[from].push_back({cand, call.line});
+          reverse_[cand].push_back(from);
+          if (ctx_.stats != nullptr) ++ctx_.stats->call_edges;
+        }
+      }
+    }
+  }
+
+  bool Authorized(const std::set<int>& closure, const Key& cand,
+                  const std::map<std::string, std::vector<Key>>& decls) {
+    if (closure.count(cand.first) != 0) return true;
+    const FileSummary& def_file = File(cand);
+    const std::string sibling = SiblingHeader(def_file.path);
+    if (!sibling.empty()) {
+      auto pit = path_index_.find(sibling);
+      if (pit != path_index_.end() && closure.count(pit->second) != 0) {
+        return true;
+      }
+    }
+    const FunctionSym& def = Fn(cand);
+    auto dit = decls.find(def.name);
+    if (dit != decls.end()) {
+      for (const Key& d : dit->second) {
+        if (closure.count(d.first) == 0) continue;
+        if (Fn(d).class_name == def.class_name) return true;
+      }
+    }
+    return false;
+  }
+
+  bool Seed(const Key& k, const std::string& rule, const std::string& token,
+            const std::string& file, int line) {
+    if (taint_.count(k) != 0) return false;
+    TaintRecord r;
+    r.sink_token = token;
+    r.sink_rule = rule;
+    r.sink_file = file;
+    r.sink_line = line;
+    taint_.emplace(k, std::move(r));
+    frontier_.push_back(k);
+    if (ctx_.stats != nullptr) ++ctx_.stats->taint_seeds;
+    return true;
+  }
+
+  void SeedSinks() {
+    for (std::size_t fi = 0; fi < all_.size(); ++fi) {
+      const FileSummary* f = all_[fi];
+      if (f->layer == "telemetry") continue;
+      for (const SinkOccur& s : f->sinks) {
+        if (s.func < 0) continue;
+        if (ctx_.silenced(*f, s.line, s.rule)) continue;
+        Seed({static_cast<int>(fi), s.func}, s.rule, s.token, f->path, s.line);
+      }
+    }
+  }
+
+  void SeedUnorderedIters() {
+    for (std::size_t fi = 0; fi < all_.size(); ++fi) {
+      FileSummary* f = all_[fi];
+      if (f->layer == "telemetry") continue;
+      for (const IterSite& it : f->iters) {
+        bool hit = it.range_text.find("unordered_map") != std::string::npos ||
+                   it.range_text.find("unordered_set") != std::string::npos;
+        for (std::size_t n = 0; !hit && n < f->unordered_names.size(); ++n) {
+          hit = HasToken(it.range_text, f->unordered_names[n]);
+        }
+        // Cross-TU extension: the container may be declared in a header the
+        // per-file view never sees (the PR-4 scanner's exact blind spot).
+        std::string cross_name;
+        const FileSummary* cross_decl = nullptr;
+        if (!hit) {
+          for (int di : Closure(static_cast<int>(fi))) {
+            if (di == static_cast<int>(fi)) continue;
+            const FileSummary* g = all_[static_cast<std::size_t>(di)];
+            for (const std::string& name : g->unordered_names) {
+              if (HasToken(it.range_text, name)) {
+                cross_name = name;
+                cross_decl = g;
+                break;
+              }
+            }
+            if (cross_decl != nullptr) break;
+          }
+        }
+        if (!hit && cross_decl == nullptr) continue;
+        if (ctx_.silenced(*f, it.line, kRuleDetUnorderedIter)) continue;
+        if (it.func >= 0) {
+          Seed({static_cast<int>(fi), it.func}, kRuleDetUnorderedIter,
+               "range-for over unordered container", f->path, it.line);
+        }
+        if (cross_decl != nullptr && IsDeterministicLayer(f->layer) &&
+            scan_set_.count(static_cast<int>(fi)) != 0) {
+          ctx_.emit(*f, it.line, kRuleDetUnorderedIter,
+                    "range-for over unordered container '" + cross_name +
+                        "' (declared in " + cross_decl->path +
+                        ") in deterministic layer " + f->layer +
+                        ": iteration order is implementation-defined and "
+                        "varies with rehashing; iterate a sorted view or "
+                        "switch to std::map/set");
+        }
+      }
+    }
+  }
+
+  void Propagate() {
+    while (!frontier_.empty()) {
+      const Key k = frontier_.back();
+      frontier_.pop_back();
+      auto rit = reverse_.find(k);
+      if (rit == reverse_.end()) continue;
+      for (const Key& caller : rit->second) {
+        if (File(caller).layer == "telemetry") continue;
+        if (taint_.count(caller) != 0) continue;
+        TaintRecord r;
+        r.next = k;
+        taint_.emplace(caller, std::move(r));
+        frontier_.push_back(caller);
+      }
+    }
+    if (ctx_.stats != nullptr) {
+      ctx_.stats->tainted_functions = static_cast<int>(taint_.size());
+    }
+  }
+
+  // The chain from `k` down to its sink: "A::f -> B::g -> token [rule] at
+  // file:line". Bounded against accidental cycles in the records.
+  std::string Chain(Key k) const {
+    std::string out;
+    for (int hops = 0; hops < 64; ++hops) {
+      const auto it = taint_.find(k);
+      if (it == taint_.end()) break;
+      const FunctionSym& fn = Fn(k);
+      if (!out.empty()) out += " -> ";
+      out += fn.qualified.empty() ? fn.name : fn.qualified;
+      if (it->second.next == kNoKey) {
+        out += " -> " + it->second.sink_token + " [" + it->second.sink_rule +
+               "] at " + it->second.sink_file + ":" +
+               std::to_string(it->second.sink_line);
+        break;
+      }
+      k = it->second.next;
+    }
+    return out;
+  }
+
+  void EmitTaint() {
+    std::set<std::pair<Key, std::string>> emitted;
+    for (const auto& [from, out] : edges_) {
+      FileSummary& caller_file =
+          *all_[static_cast<std::size_t>(from.first)];
+      if (scan_set_.count(from.first) == 0) continue;
+      if (!IsDeterministicLayer(caller_file.layer)) continue;
+      for (const Edge& e : out) {
+        if (e.to.first == from.first) continue;  // same-file: direct rules own it
+        const auto tit = taint_.find(e.to);
+        if (tit == taint_.end()) continue;
+        const FunctionSym& callee = Fn(e.to);
+        const std::string chain = Chain(e.to);
+        const std::string msg =
+            "call into '" +
+            (callee.qualified.empty() ? callee.name : callee.qualified) +
+            "' (" + File(e.to).path +
+            ") reaches a nondeterministic sink from deterministic layer " +
+            caller_file.layer + "; chain: " + chain +
+            "; hoist the nondeterminism behind an injected seam (sds::Rng, "
+            "TickClock) or move it to eval/telemetry";
+        if (!emitted.insert({{from.first, e.line}, msg}).second) continue;
+        ctx_.emit(caller_file, e.line, kRuleDetTaint, msg);
+      }
+    }
+  }
+
+  PassContext& ctx_;
+  std::vector<FileSummary*> all_;  // scan set first, then demand-loaded
+  std::map<const FileSummary*, int> index_;
+  std::map<std::string, int> path_index_;
+  std::set<int> scan_set_;
+  std::map<int, std::set<int>> closures_;
+  std::map<Key, std::vector<Edge>> edges_;
+  std::map<Key, std::vector<Key>> reverse_;
+  std::map<Key, TaintRecord> taint_;
+  std::vector<Key> frontier_;
+};
+
+}  // namespace
+
+void RunGraphPasses(PassContext& ctx) { GraphPass(ctx).Run(); }
+
+}  // namespace sdslint

@@ -1,24 +1,30 @@
+// Orchestrator for the multi-pass analyzer (see lint.h for the pass map).
+// This file owns the layer model, file discovery, the cache-aware pass-1
+// driver, the v1 rule families (re-expressed over the FileSummary IR with
+// byte-identical diagnostics), central emission, and the baseline filter.
 #include "sdslint/lint.h"
 
 #include <algorithm>
-#include <cctype>
 #include <cstring>
 #include <filesystem>
-#include <fstream>
-#include <optional>
+#include <map>
 #include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "sdslint/baseline.h"
+#include "sdslint/cache.h"
+#include "sdslint/json.h"
+#include "sdslint/model.h"
+#include "sdslint/passes.h"
+#include "sdslint/source.h"
+#include "sdslint/symbols.h"
+
 namespace sdslint {
 namespace {
 
 namespace fs = std::filesystem;
-
-bool IsWord(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
 
 // ---------------------------------------------------------------------------
 // Layer model
@@ -140,234 +146,43 @@ constexpr BuiltinAllow kBuiltinAllows[] = {
     {"src/eval/experiment", kRuleDetClock},  // wall-clock run timing report
 };
 
-// ---------------------------------------------------------------------------
-// Parsed file
-// ---------------------------------------------------------------------------
-
-struct IncludeDirective {
-  int line = 0;
-  std::string target;
-  bool angle = false;
+// Why-texts for the direct determinism sink tokens (pass 1 records the
+// occurrences; the message stays identical to v1).
+struct BanWhy {
+  const char* token;
+  const char* why;
+};
+constexpr BanWhy kBanWhys[] = {
+    {"rand",
+     "libc rand() draws from ambient global state; use sds::Rng seeded "
+     "from the run config"},
+    {"srand", "seeding the global C RNG makes run order matter; use sds::Rng"},
+    {"random_device",
+     "std::random_device is nondeterministic by definition; use sds::Rng "
+     "seeded from the run config"},
+    {"system_clock",
+     "wall-clock reads break bit-identical replays; use the tick clock "
+     "(sds::TickClock) or move the timing to eval/telemetry"},
+    {"steady_clock",
+     "wall-clock reads break bit-identical replays; use the tick clock "
+     "(sds::TickClock) or move the timing to eval/telemetry"},
+    {"high_resolution_clock",
+     "wall-clock reads break bit-identical replays; use the tick clock "
+     "(sds::TickClock) or move the timing to eval/telemetry"},
+    {"clock_gettime", "wall-clock reads break bit-identical replays"},
+    {"gettimeofday", "wall-clock reads break bit-identical replays"},
 };
 
-struct AllowComment {
-  int target_line = 0;   // the line this suppression silences
-  int comment_line = 0;  // where the comment sits
-  std::vector<std::string> rules;
-  std::string raw_rules;
-  bool used = false;
-};
-
-struct ParsedFile {
-  std::string path;           // as discovered (generic form)
-  std::string layer;          // "" when outside any known layer
-  bool is_header = false;
-  std::vector<std::string> raw;      // raw lines, 0-based
-  std::vector<std::string> code;     // comments and string bodies blanked
-  std::vector<std::string> strings;  // per line: concatenated literal bodies
-  std::vector<IncludeDirective> includes;
-  std::vector<AllowComment> allows;
-};
-
-// Blanks comments and string/char literal bodies out of `raw` line by line,
-// carrying block-comment state across lines. Literal bodies are collected per
-// line into `strings` so the %p rule can look only inside format strings.
-// Line/token analysis does not need raw-string or trigraph fidelity; the one
-// R"( in the tree is handled well enough by the '"' state machine.
-void StripFile(ParsedFile& f) {
-  bool in_block = false;
-  f.code.reserve(f.raw.size());
-  f.strings.reserve(f.raw.size());
-  for (const std::string& line : f.raw) {
-    std::string code;
-    code.reserve(line.size());
-    std::string lits;
-    bool in_string = false;
-    bool in_char = false;
-    for (std::size_t i = 0; i < line.size(); ++i) {
-      const char c = line[i];
-      const char next = i + 1 < line.size() ? line[i + 1] : '\0';
-      if (in_block) {
-        if (c == '*' && next == '/') {
-          in_block = false;
-          ++i;
-        }
-        code.push_back(' ');
-        continue;
-      }
-      if (in_string || in_char) {
-        const char quote = in_string ? '"' : '\'';
-        if (c == '\\' && next != '\0') {
-          if (in_string) lits.push_back(next);
-          code.append(2, ' ');
-          ++i;
-          continue;
-        }
-        if (c == quote) {
-          in_string = in_char = false;
-          code.push_back(c);
-        } else {
-          if (in_string) lits.push_back(c);
-          code.push_back(' ');
-        }
-        continue;
-      }
-      if (c == '/' && next == '/') break;  // line comment: drop the rest
-      if (c == '/' && next == '*') {
-        in_block = true;
-        code.append(2, ' ');
-        ++i;
-        continue;
-      }
-      if (c == '"') {
-        in_string = true;
-        code.push_back(c);
-        continue;
-      }
-      if (c == '\'') {
-        in_char = true;
-        code.push_back(c);
-        continue;
-      }
-      code.push_back(c);
-    }
-    f.code.push_back(std::move(code));
-    f.strings.push_back(std::move(lits));
+const char* WhyOf(const std::string& token) {
+  for (const BanWhy& b : kBanWhys) {
+    if (token == b.token) return b.why;
   }
-}
-
-std::string Trimmed(const std::string& s) {
-  std::size_t b = s.find_first_not_of(" \t");
-  if (b == std::string::npos) return "";
-  std::size_t e = s.find_last_not_of(" \t");
-  return s.substr(b, e - b + 1);
-}
-
-void ParseIncludes(ParsedFile& f) {
-  for (std::size_t i = 0; i < f.raw.size(); ++i) {
-    std::string t = Trimmed(f.raw[i]);
-    if (t.empty() || t[0] != '#') continue;
-    std::size_t p = t.find_first_not_of(" \t", 1);
-    if (p == std::string::npos || t.compare(p, 7, "include") != 0) continue;
-    p = t.find_first_of("\"<", p + 7);
-    if (p == std::string::npos) continue;
-    const bool angle = t[p] == '<';
-    const char close = angle ? '>' : '"';
-    const std::size_t end = t.find(close, p + 1);
-    if (end == std::string::npos) continue;
-    f.includes.push_back(
-        {static_cast<int>(i) + 1, t.substr(p + 1, end - p - 1), angle});
-  }
-}
-
-// Suppression comments — `sdslint` prefix, colon, then allow(rule[, rule]).
-// The trailing form silences its own line; a comment-only line silences the
-// next line.
-void ParseAllows(ParsedFile& f) {
-  for (std::size_t i = 0; i < f.raw.size(); ++i) {
-    const std::string& line = f.raw[i];
-    std::size_t p = line.find("sdslint:");
-    if (p == std::string::npos) continue;
-    std::size_t q = line.find_first_not_of(" \t", p + 8);
-    if (q == std::string::npos || line.compare(q, 5, "allow") != 0) continue;
-    std::size_t open = line.find('(', q + 5);
-    if (open == std::string::npos) continue;
-    std::size_t close = line.find(')', open);
-    if (close == std::string::npos) continue;
-    AllowComment a;
-    a.comment_line = static_cast<int>(i) + 1;
-    a.raw_rules = line.substr(open + 1, close - open - 1);
-    std::string cur;
-    for (char c : a.raw_rules + ",") {
-      if (c == ',' || c == ' ' || c == '\t') {
-        if (!cur.empty()) a.rules.push_back(cur);
-        cur.clear();
-      } else {
-        cur.push_back(c);
-      }
-    }
-    const bool comment_only = Trimmed(f.code[i]).empty();
-    a.target_line = comment_only ? a.comment_line + 1 : a.comment_line;
-    f.allows.push_back(std::move(a));
-  }
-}
-
-// Finds `token` in `line` with word boundaries on its alphanumeric ends.
-// Returns npos when absent.
-std::size_t FindToken(const std::string& line, const std::string& token,
-                      std::size_t from = 0) {
-  for (std::size_t p = line.find(token, from); p != std::string::npos;
-       p = line.find(token, p + 1)) {
-    const bool left_ok = p == 0 || !IsWord(line[p - 1]);
-    const std::size_t after = p + token.size();
-    const bool right_ok = after >= line.size() || !IsWord(line[after]);
-    if (left_ok && right_ok) return p;
-  }
-  return std::string::npos;
-}
-
-bool HasToken(const std::string& line, const std::string& token) {
-  return FindToken(line, token) != std::string::npos;
+  return "";
 }
 
 // ---------------------------------------------------------------------------
 // Analyzer
 // ---------------------------------------------------------------------------
-
-struct StdProvider {
-  const char* ident;      // identifier after std::
-  const char* providers;  // comma-separated satisfying <headers>
-};
-
-// Identifiers checked by hdr-self-contained. Deliberately restricted to types
-// with an unambiguous home header (plus a few multi-provider stream cases) so
-// the rule stays false-positive-free; pervasive transitively-available names
-// (size_t, pair, move, swap) are out of scope.
-constexpr StdProvider kStdProviders[] = {
-    {"string", "string"},
-    {"string_view", "string_view"},
-    {"vector", "vector"},
-    {"map", "map"},
-    {"multimap", "map"},
-    {"set", "set"},
-    {"multiset", "set"},
-    {"unordered_map", "unordered_map"},
-    {"unordered_set", "unordered_set"},
-    {"optional", "optional"},
-    {"function", "functional"},
-    {"array", "array"},
-    {"deque", "deque"},
-    {"atomic", "atomic"},
-    {"thread", "thread"},
-    {"mutex", "mutex"},
-    {"lock_guard", "mutex"},
-    {"unique_lock", "mutex"},
-    {"condition_variable", "condition_variable"},
-    {"chrono", "chrono"},
-    {"int8_t", "cstdint"},
-    {"int16_t", "cstdint"},
-    {"int32_t", "cstdint"},
-    {"int64_t", "cstdint"},
-    {"uint8_t", "cstdint"},
-    {"uint16_t", "cstdint"},
-    {"uint32_t", "cstdint"},
-    {"uint64_t", "cstdint"},
-    {"FILE", "cstdio"},
-    {"unique_ptr", "memory"},
-    {"shared_ptr", "memory"},
-    {"make_unique", "memory"},
-    {"make_shared", "memory"},
-    {"variant", "variant"},
-    {"monostate", "variant"},
-    {"span", "span"},
-    {"ifstream", "fstream"},
-    {"ofstream", "fstream"},
-    {"stringstream", "sstream"},
-    {"ostringstream", "sstream"},
-    {"istringstream", "sstream"},
-    {"ostream", "ostream,iostream,fstream,sstream,iosfwd"},
-    {"istream", "istream,iostream,fstream,sstream,iosfwd"},
-};
 
 class Analyzer {
  public:
@@ -376,13 +191,16 @@ class Analyzer {
   Result Run() {
     CollectFiles();
     for (const std::string& path : scan_list_) Load(path);
+    result_.stats.files_scanned = static_cast<int>(scan_list_.size());
     for (const std::string& path : scan_list_) Check(files_.at(path));
+    RunCrossTuPasses();
     std::sort(result_.diagnostics.begin(), result_.diagnostics.end(),
               [](const Diagnostic& a, const Diagnostic& b) {
                 if (a.file != b.file) return a.file < b.file;
                 if (a.line != b.line) return a.line < b.line;
                 return a.rule < b.rule;
               });
+    ApplyBaseline();
     for (const std::string& path : scan_list_) {
       for (const AllowComment& a : files_.at(path).allows) {
         result_.suppressions.push_back(
@@ -427,38 +245,43 @@ class Analyzer {
     scan_list_.assign(seen.begin(), seen.end());
   }
 
-  ParsedFile* Load(const std::string& path) {
+  // Cache-aware pass 1: bytes -> hash -> cached summary or a fresh parse.
+  FileSummary* Load(const std::string& path) {
     auto it = files_.find(path);
     if (it != files_.end()) return &it->second;
-    std::ifstream in(path);
-    if (!in) return nullptr;
-    ParsedFile f;
-    f.path = path;
-    f.layer = LayerOfPath(path);
-    const std::string ext = fs::path(path).extension().string();
-    f.is_header = ext == ".h" || ext == ".hpp";
-    std::string line;
-    while (std::getline(in, line)) {
-      if (!line.empty() && line.back() == '\r') line.pop_back();
-      f.raw.push_back(line);
+    std::string bytes;
+    if (!LoadFileBytes(path, &bytes)) return nullptr;
+    const std::uint64_t hash = Fnv1a64(bytes);
+    FileSummary summary;
+    if (!options_.cache_dir.empty() &&
+        LoadCachedSummary(options_.cache_dir, path, hash, &summary)) {
+      ++result_.stats.cache_hits;
+    } else {
+      SourceText text;
+      BuildSourceText(path, bytes, &text);
+      const std::string ext = fs::path(path).extension().string();
+      summary = BuildSummary(text, LayerOfPath(path),
+                             ext == ".h" || ext == ".hpp");
+      summary.content_hash = hash;
+      ++result_.stats.parsed;
+      if (!options_.cache_dir.empty()) {
+        StoreCachedSummary(options_.cache_dir, summary);
+      }
     }
-    StripFile(f);
-    ParseIncludes(f);
-    ParseAllows(f);
-    return &files_.emplace(path, std::move(f)).first->second;
+    return &files_.emplace(path, std::move(summary)).first->second;
   }
 
   // Resolves a quoted include ("detect/params.h") to a file under
-  // <include_root>/src/, loading it on demand (it need not be in the scan
+  // <include_root>/src, loading it on demand (it need not be in the scan
   // set). Returns nullptr when the target does not exist.
-  ParsedFile* Resolve(const std::string& target) {
+  FileSummary* Resolve(const std::string& target) {
     const fs::path p = fs::path(options_.include_root) / "src" / target;
     std::error_code ec;
     if (!fs::is_regular_file(p, ec)) return nullptr;
     return Load(p.lexically_normal().generic_string());
   }
 
-  bool BuiltinAllowed(const ParsedFile& f, const std::string& rule) const {
+  bool BuiltinAllowed(const FileSummary& f, const std::string& rule) const {
     for (const BuiltinAllow& a : kBuiltinAllows) {
       if (rule == a.rule && f.path.find(a.path_fragment) != std::string::npos)
         return true;
@@ -466,7 +289,7 @@ class Analyzer {
     return false;
   }
 
-  void Emit(ParsedFile& f, int line, const std::string& rule,
+  void Emit(FileSummary& f, int line, const std::string& rule,
             std::string message) {
     if (BuiltinAllowed(f, rule)) return;
     for (AllowComment& a : f.allows) {
@@ -478,12 +301,68 @@ class Analyzer {
         }
       }
     }
+    ++result_.stats.rule_hits[rule];
     result_.diagnostics.push_back({f.path, line, rule, std::move(message)});
   }
 
-  // ---- rules ----
+  // Would Emit drop this diagnostic? (Without marking suppressions used —
+  // taint seeding must not count as a firing.)
+  bool Silenced(const FileSummary& f, int line, const std::string& rule) const {
+    if (BuiltinAllowed(f, rule)) return true;
+    for (const AllowComment& a : f.allows) {
+      if (a.target_line != line) continue;
+      for (const std::string& r : a.rules) {
+        if (r == rule || r == "all" || r == "*") return true;
+      }
+    }
+    return false;
+  }
 
-  void Check(ParsedFile& f) {
+  void RunCrossTuPasses() {
+    PassContext ctx;
+    for (const std::string& path : scan_list_) {
+      ctx.files.push_back(&files_.at(path));
+    }
+    ctx.resolve = [this](const std::string& target) { return Resolve(target); };
+    ctx.emit = [this](FileSummary& f, int line, const std::string& rule,
+                      std::string message) {
+      Emit(f, line, rule, std::move(message));
+    };
+    ctx.silenced = [this](const FileSummary& f, int line,
+                          const std::string& rule) {
+      return Silenced(f, line, rule);
+    };
+    ctx.stats = &result_.stats;
+    RunGraphPasses(ctx);
+    RunConcPass(ctx);
+  }
+
+  void ApplyBaseline() {
+    if (options_.baseline_path.empty()) return;
+    std::map<std::string, std::string> entries;
+    if (!LoadBaseline(options_.baseline_path, &entries)) return;
+    std::set<std::string> matched;
+    std::vector<Diagnostic> live;
+    for (Diagnostic& d : result_.diagnostics) {
+      const std::string fp = BaselineFingerprint(d, options_.include_root);
+      if (entries.count(fp) != 0) {
+        matched.insert(fp);
+        result_.baselined.push_back(std::move(d));
+      } else {
+        live.push_back(std::move(d));
+      }
+    }
+    result_.diagnostics = std::move(live);
+    for (const auto& [fp, text] : entries) {
+      if (matched.count(fp) == 0) {
+        result_.stale_baseline_entries.push_back(text);
+      }
+    }
+  }
+
+  // ---- v1 rule families, emitted from the pass-1 summaries ----
+
+  void Check(FileSummary& f) {
     CheckIncludes(f);
     if (f.is_header) {
       CheckPragmaOnce(f);
@@ -505,20 +384,10 @@ class Analyzer {
   // plane carries the version pin that OpenSnapshot rejects on (DESIGN.md
   // §13). Detector-side SaveState payloads are out of scope: they are always
   // wrapped in the versioned obs envelope before leaving the process.
-  void CheckSnapshotVersioned(ParsedFile& f) {
+  void CheckSnapshotVersioned(FileSummary& f) {
     if (f.layer != "obs") return;
-    int first_use = 0;
-    bool versioned = false;
-    for (std::size_t i = 0; i < f.code.size(); ++i) {
-      const std::string& line = f.code[i];
-      if (first_use == 0 && (HasToken(line, "SnapshotWriter") ||
-                             HasToken(line, "SnapshotReader"))) {
-        first_use = static_cast<int>(i) + 1;
-      }
-      if (HasToken(line, "kSnapshotVersion")) versioned = true;
-    }
-    if (first_use != 0 && !versioned) {
-      Emit(f, first_use, kRuleDetSnapshotVersioned,
+    if (f.snapshot.first_use != 0 && !f.snapshot.versioned) {
+      Emit(f, f.snapshot.first_use, kRuleDetSnapshotVersioned,
            "obs-layer snapshot serialization without a kSnapshotVersion "
            "reference: every blob format must carry the version pin that "
            "OpenSnapshot validates, or restores after a format change would "
@@ -529,28 +398,11 @@ class Analyzer {
   // det-wal-versioned: a svc-layer file that encodes or scans WAL frames
   // (WalWriter / WalReader) must reference obs::kSnapshotVersion somewhere
   // in its code, so every WAL payload carries the same version pin the
-  // checkpoint envelope does (DESIGN.md §14). Without it, a recovery after
-  // a record-format change would misparse old frames as garbage counters
-  // instead of stopping the scan at a version mismatch.
-  void CheckWalVersioned(ParsedFile& f) {
+  // checkpoint envelope does (DESIGN.md §14).
+  void CheckWalVersioned(FileSummary& f) {
     if (f.layer != "svc") return;
-    int first_use = 0;
-    bool versioned = false;
-    for (std::size_t i = 0; i < f.code.size(); ++i) {
-      const std::string& line = f.code[i];
-      if (first_use == 0 &&
-          (HasToken(line, "WalWriter") || HasToken(line, "WalReader"))) {
-        first_use = static_cast<int>(i) + 1;
-      }
-      // kWalPayloadVersion is defined as obs::kSnapshotVersion in svc/wal.h,
-      // so referencing the alias references the pin.
-      if (HasToken(line, "kSnapshotVersion") ||
-          HasToken(line, "kWalPayloadVersion")) {
-        versioned = true;
-      }
-    }
-    if (first_use != 0 && !versioned) {
-      Emit(f, first_use, kRuleDetWalVersioned,
+    if (f.wal.first_use != 0 && !f.wal.versioned) {
+      Emit(f, f.wal.first_use, kRuleDetWalVersioned,
            "svc-layer WAL framing without a kSnapshotVersion reference: "
            "every WAL record must carry the snapshot version pin so a "
            "recovery scan rejects frames written by a different format "
@@ -563,77 +415,46 @@ class Analyzer {
   // (Migrate / StopVm / ResumeVm). Everything else — the MitigationEngine
   // above all — must route commands through the Actuator so the
   // one-outstanding-command-per-VM idempotency guard and the actuation fault
-  // plan stay in the path. Tests/bench/tools drive the Cluster directly and
-  // are out of scope (they are not layer "cluster").
-  void CheckActuationIdempotent(ParsedFile& f) {
+  // plan stay in the path.
+  void CheckActuationIdempotent(FileSummary& f) {
     if (f.layer != "cluster") return;
     if (f.path.find("cluster/cluster.") != std::string::npos ||
         f.path.find("cluster/actuator.") != std::string::npos) {
       return;
     }
-    static constexpr const char* kVerbs[] = {"Migrate", "StopVm", "ResumeVm"};
-    for (std::size_t i = 0; i < f.code.size(); ++i) {
-      const std::string& line = f.code[i];
-      for (const char* verb : kVerbs) {
-        for (std::size_t p = FindToken(line, verb); p != std::string::npos;
-             p = FindToken(line, verb, p + 1)) {
-          // Member-call syntax only: obj.Verb( / ptr->Verb(. Declarations
-          // and the Actuator's SubmitMigrate wrappers never match (word
-          // boundary / preceding character).
-          if (p == 0) continue;
-          const char before = line[p - 1];
-          if (before != '.' && before != '>') continue;
-          std::size_t q =
-              line.find_first_not_of(" \t", p + std::strlen(verb));
-          if (q == std::string::npos || line[q] != '(') continue;
-          Emit(f, static_cast<int>(i) + 1, kRuleDetActuationIdempotent,
-               std::string(verb) + "() called directly from " + f.path +
-                   ": cluster-layer code must route placement changes "
-                   "through the Actuator (SubmitMigrate/SubmitStop/"
-                   "SubmitResume) so the idempotency guard and the actuation "
-                   "fault plan apply");
-        }
+    for (const VerbCall& v : f.verb_calls) {
+      if (v.verb != "Migrate" && v.verb != "StopVm" && v.verb != "ResumeVm") {
+        continue;
       }
+      Emit(f, v.line, kRuleDetActuationIdempotent,
+           v.verb + "() called directly from " + f.path +
+               ": cluster-layer code must route placement changes "
+               "through the Actuator (SubmitMigrate/SubmitStop/"
+               "SubmitResume) so the idempotency guard and the actuation "
+               "fault plan apply");
     }
   }
 
   // det-attrib-ledger: the interference attribution ledger is a sim-layer
   // observer — only the hardware models (cache, bus, machine) may record
-  // into it. A software layer member-calling a Record* mutation verb would
-  // fabricate hardware evidence, and a forensic report built on fabricated
-  // evidence convicts whoever the caller wanted convicted. Consumers (pcm
-  // sampler, forensics engine) read through the const accessors only.
-  // Tests/bench/tools are out of scope (they are not src layers).
-  void CheckAttribLedger(ParsedFile& f) {
+  // into it. Consumers (pcm sampler, forensics engine) read through the
+  // const accessors only.
+  void CheckAttribLedger(FileSummary& f) {
     if (!IsSrcLayer(f.layer) || f.layer == "sim") return;
-    static constexpr const char* kVerbs[] = {"RecordTickStart",
-                                             "RecordEviction",
-                                             "RecordBusOccupancy",
-                                             "RecordBusStall"};
-    for (std::size_t i = 0; i < f.code.size(); ++i) {
-      const std::string& line = f.code[i];
-      for (const char* verb : kVerbs) {
-        for (std::size_t p = FindToken(line, verb); p != std::string::npos;
-             p = FindToken(line, verb, p + 1)) {
-          // Member-call syntax only: obj.Verb( / ptr->Verb(. Declarations
-          // never match (word boundary / preceding character).
-          if (p == 0) continue;
-          const char before = line[p - 1];
-          if (before != '.' && before != '>') continue;
-          std::size_t q =
-              line.find_first_not_of(" \t", p + std::strlen(verb));
-          if (q == std::string::npos || line[q] != '(') continue;
-          Emit(f, static_cast<int>(i) + 1, kRuleDetAttribLedger,
-               std::string(verb) + "() mutates the AttributionLedger from "
-                   "layer '" + f.layer + "': hardware evidence may only be "
-                   "recorded by the sim layer; every other layer reads the "
-                   "ledger through its const accessors");
-        }
+    for (const VerbCall& v : f.verb_calls) {
+      if (v.verb != "RecordTickStart" && v.verb != "RecordEviction" &&
+          v.verb != "RecordBusOccupancy" && v.verb != "RecordBusStall") {
+        continue;
       }
+      Emit(f, v.line, kRuleDetAttribLedger,
+           v.verb + "() mutates the AttributionLedger from layer '" + f.layer +
+               "': hardware evidence may only be recorded by the sim layer; "
+               "every other layer reads the ledger through its const "
+               "accessors");
     }
   }
 
-  void CheckIncludes(ParsedFile& f) {
+  void CheckIncludes(FileSummary& f) {
     const LayerInfo* from = FindLayer(f.layer);
     for (const IncludeDirective& inc : f.includes) {
       if (inc.angle) continue;
@@ -685,150 +506,35 @@ class Analyzer {
     }
   }
 
-  void CheckDeterminismTokens(ParsedFile& f) {
-    struct Ban {
-      const char* token;
-      bool requires_call;  // must be followed by '('
-      const char* rule;
-      const char* why;
-    };
-    static constexpr Ban kBans[] = {
-        {"rand", true, kRuleDetRand,
-         "libc rand() draws from ambient global state; use sds::Rng seeded "
-         "from the run config"},
-        {"srand", false, kRuleDetRand,
-         "seeding the global C RNG makes run order matter; use sds::Rng"},
-        {"random_device", false, kRuleDetRand,
-         "std::random_device is nondeterministic by definition; use sds::Rng "
-         "seeded from the run config"},
-        {"system_clock", false, kRuleDetClock,
-         "wall-clock reads break bit-identical replays; use the tick clock "
-         "(sds::TickClock) or move the timing to eval/telemetry"},
-        {"steady_clock", false, kRuleDetClock,
-         "wall-clock reads break bit-identical replays; use the tick clock "
-         "(sds::TickClock) or move the timing to eval/telemetry"},
-        {"high_resolution_clock", false, kRuleDetClock,
-         "wall-clock reads break bit-identical replays; use the tick clock "
-         "(sds::TickClock) or move the timing to eval/telemetry"},
-        {"clock_gettime", false, kRuleDetClock,
-         "wall-clock reads break bit-identical replays"},
-        {"gettimeofday", false, kRuleDetClock,
-         "wall-clock reads break bit-identical replays"},
-    };
-    for (std::size_t i = 0; i < f.code.size(); ++i) {
-      const std::string& line = f.code[i];
-      for (const Ban& ban : kBans) {
-        std::size_t p = FindToken(line, ban.token);
-        if (p == std::string::npos) continue;
-        if (ban.requires_call) {
-          std::size_t q =
-              line.find_first_not_of(" \t", p + std::strlen(ban.token));
-          if (q == std::string::npos || line[q] != '(') continue;
-        }
-        Emit(f, static_cast<int>(i) + 1, ban.rule,
-             std::string(ban.token) + " in deterministic layer " + f.layer +
-                 ": " + ban.why);
-      }
-      // Pointer printing: %p inside a string literal renders an ASLR-random
-      // address into output that is diffed across runs.
-      if (f.strings[i].find("%p") != std::string::npos) {
-        Emit(f, static_cast<int>(i) + 1, kRuleDetPointerPrint,
+  void CheckDeterminismTokens(FileSummary& f) {
+    for (const SinkOccur& s : f.sinks) {
+      if (s.rule == kRuleDetPointerPrint) {
+        Emit(f, s.line, kRuleDetPointerPrint,
              "\"%p\" in a format string in deterministic layer " + f.layer +
                  ": pointer values differ across runs and machines; print a "
                  "stable id instead");
+      } else {
+        Emit(f, s.line, s.rule,
+             s.token + " in deterministic layer " + f.layer + ": " +
+                 WhyOf(s.token));
       }
     }
   }
 
-  // Joins f.code[line..] until parentheses opened on the first line balance
-  // (bounded lookahead). Returns the joined text.
-  static std::string JoinBalanced(const ParsedFile& f, std::size_t start,
-                                  std::size_t open_pos) {
-    std::string joined;
-    int depth = 0;
-    for (std::size_t i = start; i < f.code.size() && i < start + 8; ++i) {
-      const std::string& line = f.code[i];
-      std::size_t from = i == start ? open_pos : 0;
-      joined += line.substr(from);
-      for (std::size_t j = from; j < line.size(); ++j) {
-        if (line[j] == '(') ++depth;
-        if (line[j] == ')' && --depth == 0) return joined;
-      }
-      joined.push_back(' ');
-    }
-    return joined;
-  }
-
-  void CheckUnorderedIteration(ParsedFile& f) {
-    // Pass 1: names declared with an unordered container type, file-wide.
-    std::set<std::string> unordered_names;
-    for (std::size_t i = 0; i < f.code.size(); ++i) {
-      for (const char* container : {"unordered_map", "unordered_set"}) {
-        for (std::size_t p = FindToken(f.code[i], container);
-             p != std::string::npos;
-             p = FindToken(f.code[i], container, p + 1)) {
-          // Only declarations: the token must open a template argument list
-          // (skips `#include <unordered_map>` and prose mentions).
-          std::size_t cp = p + std::strlen(container);
-          cp = f.code[i].find_first_not_of(" \t", cp);
-          if (cp == std::string::npos || f.code[i][cp] != '<') continue;
-          // Balance the template argument list (may span lines), then take
-          // the following identifier as the declared name.
-          std::size_t li = i;
-          int depth = 0;
-          bool done = false;
-          std::string name;
-          for (; li < f.code.size() && li < i + 8 && !done; ++li, cp = 0) {
-            const std::string& l = f.code[li];
-            for (std::size_t j = cp; j < l.size(); ++j) {
-              if (l[j] == '<') ++depth;
-              if (l[j] == '>' && --depth == 0) {
-                std::size_t q = l.find_first_not_of(" \t&*", j + 1);
-                while (q != std::string::npos && q < l.size() &&
-                       IsWord(l[q])) {
-                  name.push_back(l[q]);
-                  ++q;
-                }
-                done = true;
-                break;
-              }
-            }
-          }
-          if (!name.empty() && name != "const") unordered_names.insert(name);
-        }
-      }
-    }
-
-    // Pass 2: range-for whose range expression names one of them (or an
-    // inline unordered expression).
-    for (std::size_t i = 0; i < f.code.size(); ++i) {
-      std::size_t p = FindToken(f.code[i], "for");
-      if (p == std::string::npos) continue;
-      std::size_t open = f.code[i].find('(', p);
-      if (open == std::string::npos) continue;
-      const std::string body = JoinBalanced(f, i, open);
-      // The range-for ':' — skip "::" scope operators.
-      std::size_t colon = std::string::npos;
-      for (std::size_t j = 1; j + 1 < body.size(); ++j) {
-        if (body[j] == ':' && body[j - 1] != ':' && body[j + 1] != ':') {
-          colon = j;
-          break;
-        }
-      }
-      if (colon == std::string::npos) continue;
-      const std::string range = body.substr(colon + 1);
-      bool hit = range.find("unordered_map") != std::string::npos ||
-                 range.find("unordered_set") != std::string::npos;
+  void CheckUnorderedIteration(FileSummary& f) {
+    for (const IterSite& it : f.iters) {
+      bool hit = it.range_text.find("unordered_map") != std::string::npos ||
+                 it.range_text.find("unordered_set") != std::string::npos;
       if (!hit) {
-        for (const std::string& name : unordered_names) {
-          if (HasToken(range, name)) {
+        for (const std::string& name : f.unordered_names) {
+          if (HasToken(it.range_text, name)) {
             hit = true;
             break;
           }
         }
       }
       if (hit) {
-        Emit(f, static_cast<int>(i) + 1, kRuleDetUnorderedIter,
+        Emit(f, it.line, kRuleDetUnorderedIter,
              "range-for over an unordered container in deterministic layer " +
                  f.layer +
                  ": iteration order is implementation-defined and varies with "
@@ -837,17 +543,9 @@ class Analyzer {
     }
   }
 
-  void CheckPragmaOnce(ParsedFile& f) {
-    for (std::size_t i = 0; i < f.code.size(); ++i) {
-      const std::string t = Trimmed(f.code[i]);
-      if (t.empty()) continue;
-      if (t == "#pragma once") return;
-      Emit(f, static_cast<int>(i) + 1, kRuleHdrPragmaOnce,
-           "header's first code line must be #pragma once");
-      return;
-    }
-    if (!f.raw.empty()) {
-      Emit(f, 1, kRuleHdrPragmaOnce,
+  void CheckPragmaOnce(FileSummary& f) {
+    if (f.pragma_diag_line != 0) {
+      Emit(f, f.pragma_diag_line, kRuleHdrPragmaOnce,
            "header's first code line must be #pragma once");
     }
   }
@@ -859,13 +557,13 @@ class Analyzer {
     if (it != closures_.end()) return it->second;
     // Insert first to break include cycles.
     auto& closure = closures_[path];
-    ParsedFile* f = Load(path);
+    FileSummary* f = Load(path);
     if (f == nullptr) return closure;
     std::vector<std::string> nested;
     for (const IncludeDirective& inc : f->includes) {
       if (inc.angle) {
         closure.insert(inc.target);
-      } else if (ParsedFile* dep = Resolve(inc.target)) {
+      } else if (FileSummary* dep = Resolve(inc.target)) {
         nested.push_back(dep->path);
       }
     }
@@ -876,63 +574,36 @@ class Analyzer {
     return closure;
   }
 
-  void CheckSelfContained(ParsedFile& f) {
+  void CheckSelfContained(FileSummary& f) {
     const std::set<std::string>& closure = AngleClosure(f.path);
-    std::set<std::string> reported;
-    for (std::size_t i = 0; i < f.code.size(); ++i) {
-      const std::string& line = f.code[i];
-      for (std::size_t p = line.find("std::"); p != std::string::npos;
-           p = line.find("std::", p + 5)) {
-        if (p > 0 && IsWord(line[p - 1])) continue;
-        std::size_t q = p + 5;
-        std::string ident;
-        while (q < line.size() && IsWord(line[q])) ident.push_back(line[q++]);
-        for (const StdProvider& sp : kStdProviders) {
-          if (ident != sp.ident) continue;
-          bool satisfied = false;
-          std::string providers = sp.providers;
-          std::stringstream ss(providers);
-          std::string provider;
-          while (std::getline(ss, provider, ',')) {
-            if (closure.count(provider) != 0) {
-              satisfied = true;
-              break;
-            }
-          }
-          if (!satisfied && reported.insert(ident).second) {
-            Emit(f, static_cast<int>(i) + 1, kRuleHdrSelfContained,
-                 "header uses std::" + ident + " but its include closure "
-                 "never pulls in <" + std::string(sp.providers).substr(
-                     0, std::string(sp.providers).find(',')) +
-                 ">; include it directly so the header stays self-contained");
-          }
+    for (const StdUse& use : f.std_uses) {
+      const char* providers_cstr = StdProvidersFor(use.ident);
+      if (providers_cstr == nullptr) continue;
+      bool satisfied = false;
+      std::stringstream ss{std::string(providers_cstr)};
+      std::string provider;
+      while (std::getline(ss, provider, ',')) {
+        if (closure.count(provider) != 0) {
+          satisfied = true;
           break;
         }
+      }
+      if (!satisfied) {
+        const std::string providers(providers_cstr);
+        Emit(f, use.line, kRuleHdrSelfContained,
+             "header uses std::" + use.ident + " but its include closure "
+             "never pulls in <" + providers.substr(0, providers.find(',')) +
+             ">; include it directly so the header stays self-contained");
       }
     }
   }
 
   const Options& options_;
   std::vector<std::string> scan_list_;
-  std::map<std::string, ParsedFile> files_;
+  std::map<std::string, FileSummary> files_;
   std::map<std::string, std::set<std::string>> closures_;
   Result result_;
 };
-
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 8);
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default: out.push_back(c);
-    }
-  }
-  return out;
-}
 
 }  // namespace
 

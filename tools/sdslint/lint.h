@@ -1,19 +1,35 @@
 // sdslint: project-specific static analysis for the memdos_sds tree.
 //
-// A deliberately lexer-light (line/token-based) analyzer — no libclang — that
-// enforces the two contracts the reproduction's bit-identical guarantee rests
-// on (see DESIGN.md §11):
+// v2 (DESIGN.md §16) is a multi-pass, cross-translation-unit analyzer — still
+// deliberately lexer-light (no libclang):
 //
-//   * the layer DAG  common → stats/signal → sim → vm → pcm →
-//     {attacks, workloads, detect, fault} → {cluster, obs} → svc → eval, with
-//     telemetry as a universal observability sink and fault/obs restricted
-//     to their enumerated dependents, and
-//   * the determinism contract: no ambient randomness, no wall-clock reads,
-//     no pointer printing and no unordered-container iteration in the
-//     deterministic layers.
+//   pass 1  symbols.cpp   every TU distilled into a FileSummary (model.h):
+//                         includes, suppressions, sink tokens, declared
+//                         functions/methods (declared vs defined), call
+//                         sites, annotated fields, lock operations.
+//   pass 2  graph.cpp     cross-TU call graph: call sites resolved against
+//                         the symbol index, scoped by each TU's quoted
+//                         include closure (a declaration in your closure
+//                         links you to its out-of-closure definition).
+//   pass 3  graph.cpp     interprocedural determinism taint: live sinks
+//                         (ambient randomness, wall clocks, pointer
+//                         printing, unordered-container iteration) propagate
+//                         backward through the call graph; a deterministic
+//                         layer calling across files into a tainted function
+//                         is diagnosed with the full call chain (det-taint).
+//   pass 4  conc.cpp      concurrency discipline from the SDS_GUARDED_BY /
+//                         SDS_SHARD_OWNED / SDS_ASSERT_HELD annotations
+//                         (common/annotations.h): conc-guarded-by,
+//                         conc-lock-order, conc-shard-owned.
 //
-// plus the header-hygiene rules (#pragma once, include-closure
-// self-containment, the forward-declare-telemetry policy from PR 3).
+// plus the v1 rule families, byte-compatible: the layer DAG, the direct
+// determinism contract, header hygiene, and the seam rules
+// (det-actuation-idempotent, det-attrib-ledger, det-snapshot/wal-versioned).
+//
+// Ships with an incremental on-disk cache keyed by content hash (cache.cpp),
+// a checked-in baseline file with --update-baseline (baseline.cpp), SARIF
+// 2.1.0 output for CI code-scanning annotations (output.cpp) and --fix
+// auto-remediation for the mechanical header rules (fix.cpp).
 //
 // The analyzer is a library so the fixture tests can drive it directly; the
 // CLI in main.cpp is a thin wrapper. Diagnostics print as
@@ -42,6 +58,11 @@ inline constexpr char kRuleDetWalVersioned[] = "det-wal-versioned";
 inline constexpr char kRuleHdrPragmaOnce[] = "hdr-pragma-once";
 inline constexpr char kRuleHdrSelfContained[] = "hdr-self-contained";
 inline constexpr char kRuleHdrTelemetryFwd[] = "hdr-telemetry-fwd";
+// v2 rule families.
+inline constexpr char kRuleDetTaint[] = "det-taint";
+inline constexpr char kRuleConcGuardedBy[] = "conc-guarded-by";
+inline constexpr char kRuleConcLockOrder[] = "conc-lock-order";
+inline constexpr char kRuleConcShardOwned[] = "conc-shard-owned";
 
 struct Diagnostic {
   std::string file;
@@ -71,12 +92,36 @@ struct Options {
   // The CLI seeds this with "build/" and "tests/lint/fixtures" (seeded
   // violations testing sdslint itself must not fail the real tree).
   std::vector<std::string> ignores;
+  // Directory for the incremental analysis cache; "" disables caching.
+  // Unchanged files (by content hash) reuse their pass-1 summary; passes
+  // 2-4 always re-link from summaries, so cross-TU facts stay fresh.
+  std::string cache_dir;
+  // Baseline file of accepted findings; "" disables. Matching diagnostics
+  // are moved to Result::baselined instead of Result::diagnostics.
+  std::string baseline_path;
+};
+
+// Run statistics, also the payload of the CLI's --stats JSON.
+struct Stats {
+  int files_scanned = 0;
+  int cache_hits = 0;
+  int parsed = 0;
+  int functions = 0;
+  int call_edges = 0;
+  int taint_seeds = 0;
+  int tainted_functions = 0;
+  std::map<std::string, int> rule_hits;  // rule id -> emitted count
 };
 
 struct Result {
   std::vector<Diagnostic> diagnostics;   // sorted by file, then line
   std::vector<Suppression> suppressions; // every allow() comment seen
   int files_scanned = 0;
+  // v2: diagnostics silenced by the baseline file, baseline entries that no
+  // longer match anything (stale — candidates for removal), and run stats.
+  std::vector<Diagnostic> baselined;
+  std::vector<std::string> stale_baseline_entries;
+  Stats stats;
 };
 
 Result Run(const Options& options);
@@ -85,7 +130,28 @@ Result Run(const Options& options);
 std::string FormatText(const Diagnostic& d);
 
 // Whole-result JSON: {"files_scanned":N,"diagnostics":[...],"suppressions":[...]}
+// Byte-compatible with v1: same keys, same order, no additions.
 std::string ToJson(const Result& result);
+
+// SARIF 2.1.0 for GitHub code scanning. Paths are relativized against
+// `root` when they live under it.
+std::string ToSarif(const Result& result, const std::string& root);
+
+// Stats payload as one JSON object (no schema_version; the CLI splices that
+// via bench/common/reporter.h so the envelope matches every BENCH_* line).
+std::string StatsJson(const Result& result);
+
+// Writes Result::diagnostics (and any still-live baselined set when
+// `result` was produced without a baseline) as a baseline file. Returns
+// false when the file cannot be written.
+bool WriteBaseline(const std::string& path, const Result& result,
+                   const std::string& include_root);
+
+// --fix: auto-remediates the mechanical header rules (hdr-pragma-once,
+// hdr-self-contained missing-include insertion) in place. Runs the analyzer
+// internally (ignoring any baseline), applies edits, and returns the number
+// of files rewritten. A second invocation on the same tree is a no-op.
+int ApplyFixes(const Options& options, std::vector<std::string>* fixed_files);
 
 // Layer metadata, exposed for tests and for the --explain output.
 // Rank comparisons define the DAG: an include from layer A to layer B is

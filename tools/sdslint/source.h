@@ -1,0 +1,53 @@
+// Raw-text handling for sdslint: file loading, comment/string stripping and
+// the include / allow(...) comment parsers. Shared by the symbol pass
+// (symbols.cpp) and the concurrency pass (conc.cpp re-reads only the files
+// that define annotated classes).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sdslint/model.h"
+
+namespace sdslint {
+
+// A loaded file with comments and string bodies blanked out, line by line.
+struct SourceText {
+  std::string path;
+  std::vector<std::string> raw;      // raw lines, 0-based
+  std::vector<std::string> code;     // comments and string bodies blanked
+  std::vector<std::string> strings;  // per line: concatenated literal bodies
+};
+
+// Reads `path`; returns false when the file cannot be opened. CRLF-tolerant.
+bool LoadSource(const std::string& path, SourceText* out);
+
+// Reads `path` as raw bytes (the cache-key form: no line splitting). Returns
+// false when the file cannot be opened.
+bool LoadFileBytes(const std::string& path, std::string* out);
+
+// Builds a SourceText from already-loaded bytes (CRLF-tolerant line split +
+// comment/string stripping). The cache-aware driver reads bytes once, hashes
+// them, and only pays for this on a cache miss.
+void BuildSourceText(const std::string& path, const std::string& bytes,
+                     SourceText* out);
+
+// Splits the raw rule list of an allow(...) comment on commas/whitespace —
+// the exact tokenization ParseAllows applies (shared with the cache codec).
+std::vector<std::string> SplitAllowRules(const std::string& raw);
+
+std::string Trimmed(const std::string& s);
+
+// Finds `token` in `line` with word boundaries on its alphanumeric ends;
+// npos when absent.
+std::size_t FindToken(const std::string& line, const std::string& token,
+                      std::size_t from = 0);
+bool HasToken(const std::string& line, const std::string& token);
+
+// Parses the `#include` directives and `sdslint: allow(...)` comments of a
+// loaded file (legacy-compatible semantics: a comment-only line silences the
+// next line, a trailing comment its own line).
+void ParseIncludes(const SourceText& text, std::vector<IncludeDirective>* out);
+void ParseAllows(const SourceText& text, std::vector<AllowComment>* out);
+
+}  // namespace sdslint

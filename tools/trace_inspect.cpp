@@ -12,6 +12,9 @@
 //                                            svc_recovery records)
 //   trace_inspect run.jsonl --forensics      per-suspect evidence rows under
 //                                            each forensic incident report
+//   trace_inspect lint_stats.json --lint     lint-run summary (the
+//                                            `sdslint --stats --stats-out`
+//                                            payload), with per-rule hits
 //
 // The parser handles exactly the flat one-object-per-line JSON this repo
 // emits (string/number/bool values, numeric arrays); it is not a general
@@ -72,6 +75,14 @@ bool ParseLine(const std::string& line, JsonObject& out) {
       i = end + 1;
     } else if (line[i] == '[') {
       const auto end = line.find(']', i);
+      if (end == std::string::npos) return false;
+      value = line.substr(i, end - i + 1);
+      i = end + 1;
+    } else if (line[i] == '{') {
+      // One level of nesting, kept verbatim like arrays (the sdslint stats
+      // payload's flat "rule_hits" object); re-parse with ParseLine to read
+      // its fields.
+      const auto end = line.find('}', i);
       if (end == std::string::npos) return false;
       value = line.substr(i, end - i + 1);
       i = end + 1;
@@ -168,6 +179,9 @@ int main(int argc, char** argv) {
                      true},
                     {"forensics",
                      "dump per-suspect evidence under each forensic report",
+                     true},
+                    {"lint",
+                     "dump per-rule hit counts under the lint summary",
                      true}})) {
     return flags.help_requested() ? 0 : 1;
   }
@@ -181,6 +195,7 @@ int main(int argc, char** argv) {
   const bool dump_audit = flags.GetBool("audit", false);
   const bool dump_svc = flags.GetBool("svc", false);
   const bool dump_forensics = flags.GetBool("forensics", false);
+  const bool dump_lint = flags.GetBool("lint", false);
   const long long dump_events = flags.GetInt("events", 0);
 
   std::ifstream in(path);
@@ -219,6 +234,9 @@ int main(int argc, char** argv) {
   std::vector<JsonObject> svc_recoveries;
   // Forensic incident reports (detect::WriteForensicReportJson lines).
   std::vector<JsonObject> forensic_reports;
+  // sdslint --stats payload (BENCH_lint / --stats-out): the one record kind
+  // without a "type" key, recognized by its field set.
+  std::optional<JsonObject> lint_stats;
 
   std::string line;
   long long lineno = 0;
@@ -302,6 +320,9 @@ int main(int argc, char** argv) {
       svc_recoveries.push_back(o);
     } else if (type == "forensic_report") {
       forensic_reports.push_back(o);
+    } else if (type.empty() && o.count("rule_hits") != 0 &&
+               o.count("files_scanned") != 0) {
+      lint_stats = o;
     } else {
       // A future writer's record (or corruption that still parses): count it
       // by name, keep going.
@@ -632,6 +653,46 @@ int main(int argc, char** argv) {
                       StrOr(r, "wal_stop", "?").c_str(),
                       NumOr(r, "bit_identical", 0) != 0.0 ? "yes" : "NO");
         }
+      }
+    }
+  }
+
+  if (lint_stats) {
+    // Static-analysis run summary (sdslint --stats --stats-out). cache_hits
+    // vs parsed shows whether the warm incremental cache actually held; any
+    // stale baseline entry means .sdslint-baseline needs --update-baseline.
+    const auto& s = *lint_stats;
+    std::printf("\nlint analysis (schema_version=%lld)\n",
+                static_cast<long long>(NumOr(s, "schema_version", 0)));
+    std::printf("  scanned=%llu files (cache_hits=%llu parsed=%llu)  "
+                "functions=%llu call_edges=%llu\n",
+                static_cast<unsigned long long>(NumOr(s, "files_scanned", 0)),
+                static_cast<unsigned long long>(NumOr(s, "cache_hits", 0)),
+                static_cast<unsigned long long>(NumOr(s, "parsed", 0)),
+                static_cast<unsigned long long>(NumOr(s, "functions", 0)),
+                static_cast<unsigned long long>(NumOr(s, "call_edges", 0)));
+    std::printf("  taint: seeds=%llu tainted_functions=%llu\n",
+                static_cast<unsigned long long>(NumOr(s, "taint_seeds", 0)),
+                static_cast<unsigned long long>(
+                    NumOr(s, "tainted_functions", 0)));
+    const auto stale =
+        static_cast<unsigned long long>(NumOr(s, "stale_baseline_entries", 0));
+    std::printf("  findings: diagnostics=%llu baselined=%llu "
+                "stale_baseline_entries=%llu suppressions=%llu%s\n",
+                static_cast<unsigned long long>(NumOr(s, "diagnostics", 0)),
+                static_cast<unsigned long long>(NumOr(s, "baselined", 0)),
+                stale,
+                static_cast<unsigned long long>(NumOr(s, "suppressions", 0)),
+                stale != 0 ? "  ** STALE BASELINE **" : "");
+    if (dump_lint) {
+      JsonObject hits;
+      if (ParseLine(StrOr(s, "rule_hits", "{}"), hits) && !hits.empty()) {
+        std::printf("  %-40s %10s\n", "rule", "hits");
+        for (const auto& [rule, count] : hits) {
+          std::printf("  %-40s %10s\n", rule.c_str(), count.c_str());
+        }
+      } else {
+        std::printf("  (no per-rule hits recorded)\n");
       }
     }
   }
