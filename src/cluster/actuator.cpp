@@ -268,6 +268,14 @@ void Actuator::Execute(Command& command) {
         Finish(command, CommandStatus::kFailed, ActuationError::kHostDown);
         return;
       }
+      if (!cluster_.host_placeable(dest)) {
+        // The host lifecycle took the destination down (or started draining
+        // it) while this command was in flight — the mid-actuation host
+        // death case. Same error as an injected down window: callers retry
+        // against a fresh placement decision.
+        Finish(command, CommandStatus::kFailed, ActuationError::kHostDown);
+        return;
+      }
       if (!cluster_.HasCapacity(dest)) {
         Finish(command, CommandStatus::kFailed, ActuationError::kNoCapacity);
         return;

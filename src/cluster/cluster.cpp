@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "cluster/host_lifecycle.h"
 #include "common/check.h"
 
 namespace sds::cluster {
@@ -41,11 +42,32 @@ VmRef Cluster::Deploy(int host, const std::string& name,
 }
 
 void Cluster::RunTick() {
-  for (auto& host : hosts_) host.hypervisor->RunTick();
+  if (lifecycle_ != nullptr) lifecycle_->BeginTick(tick_);
+  for (std::size_t h = 0; h < hosts_.size(); ++h) {
+    if (lifecycle_ != nullptr && !lifecycle_->serving(static_cast<int>(h))) {
+      continue;
+    }
+    hosts_[h].hypervisor->RunTick();
+  }
+  ++tick_;
 }
 
-Tick Cluster::now() const {
-  return hosts_.front().hypervisor->now();
+Tick Cluster::now() const { return tick_; }
+
+void Cluster::AttachLifecycle(HostLifecycle* lifecycle) {
+  SDS_CHECK(lifecycle == nullptr || lifecycle->host_count() == host_count(),
+            "lifecycle host count must match the cluster");
+  lifecycle_ = lifecycle;
+}
+
+bool Cluster::host_serving(int host) const {
+  SDS_CHECK(host >= 0 && host < host_count(), "no such host");
+  return lifecycle_ == nullptr || lifecycle_->serving(host);
+}
+
+bool Cluster::host_placeable(int host) const {
+  SDS_CHECK(host >= 0 && host < host_count(), "no such host");
+  return lifecycle_ == nullptr || lifecycle_->placeable(host);
 }
 
 const Cluster::Record& Cluster::RecordFor(const VmRef& ref) const {
@@ -110,6 +132,11 @@ vm::Hypervisor& Cluster::hypervisor(int host) {
 const sim::OwnerCounters& Cluster::counters(const VmRef& ref) {
   RecordFor(ref);  // validates
   return machine(ref.host).counters(ref.id);
+}
+
+int Cluster::vm_capacity(int host) const {
+  SDS_CHECK(host >= 0 && host < host_count(), "no such host");
+  return hosts_[static_cast<std::size_t>(host)].vm_capacity;
 }
 
 int Cluster::runnable_vms(int host) const {

@@ -24,6 +24,8 @@
 
 namespace sds::cluster {
 
+class HostLifecycle;
+
 using WorkloadFactory = std::function<std::unique_ptr<vm::Workload>()>;
 
 struct HostConfig {
@@ -54,9 +56,29 @@ class Cluster {
   // capacity (use HasCapacity for a non-fatal check).
   VmRef Deploy(int host, const std::string& name, WorkloadFactory factory);
 
-  // Advances every host by one tick.
+  // Advances every host by one tick. With a lifecycle attached, hosts that
+  // are down / recovering / dead (or skipping a degraded tick) do NOT tick:
+  // their machines freeze in place, VM state intact, until the host serves
+  // again or the evacuation engine moves the VMs off.
   void RunTick();
   Tick now() const;
+
+  // Attaches the host state machine (DESIGN.md §17). Non-owning; the
+  // lifecycle must outlive the cluster and cover the same host count.
+  // Pass nullptr to detach. RunTick then drives lifecycle->BeginTick and
+  // gates each host on lifecycle->serving — with a null HostFaultPlan that
+  // gate is always open and the attachment is bit-transparent.
+  void AttachLifecycle(HostLifecycle* lifecycle);
+  HostLifecycle* lifecycle() { return lifecycle_; }
+
+  // True when `host` executes the current tick (always true without a
+  // lifecycle).
+  bool host_serving(int host) const;
+  // True when a migration may land on `host` per the lifecycle (always true
+  // without one). The Actuator consults this at execution time, so a
+  // command completing into a host that died in flight fails with
+  // kHostDown instead of placing a VM on a dead machine.
+  bool host_placeable(int host) const;
 
   // Stop-and-restart migration; returns the new placement. The source VM
   // remains on its host in the stopped state (its counters freeze). The
@@ -84,6 +106,8 @@ class Cluster {
 
   // Number of runnable VMs on a host (capacity/balance diagnostics).
   int runnable_vms(int host) const;
+  // Configured capacity of a host (0 = unlimited).
+  int vm_capacity(int host) const;
 
  private:
   struct Host {
@@ -101,6 +125,11 @@ class Cluster {
   std::vector<Host> hosts_;
   // records_[host][owner-1] = deployment record.
   std::vector<std::vector<Record>> records_;
+  // Cluster-global tick counter. Host 0's machine clock stops when host 0
+  // is down, so the cluster keeps its own monotonic time (identical to the
+  // old hosts_.front() clock whenever every host ticks).
+  Tick tick_ = 0;
+  HostLifecycle* lifecycle_ = nullptr;
 };
 
 }  // namespace sds::cluster

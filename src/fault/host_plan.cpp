@@ -1,0 +1,37 @@
+#include "fault/host_plan.h"
+
+namespace sds::fault {
+
+const char* HostFaultKindName(HostFaultKind kind) {
+  switch (kind) {
+    case HostFaultKind::kCrash:
+      return "host-crash";
+    case HostFaultKind::kDegrade:
+      return "host-degrade";
+    case HostFaultKind::kFlakyRecovery:
+      return "flaky-recovery";
+    case HostFaultKind::kPermanentDeath:
+      return "permanent-death";
+    case HostFaultKind::kKindCount:
+      break;
+  }
+  return "?";
+}
+
+bool HostFaultPlan::enabled() const {
+  if (!scheduled.empty()) return true;
+  for (const double r : rates) {
+    if (r > 0.0) return true;
+  }
+  return false;
+}
+
+HostFaultPlan HostFaultPlan::Single(HostFaultKind kind, double rate,
+                                    std::uint64_t seed) {
+  HostFaultPlan plan;
+  plan.seed = seed;
+  plan.set_rate(kind, rate);
+  return plan;
+}
+
+}  // namespace sds::fault

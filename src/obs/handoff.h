@@ -1,0 +1,88 @@
+// Warm detector-state handoff across hosts (DESIGN.md §17): the migration
+// counterpart of the restart snapshots in obs/snapshot.h.
+//
+// When a VM migrates (mitigation or evacuation), its per-host detector
+// state — MA/EWMA windows, consecutive-violation counters, alarm edges —
+// would otherwise stay behind and the destination detector would re-warm
+// from scratch, opening a blind window of roughly W + h_c * dW ticks that
+// an attacker can exploit by deliberately triggering mitigations. A
+// handoff packs the source detector's SaveState into the PR-6 versioned
+// envelope (nested inside an outer envelope carrying the source tick) and
+// applies it to the destination detector.
+//
+// Loud cold-start contract: Apply NEVER partially restores. On any
+// envelope rejection — version skew, config-fingerprint mismatch, corrupt
+// payload — the destination detector is left exactly as constructed (cold)
+// and the result says so, with the failing layer, so callers count and
+// report every cold start instead of silently eating the blind window.
+//
+// Sampler interval phase: one simulator tick is one T_PCM interval, so the
+// handoff carries `source_tick` and the contract is that the destination
+// detector is CONSTRUCTED (its fresh sampler Start()s and re-baselines) at
+// that same tick boundary — the sample cadence then continues seamlessly,
+// deltas intact, exactly like the snapshot-restore contract.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/types.h"
+#include "detect/kstest_detector.h"
+#include "detect/sds_detector.h"
+#include "obs/snapshot.h"
+
+namespace sds::obs {
+
+// Envelope kind strings of the outer handoff blob.
+inline constexpr char kSdsHandoffKind[] = "sds-handoff";
+inline constexpr char kKsHandoffKind[] = "kstest-handoff";
+
+struct HandoffResult {
+  // True only when every envelope layer verified and the destination
+  // detector fully restored the source state.
+  bool warm = false;
+  // kOk when warm; otherwise the layer that failed (kBadFingerprint =
+  // destination configured differently than the source, the expected
+  // reject; anything else = corruption or version skew).
+  SnapshotStatus status = SnapshotStatus::kOk;
+  // Tick boundary the source detector was packed at.
+  Tick source_tick = 0;
+};
+
+// Warm/cold accounting across many handoffs (the eval harness aggregates
+// one of these per run).
+struct HandoffStats {
+  std::uint64_t attempts = 0;
+  std::uint64_t warm = 0;
+  std::uint64_t cold_fingerprint = 0;  // config mismatch (expected reject)
+  std::uint64_t cold_other = 0;        // corruption / version skew / etc.
+
+  void Count(const HandoffResult& r) {
+    ++attempts;
+    if (r.warm) {
+      ++warm;
+    } else if (r.status == SnapshotStatus::kBadFingerprint) {
+      ++cold_fingerprint;
+    } else {
+      ++cold_other;
+    }
+  }
+};
+
+// Packs the source detector's state for a migration leaving at
+// `source_tick` (pass Cluster::now() at the tick boundary the VM moves).
+std::string PackSdsHandoff(const detect::SdsDetector& detector,
+                           Tick source_tick);
+std::string PackKsHandoff(const detect::KsTestDetector& detector,
+                          Tick source_tick);
+
+// Applies a handoff blob to the freshly-constructed destination detector.
+// On any failure the detector is untouched (cold start) and the result
+// names the failing layer.
+HandoffResult ApplySdsHandoff(std::string_view blob,
+                              detect::SdsDetector* detector);
+HandoffResult ApplyKsHandoff(std::string_view blob,
+                             detect::KsTestDetector* detector);
+
+}  // namespace sds::obs

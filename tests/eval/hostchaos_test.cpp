@@ -1,0 +1,162 @@
+// Host-chaos protocol harness (src/eval/hostchaos.h): runs are
+// deterministic, forced migrations carry handoffs, scheduled crashes drive
+// evacuation, and the sweep's warm side wins every cell.
+#include "eval/hostchaos.h"
+
+#include <gtest/gtest.h>
+
+#include "fault/host_plan.h"
+
+namespace sds::eval {
+namespace {
+
+// Fast-deciding detector so 3000-tick runs contain several alarm windows.
+detect::DetectorParams FastParams() {
+  detect::DetectorParams params;
+  params.window = 100;
+  params.step = 25;
+  params.h_c = 8;
+  return params;
+}
+
+HostChaosRunConfig FastRun() {
+  HostChaosRunConfig config;
+  config.attack_start = 500;
+  config.horizon = 3000;
+  config.params = FastParams();
+  return config;
+}
+
+TEST(HostChaosRunTest, QuietRunAlarmsAndNeverMigrates) {
+  const HostChaosRunResult r = RunHostChaosRun(FastRun(), /*seed=*/77);
+  EXPECT_EQ(r.migrations, 0);
+  EXPECT_EQ(r.handoffs.attempts, 0u);
+  EXPECT_EQ(r.evacuation.started, 0u);
+  EXPECT_TRUE(r.transitions.empty());
+  EXPECT_TRUE(r.handoff_events.empty());
+  EXPECT_NE(r.first_alarm_tick, kInvalidTick)
+      << "the co-resident attacker must be detected without any chaos";
+  // Blind-window / missed-tick accounting only starts at the first
+  // migration; an unmigrated run has nothing to charge.
+  EXPECT_EQ(r.attacked_serving_ticks, 0u);
+  EXPECT_EQ(r.missed_ticks, 0u);
+  EXPECT_EQ(r.mean_blind_ticks(), 0.0);
+}
+
+TEST(HostChaosRunTest, RunsAreDeterministic) {
+  HostChaosRunConfig config = FastRun();
+  config.migrate_every = 400;
+  config.host_plan =
+      fault::HostFaultPlan::Single(fault::HostFaultKind::kCrash, 0.0005, 13);
+  const HostChaosRunResult a = RunHostChaosRun(config, /*seed=*/9);
+  const HostChaosRunResult b = RunHostChaosRun(config, /*seed=*/9);
+  EXPECT_EQ(a.migrations, b.migrations);
+  EXPECT_EQ(a.blind_ticks, b.blind_ticks);
+  EXPECT_EQ(a.missed_ticks, b.missed_ticks);
+  EXPECT_EQ(a.attacked_serving_ticks, b.attacked_serving_ticks);
+  EXPECT_EQ(a.first_alarm_tick, b.first_alarm_tick);
+  ASSERT_EQ(a.transitions.size(), b.transitions.size());
+  for (std::size_t i = 0; i < a.transitions.size(); ++i) {
+    EXPECT_EQ(a.transitions[i].tick, b.transitions[i].tick);
+    EXPECT_EQ(a.transitions[i].host, b.transitions[i].host);
+  }
+  ASSERT_EQ(a.handoff_events.size(), b.handoff_events.size());
+  for (std::size_t i = 0; i < a.handoff_events.size(); ++i) {
+    EXPECT_EQ(a.handoff_events[i].tick, b.handoff_events[i].tick);
+    EXPECT_EQ(a.handoff_events[i].blind_ticks, b.handoff_events[i].blind_ticks);
+  }
+}
+
+TEST(HostChaosRunTest, ForcedMigrationsCarryWarmHandoffs) {
+  HostChaosRunConfig config = FastRun();
+  config.migrate_every = 400;
+  const HostChaosRunResult r = RunHostChaosRun(config, /*seed=*/5);
+  // First forced migration at attack_start + 400 = 900, then every 400
+  // ticks to the 3000-tick horizon.
+  EXPECT_GE(r.migrations, 4);
+  EXPECT_EQ(r.handoffs.attempts, static_cast<std::uint64_t>(r.migrations));
+  EXPECT_EQ(r.handoffs.warm, r.handoffs.attempts)
+      << "same profile + params on every host: all handoffs must be warm";
+  ASSERT_EQ(r.handoff_events.size(), static_cast<std::size_t>(r.migrations));
+  for (const HandoffEvent& e : r.handoff_events) {
+    EXPECT_TRUE(e.forced);
+    EXPECT_TRUE(e.warm);
+    EXPECT_NE(e.status, "disabled");
+    EXPECT_NE(e.from.host, e.to.host);
+  }
+}
+
+TEST(HostChaosRunTest, ColdModeRecordsDisabledHandoffs) {
+  HostChaosRunConfig config = FastRun();
+  config.migrate_every = 400;
+  config.warm_handoff = false;
+  const HostChaosRunResult r = RunHostChaosRun(config, /*seed=*/5);
+  EXPECT_GE(r.migrations, 4);
+  EXPECT_EQ(r.handoffs.warm, 0u);
+  EXPECT_EQ(r.handoffs.cold_other, r.handoffs.attempts);
+  for (const HandoffEvent& e : r.handoff_events) {
+    EXPECT_FALSE(e.warm);
+    EXPECT_EQ(e.status, "disabled");
+  }
+}
+
+TEST(HostChaosRunTest, ScheduledCrashEvacuatesVictimWithHandoff) {
+  HostChaosRunConfig config = FastRun();
+  fault::ScheduledHostFault crash;
+  crash.tick = 900;  // victim's host, while the attack is running
+  crash.host = 0;
+  crash.kind = fault::HostFaultKind::kCrash;
+  crash.duration = 600;
+  config.host_plan.scheduled.push_back(crash);
+  const HostChaosRunResult r = RunHostChaosRun(config, /*seed=*/6);
+
+  EXPECT_EQ(r.host_faults.crashes, 1u);
+  EXPECT_FALSE(r.transitions.empty());
+  // Host 0 carried victim + attacker + benign; all must be re-placed.
+  EXPECT_EQ(r.evacuation.started, 3u);
+  EXPECT_EQ(r.evacuation.migrated, 3u);
+  EXPECT_EQ(r.evacuation.throttled_in_place, 0u);
+  // The victim's evacuation carried exactly one (warm, unforced) handoff.
+  ASSERT_EQ(r.migrations, 1);
+  ASSERT_EQ(r.handoff_events.size(), 1u);
+  EXPECT_FALSE(r.handoff_events[0].forced);
+  EXPECT_TRUE(r.handoff_events[0].warm);
+  EXPECT_NE(r.first_alarm_tick, kInvalidTick)
+      << "detection must survive the evacuation";
+}
+
+TEST(HostChaosSweepTest, SweepStructureAndWarmWin) {
+  HostChaosSweepConfig sweep;
+  sweep.run = FastRun();
+  sweep.migration_periods = {400};
+  sweep.crash_rates = {0.001};
+  sweep.scheduled_crash_after = 400;
+  sweep.scheduled_crash_down = 600;
+  sweep.runs_per_cell = 1;
+  const HostChaosSweepResult result = RunHostChaosSweep(sweep);
+
+  ASSERT_EQ(result.migration_cells.size(), 1u);
+  ASSERT_EQ(result.chaos_cells.size(), 1u);
+  const HostChaosCell& evasion = result.migration_cells[0];
+  EXPECT_FALSE(evasion.chaos);
+  EXPECT_EQ(evasion.migrate_every, 400);
+  EXPECT_EQ(evasion.warm.runs, 1);
+  EXPECT_EQ(evasion.cold.runs, 1);
+  EXPECT_GT(evasion.cold.migrations, 0);
+  // The acceptance criterion, at cell granularity: warm strictly below cold
+  // on both the blind window and the missed-alarm rate.
+  EXPECT_LT(evasion.warm.mean_blind_ticks, evasion.cold.mean_blind_ticks);
+  EXPECT_LT(evasion.warm.missed_alarm_rate, evasion.cold.missed_alarm_rate);
+
+  const HostChaosCell& chaos = result.chaos_cells[0];
+  EXPECT_TRUE(chaos.chaos);
+  EXPECT_EQ(chaos.crash_rate, 0.001);
+  EXPECT_GT(chaos.warm.evac_migrated, 0u);
+  EXPECT_GT(chaos.warm.down_ticks, 0u);
+  EXPECT_LT(chaos.warm.mean_blind_ticks, chaos.cold.mean_blind_ticks);
+
+  EXPECT_TRUE(result.warm_strictly_better);
+}
+
+}  // namespace
+}  // namespace sds::eval

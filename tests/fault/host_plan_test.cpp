@@ -1,0 +1,68 @@
+// HostFaultPlan (src/fault/host_plan.h): the host-plane fault catalog is
+// plain data — inert by default, enabled by any rate or scheduled event.
+#include "fault/host_plan.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace sds::fault {
+namespace {
+
+TEST(HostFaultPlanTest, DefaultPlanIsInert) {
+  const HostFaultPlan plan;
+  EXPECT_FALSE(plan.enabled());
+  for (std::size_t k = 0; k < kHostFaultKindCount; ++k) {
+    EXPECT_EQ(plan.rate(static_cast<HostFaultKind>(k)), 0.0);
+  }
+  EXPECT_TRUE(plan.scheduled.empty());
+}
+
+TEST(HostFaultPlanTest, AnyRateEnables) {
+  for (std::size_t k = 0; k < kHostFaultKindCount; ++k) {
+    HostFaultPlan plan;
+    plan.set_rate(static_cast<HostFaultKind>(k), 0.01);
+    EXPECT_TRUE(plan.enabled()) << "kind " << k;
+  }
+}
+
+TEST(HostFaultPlanTest, ScheduledFaultEnables) {
+  HostFaultPlan plan;
+  ScheduledHostFault fault;
+  fault.tick = 100;
+  fault.host = 0;
+  fault.kind = HostFaultKind::kCrash;
+  plan.scheduled.push_back(fault);
+  EXPECT_TRUE(plan.enabled());
+}
+
+TEST(HostFaultPlanTest, SingleSetsExactlyOneRate) {
+  const HostFaultPlan plan =
+      HostFaultPlan::Single(HostFaultKind::kDegrade, 0.25, 99);
+  EXPECT_TRUE(plan.enabled());
+  EXPECT_EQ(plan.seed, 99u);
+  EXPECT_EQ(plan.rate(HostFaultKind::kDegrade), 0.25);
+  EXPECT_EQ(plan.rate(HostFaultKind::kCrash), 0.0);
+  EXPECT_EQ(plan.rate(HostFaultKind::kFlakyRecovery), 0.0);
+  EXPECT_EQ(plan.rate(HostFaultKind::kPermanentDeath), 0.0);
+}
+
+TEST(HostFaultPlanTest, KindNamesAreStable) {
+  EXPECT_STREQ(HostFaultKindName(HostFaultKind::kCrash), "host-crash");
+  EXPECT_STREQ(HostFaultKindName(HostFaultKind::kDegrade), "host-degrade");
+  EXPECT_STREQ(HostFaultKindName(HostFaultKind::kFlakyRecovery),
+               "flaky-recovery");
+  EXPECT_STREQ(HostFaultKindName(HostFaultKind::kPermanentDeath),
+               "permanent-death");
+}
+
+TEST(HostFaultStatsTest, InjectedTotalSumsAllKinds) {
+  HostFaultStats stats;
+  stats.injected[0] = 2;
+  stats.injected[1] = 3;
+  stats.injected[3] = 5;
+  EXPECT_EQ(stats.injected_total(), 10u);
+}
+
+}  // namespace
+}  // namespace sds::fault

@@ -1,0 +1,59 @@
+// Cold-migration blind-window regression pin.
+//
+// A migration with COLD detector start throws away the analyzer windows and
+// the h_c violation streak; with a fast detector (window=100, step=25,
+// h_c=8) the theoretical re-detection delay after a reset is at least
+// h_c * step = 200 ticks. This test pins the measured blind windows of a
+// forced-migration run, warm vs cold, on the same seeded world — the cold
+// number IS the vulnerability the warm handoff removes, and drift in either
+// direction (cold getting shorter, warm getting longer) is a behavior
+// change that must be justified, not re-golded casually.
+#include <gtest/gtest.h>
+
+#include "eval/hostchaos.h"
+
+namespace sds::eval {
+namespace {
+
+HostChaosRunConfig BlindWindowConfig() {
+  HostChaosRunConfig config;
+  config.attack_start = 500;
+  config.horizon = 3000;
+  config.migrate_every = 400;  // shorter than the cold re-detection delay
+  config.params.window = 100;
+  config.params.step = 25;
+  config.params.h_c = 8;
+  return config;
+}
+
+TEST(HandoffBlindWindowTest, ColdMigrationBlindWindowIsPinned) {
+  HostChaosRunConfig config = BlindWindowConfig();
+  const HostChaosRunResult warm = RunHostChaosRun(config, /*seed=*/42);
+  config.warm_handoff = false;
+  const HostChaosRunResult cold = RunHostChaosRun(config, /*seed=*/42);
+
+  // Both sides replay the identical world: same forced-migration schedule.
+  ASSERT_EQ(warm.migrations, cold.migrations);
+  ASSERT_EQ(warm.migrations, 6);  // ticks 900,1300,...,2900
+
+  // The cold side spends ~246 of every 400-tick period blind: the fresh
+  // detector re-baselines, refills its analysis window and re-accumulates
+  // the h_c streak before it can re-report — 70% of attacked serving ticks
+  // go unreported.
+  EXPECT_GT(cold.mean_blind_ticks(), 200.0);
+  EXPECT_EQ(cold.blind_ticks, 1475u);
+  EXPECT_EQ(cold.missed_ticks, 1470u);
+  EXPECT_NEAR(cold.missed_alarm_rate(), 0.70, 0.02);
+
+  // The warm side re-reports the attack almost immediately after landing.
+  EXPECT_LT(warm.mean_blind_ticks(), 50.0);
+  EXPECT_EQ(warm.blind_ticks, 6u);
+  EXPECT_EQ(warm.missed_ticks, 0u);
+  EXPECT_LT(warm.missed_alarm_rate(), 0.01);
+
+  EXPECT_LT(warm.mean_blind_ticks(), cold.mean_blind_ticks());
+  EXPECT_LT(warm.missed_alarm_rate(), cold.missed_alarm_rate());
+}
+
+}  // namespace
+}  // namespace sds::eval

@@ -1,0 +1,11 @@
+// Clean: the same migration moving detector state through the versioned
+// obs handoff envelope, as eval/hostchaos.cpp does for real handoffs.
+#include "obs/handoff.h"
+
+namespace sds::eval {
+struct FakeDetector {};
+std::string PackForMigration(const FakeDetector& detector) {
+  (void)detector;
+  return "obs::PackSdsHandoff carries the fingerprint + version pin";
+}
+}  // namespace sds::eval

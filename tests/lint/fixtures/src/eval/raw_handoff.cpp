@@ -1,0 +1,14 @@
+// Seeded violations: an eval harness moving detector state across a
+// migration as raw SaveState/RestoreState bytes, bypassing the versioned
+// handoff envelope (det-handoff-versioned).
+namespace sds::eval {
+struct FakeDetector {
+  void SaveState(int& w) const;
+  bool RestoreState(int& r);
+};
+void MoveDetector(FakeDetector& from, FakeDetector* to) {
+  int blob = 0;
+  from.SaveState(blob);
+  to->RestoreState(blob);
+}
+}  // namespace sds::eval

@@ -1,0 +1,11 @@
+// Seeded suppression: a justified in-process restore (never leaves the
+// host, e.g. an A/B replay of one detector) may bypass the envelope.
+namespace sds::eval {
+struct FakeDetector {
+  bool RestoreState(int& r);
+};
+void Replay(FakeDetector& detector) {
+  int blob = 0;
+  detector.RestoreState(blob);  // sdslint: allow(det-handoff-versioned)
+}
+}  // namespace sds::eval

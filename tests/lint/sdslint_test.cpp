@@ -71,6 +71,8 @@ TEST(SdslintFixtures, ExactDiagnosticSet) {
       {"src/detect/mutates_ledger.cpp", 13, kRuleDetAttribLedger},
       {"src/detect/mutates_ledger.cpp", 14, kRuleDetAttribLedger},
       {"src/detect/unordered_iter.cpp", 12, kRuleDetUnorderedIter},
+      {"src/eval/raw_handoff.cpp", 11, kRuleDetHandoffVersioned},
+      {"src/eval/raw_handoff.cpp", 12, kRuleDetHandoffVersioned},
       {"src/obs/unversioned_snapshot.cpp", 8, kRuleDetSnapshotVersioned},
       {"src/pcm/wallclock.cpp", 5, kRuleDetClock},
       {"src/pcm/wallclock.cpp", 9, kRuleDetClock},
@@ -117,9 +119,10 @@ TEST(SdslintFixtures, SuppressionCommentSilencesEachRule) {
   EXPECT_EQ(CountForFile(r, "src/obs/suppressed_unversioned.cpp"), 0);
   EXPECT_EQ(CountForFile(r, "src/svc/suppressed_unversioned_wal.cpp"), 0);
   EXPECT_EQ(CountForFile(r, "src/detect/suppressed_ledger.cpp"), 0);
+  EXPECT_EQ(CountForFile(r, "src/eval/suppressed_raw_handoff.cpp"), 0);
   // ...and each allow() comment must be reported as used, so stale escape
   // hatches are auditable via --list-suppressions.
-  ASSERT_EQ(r.suppressions.size(), 9u);
+  ASSERT_EQ(r.suppressions.size(), 10u);
   for (const Suppression& s : r.suppressions) {
     EXPECT_TRUE(s.used) << s.file << ":" << s.comment_line;
   }
@@ -141,6 +144,10 @@ TEST(SdslintFixtures, CleanFilesStayClean) {
   EXPECT_EQ(CountForFile(r, "src/obs/versioned_snapshot.cpp"), 0);
   // Same for WAL framing that references the payload version pin.
   EXPECT_EQ(CountForFile(r, "src/svc/versioned_wal.cpp"), 0);
+  // Detector state moved through the versioned handoff envelope is the
+  // sanctioned migration path — det-handoff-versioned keys on the raw
+  // SaveState/RestoreState verbs only.
+  EXPECT_EQ(CountForFile(r, "src/eval/enveloped_handoff.cpp"), 0);
   // The sim layer recording into the attribution ledger is the sanctioned
   // mutation path — det-attrib-ledger only fires OUTSIDE sim.
   EXPECT_EQ(CountForFile(r, "src/sim/ledger_ok.cpp"), 0);
@@ -157,7 +164,8 @@ TEST(SdslintFixtures, JsonOutputIsWellFormedAndComplete) {
        {kRuleLayerDag, kRuleDetRand, kRuleDetClock, kRuleDetPointerPrint,
         kRuleDetUnorderedIter, kRuleDetActuationIdempotent,
         kRuleDetAttribLedger,
-        kRuleDetSnapshotVersioned, kRuleDetWalVersioned, kRuleHdrPragmaOnce,
+        kRuleDetSnapshotVersioned, kRuleDetWalVersioned,
+        kRuleDetHandoffVersioned, kRuleHdrPragmaOnce,
         kRuleHdrSelfContained, kRuleHdrTelemetryFwd}) {
     EXPECT_NE(json.find(std::string("\"rule\":\"") + rule + "\""),
               std::string::npos)

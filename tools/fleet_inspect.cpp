@@ -10,6 +10,9 @@
 //   fleet_inspect fleet.jsonl --svc           per-crash-point recovery rows
 //   fleet_inspect fleet.jsonl --forensics     per-VM conviction table over
 //                                             the stream's forensic reports
+//   fleet_inspect chaos.jsonl --hostchaos     warm-vs-cold handoff table over
+//                                             the stream's host-chaos runs
+//                                             (bench_hostchaos --trace_out)
 //
 // Line types consumed: "rollup" (one window x series row), "rollup_stats"
 // (ingest/drop/memory accounting), "slo_alert" (level transitions),
@@ -167,7 +170,9 @@ int main(int argc, char** argv) {
            {"alerts", "dump the first N slo_alert records (default 0)"},
            {"svc", "dump per-crash-point service recovery rows", true},
            {"forensics", "per-VM conviction table over forensic reports",
-            true}})) {
+            true},
+           {"hostchaos",
+            "warm-vs-cold handoff table over host-chaos runs", true}})) {
     return flags.help_requested() ? 0 : 1;
   }
   if (flags.positional().size() != 1) {
@@ -206,6 +211,25 @@ int main(int argc, char** argv) {
   std::vector<JsonObject> svc_recoveries;
   // Forensic incident reports, aggregated per convicted VM.
   std::vector<JsonObject> forensic_reports;
+  // Host-chaos runs (bench_hostchaos --trace_out): records are aggregated
+  // into a warm side and a cold side keyed by the enclosing run header's
+  // warm_handoff flag, so the fleet view directly compares the two replays.
+  struct HostChaosSide {
+    std::uint64_t runs = 0;
+    std::uint64_t handoffs = 0;
+    std::uint64_t blind_sum = 0;  // over closed (non-censored) windows
+    std::uint64_t blind_closed = 0;
+    std::uint64_t blind_censored = 0;
+    std::uint64_t max_blind = 0;
+  };
+  HostChaosSide hc_sides[2];  // [0]=cold, [1]=warm
+  bool hc_current_warm = false;
+  bool hc_seen = false;
+  std::uint64_t hc_transitions = 0;
+  std::uint64_t hc_host_downs = 0;
+  std::map<std::string, std::uint64_t> hc_evac_outcomes;
+  std::uint64_t hc_evac_attempts = 0;
+  std::uint64_t hc_evacuations = 0;
 
   std::string line;
   JsonObject obj;
@@ -253,6 +277,35 @@ int main(int argc, char** argv) {
       svc_recoveries.push_back(obj);
     } else if (type == "forensic_report") {
       forensic_reports.push_back(obj);
+    } else if (type == "hostchaos_header") {
+      hc_seen = true;
+      hc_current_warm = StrOr(obj, "warm_handoff", "false") == "true";
+      ++hc_sides[hc_current_warm ? 1 : 0].runs;
+    } else if (type == "host_state") {
+      hc_seen = true;
+      ++hc_transitions;
+      const std::string to = StrOr(obj, "to", "?");
+      if (to == "down" || to == "dead") ++hc_host_downs;
+    } else if (type == "evacuation") {
+      hc_seen = true;
+      ++hc_evacuations;
+      ++hc_evac_outcomes[StrOr(obj, "outcome", "?")];
+      hc_evac_attempts +=
+          static_cast<std::uint64_t>(NumOr(obj, "attempts", 0.0));
+    } else if (type == "handoff") {
+      hc_seen = true;
+      HostChaosSide& side = hc_sides[hc_current_warm ? 1 : 0];
+      ++side.handoffs;
+      const auto blind =
+          static_cast<std::int64_t>(NumOr(obj, "blind_ticks", -1.0));
+      if (blind < 0) {
+        ++side.blind_censored;
+      } else {
+        ++side.blind_closed;
+        side.blind_sum += static_cast<std::uint64_t>(blind);
+        side.max_blind =
+            std::max(side.max_blind, static_cast<std::uint64_t>(blind));
+      }
     } else {
       ++unknown_types[type];
     }
@@ -438,6 +491,51 @@ int main(int argc, char** argv) {
       table.Print(std::cout);
     } else if (!convictions.empty()) {
       std::cout << "  (run with --forensics for the per-VM table)\n";
+    }
+  }
+
+  if (hc_seen) {
+    // Host-chaos fleet view: how much the hosts misbehaved, whether
+    // evacuation converged, and the warm-vs-cold handoff comparison (the
+    // bench writes both replays of each cell into one stream). A warm row
+    // whose mean blind window is not well below the cold row's means the
+    // handoff is not carrying detector state.
+    std::cout << "\nhost-chaos: runs=" << (hc_sides[0].runs + hc_sides[1].runs)
+              << " (warm=" << hc_sides[1].runs << " cold=" << hc_sides[0].runs
+              << ") host_transitions=" << hc_transitions
+              << " host_downs=" << hc_host_downs << "\n";
+    if (hc_evacuations != 0) {
+      std::cout << "  evacuations: " << hc_evacuations;
+      for (const auto& [outcome, n] : hc_evac_outcomes) {
+        std::cout << " " << outcome << "=" << n;
+      }
+      std::cout << " mean_attempts="
+                << FormatFixed(static_cast<double>(hc_evac_attempts) /
+                                   static_cast<double>(hc_evacuations),
+                               1)
+                << "\n";
+    }
+    if (flags.GetBool("hostchaos", false) &&
+        (hc_sides[0].handoffs != 0 || hc_sides[1].handoffs != 0)) {
+      TextTable table;
+      table.SetHeader({"handoff", "runs", "handoffs", "mean blind", "max blind",
+                       "censored"});
+      for (int side = 1; side >= 0; --side) {
+        const HostChaosSide& s = hc_sides[side];
+        table.Row(side == 1 ? "warm" : "cold", TextTable::Str(s.runs),
+                  TextTable::Str(s.handoffs),
+                  s.blind_closed == 0
+                      ? "-"
+                      : FormatFixed(static_cast<double>(s.blind_sum) /
+                                        static_cast<double>(s.blind_closed),
+                                    1),
+                  TextTable::Str(s.max_blind),
+                  TextTable::Str(s.blind_censored));
+      }
+      table.Print(std::cout);
+    } else if (hc_sides[0].handoffs != 0 || hc_sides[1].handoffs != 0) {
+      std::cout << "  (run with --hostchaos for the warm-vs-cold handoff "
+                   "table)\n";
     }
   }
 

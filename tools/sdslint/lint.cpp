@@ -376,6 +376,28 @@ class Analyzer {
     CheckAttribLedger(f);
     CheckSnapshotVersioned(f);
     CheckWalVersioned(f);
+    CheckHandoffVersioned(f);
+  }
+
+  // det-handoff-versioned: migration orchestration (cluster layer) and the
+  // eval harnesses must never move detector state as raw SaveState /
+  // RestoreState bytes — a handoff blob crosses hosts and release
+  // boundaries, so it must travel inside the versioned + fingerprinted obs
+  // envelope (obs/handoff.h), whose OpenSnapshot rejection is what turns a
+  // config or format skew into a LOUD cold start instead of a misparse.
+  // The detect layer (producing its own payload), the obs wrappers and the
+  // svc WAL path are the sanctioned callers and stay out of scope.
+  void CheckHandoffVersioned(FileSummary& f) {
+    if (f.layer != "cluster" && f.layer != "eval") return;
+    for (const VerbCall& v : f.verb_calls) {
+      if (v.verb != "SaveState" && v.verb != "RestoreState") continue;
+      Emit(f, v.line, kRuleDetHandoffVersioned,
+           v.verb + "() called directly from " + f.path +
+               ": detector state crossing hosts must ride the versioned "
+               "handoff envelope (obs::PackSdsHandoff/ApplySdsHandoff or "
+               "the KsTest equivalents) so fingerprint/version skew "
+               "rejects loudly instead of misparsing");
+    }
   }
 
   // det-snapshot-versioned: an obs-layer file that serializes or parses a

@@ -55,6 +55,7 @@ inline constexpr char kRuleDetActuationIdempotent[] =
 inline constexpr char kRuleDetAttribLedger[] = "det-attrib-ledger";
 inline constexpr char kRuleDetSnapshotVersioned[] = "det-snapshot-versioned";
 inline constexpr char kRuleDetWalVersioned[] = "det-wal-versioned";
+inline constexpr char kRuleDetHandoffVersioned[] = "det-handoff-versioned";
 inline constexpr char kRuleHdrPragmaOnce[] = "hdr-pragma-once";
 inline constexpr char kRuleHdrSelfContained[] = "hdr-self-contained";
 inline constexpr char kRuleHdrTelemetryFwd[] = "hdr-telemetry-fwd";

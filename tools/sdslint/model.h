@@ -16,7 +16,7 @@
 namespace sdslint {
 
 // Bump to invalidate every on-disk cache entry (format or extraction change).
-inline constexpr int kSummaryFormatVersion = 1;
+inline constexpr int kSummaryFormatVersion = 2;
 
 struct IncludeDirective {
   int line = 0;

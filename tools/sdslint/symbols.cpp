@@ -94,7 +94,8 @@ constexpr BanToken kBanTokens[] = {
 
 constexpr const char* kMutationVerbs[] = {
     "Migrate",         "StopVm",           "ResumeVm",     "RecordTickStart",
-    "RecordEviction",  "RecordBusOccupancy", "RecordBusStall"};
+    "RecordEviction",  "RecordBusOccupancy", "RecordBusStall",
+    "SaveState",       "RestoreState"};
 
 void ScanSinks(const SourceText& f, FileSummary* out) {
   for (std::size_t i = 0; i < f.code.size(); ++i) {

@@ -15,6 +15,10 @@
 //   trace_inspect lint_stats.json --lint     lint-run summary (the
 //                                            `sdslint --stats --stats-out`
 //                                            payload), with per-rule hits
+//   trace_inspect chaos.jsonl --hostchaos    per-transition host up/down
+//                                            timeline and per-evacuation rows
+//                                            under each host-chaos run
+//                                            (bench_hostchaos --trace_out)
 //
 // The parser handles exactly the flat one-object-per-line JSON this repo
 // emits (string/number/bool values, numeric arrays); it is not a general
@@ -167,6 +171,31 @@ struct AuditSummary {
   double worst_margin = -1e300;
 };
 
+// One header-delimited host-chaos run (bench_hostchaos --trace_out writes a
+// hostchaos_header line per run, warm then cold, followed by that run's
+// host_state / evacuation / handoff records).
+struct HostChaosRun {
+  JsonObject header;
+  std::vector<JsonObject> host_states;
+  std::vector<JsonObject> evacuations;
+  std::vector<JsonObject> handoffs;
+};
+
+// Blind-window histogram bucket label for one handoff's blind_ticks value
+// (-1 = still open when the run ended, i.e. censored).
+const char* const kBlindBucketNames[] = {"censored", "0",      "1-50",
+                                         "51-200",   "201-800", ">800"};
+constexpr std::size_t kBlindBuckets = std::size(kBlindBucketNames);
+
+std::size_t BlindBucket(long long blind) {
+  if (blind < 0) return 0;
+  if (blind == 0) return 1;
+  if (blind <= 50) return 2;
+  if (blind <= 200) return 3;
+  if (blind <= 800) return 4;
+  return 5;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -182,6 +211,10 @@ int main(int argc, char** argv) {
                      true},
                     {"lint",
                      "dump per-rule hit counts under the lint summary",
+                     true},
+                    {"hostchaos",
+                     "dump host up/down timelines and evacuation rows under "
+                     "each host-chaos run",
                      true}})) {
     return flags.help_requested() ? 0 : 1;
   }
@@ -196,6 +229,7 @@ int main(int argc, char** argv) {
   const bool dump_svc = flags.GetBool("svc", false);
   const bool dump_forensics = flags.GetBool("forensics", false);
   const bool dump_lint = flags.GetBool("lint", false);
+  const bool dump_hostchaos = flags.GetBool("hostchaos", false);
   const long long dump_events = flags.GetInt("events", 0);
 
   std::ifstream in(path);
@@ -237,6 +271,8 @@ int main(int argc, char** argv) {
   // sdslint --stats payload (BENCH_lint / --stats-out): the one record kind
   // without a "type" key, recognized by its field set.
   std::optional<JsonObject> lint_stats;
+  // Host-chaos runs (bench_hostchaos --trace_out), header-delimited.
+  std::vector<HostChaosRun> hostchaos_runs;
 
   std::string line;
   long long lineno = 0;
@@ -320,6 +356,21 @@ int main(int argc, char** argv) {
       svc_recoveries.push_back(o);
     } else if (type == "forensic_report") {
       forensic_reports.push_back(o);
+    } else if (type == "hostchaos_header") {
+      hostchaos_runs.emplace_back();
+      hostchaos_runs.back().header = o;
+    } else if (type == "host_state" || type == "evacuation" ||
+               type == "handoff") {
+      // A record before any header (truncated file) still gets summarized
+      // under an implicit run.
+      if (hostchaos_runs.empty()) hostchaos_runs.emplace_back();
+      if (type == "host_state") {
+        hostchaos_runs.back().host_states.push_back(std::move(o));
+      } else if (type == "evacuation") {
+        hostchaos_runs.back().evacuations.push_back(std::move(o));
+      } else {
+        hostchaos_runs.back().handoffs.push_back(std::move(o));
+      }
     } else if (type.empty() && o.count("rule_hits") != 0 &&
                o.count("files_scanned") != 0) {
       lint_stats = o;
@@ -693,6 +744,122 @@ int main(int argc, char** argv) {
         }
       } else {
         std::printf("  (no per-rule hits recorded)\n");
+      }
+    }
+  }
+
+  if (!hostchaos_runs.empty()) {
+    // Host-chaos runs (DESIGN.md §17): per run, the host up/down timeline,
+    // evacuation convergence, the warm-vs-cold handoff ledger and a
+    // blind-window histogram. The bench writes the warm and cold replay of
+    // the same cell back to back, so the two runs are directly comparable.
+    std::printf("\nhost-chaos runs\n");
+    for (std::size_t run = 0; run < hostchaos_runs.size(); ++run) {
+      const HostChaosRun& hc = hostchaos_runs[run];
+      std::printf("  run %zu: app=%s hosts=%lld handoff=%s attack_start=%lld "
+                  "horizon=%lld\n",
+                  run, StrOr(hc.header, "app", "?").c_str(),
+                  static_cast<long long>(NumOr(hc.header, "hosts", 0)),
+                  StrOr(hc.header, "warm_handoff", "?") == "true" ? "warm"
+                                                                  : "cold",
+                  static_cast<long long>(NumOr(hc.header, "attack_start", -1)),
+                  static_cast<long long>(NumOr(hc.header, "horizon", -1)));
+
+      // Host timeline: transition count and per-host down entries.
+      std::map<long long, std::uint64_t> downs_by_host;
+      for (const auto& t : hc.host_states) {
+        const std::string to = StrOr(t, "to", "?");
+        if (to == "down" || to == "dead") {
+          ++downs_by_host[static_cast<long long>(NumOr(t, "host", -1))];
+        }
+      }
+      std::printf("    host timeline: %zu transitions", hc.host_states.size());
+      for (const auto& [host, downs] : downs_by_host) {
+        std::printf("  host%lld: %llu down", host,
+                    static_cast<unsigned long long>(downs));
+      }
+      std::printf("\n");
+      if (dump_hostchaos) {
+        for (const auto& t : hc.host_states) {
+          const auto tick = static_cast<long long>(NumOr(t, "tick", -1));
+          std::printf("      t=%8lld (%7.2fs)  host %lld  %s -> %s\n", tick,
+                      clock.ToSeconds(tick),
+                      static_cast<long long>(NumOr(t, "host", -1)),
+                      StrOr(t, "from", "?").c_str(),
+                      StrOr(t, "to", "?").c_str());
+        }
+      }
+
+      if (!hc.evacuations.empty()) {
+        std::map<std::string, std::uint64_t> outcomes;
+        std::uint64_t attempts = 0, duration = 0;
+        for (const auto& e : hc.evacuations) {
+          ++outcomes[StrOr(e, "outcome", "?")];
+          attempts += static_cast<std::uint64_t>(NumOr(e, "attempts", 0));
+          duration += static_cast<std::uint64_t>(
+              NumOr(e, "finished", 0) - NumOr(e, "tick", 0));
+        }
+        std::printf("    evacuations: %zu", hc.evacuations.size());
+        for (const auto& [outcome, count] : outcomes) {
+          std::printf("  %s=%llu", outcome.c_str(),
+                      static_cast<unsigned long long>(count));
+        }
+        std::printf("  mean_attempts=%.1f mean_ticks=%.1f\n",
+                    static_cast<double>(attempts) /
+                        static_cast<double>(hc.evacuations.size()),
+                    static_cast<double>(duration) /
+                        static_cast<double>(hc.evacuations.size()));
+        if (dump_hostchaos) {
+          for (const auto& e : hc.evacuations) {
+            const auto tick = static_cast<long long>(NumOr(e, "tick", -1));
+            std::printf("      t=%8lld (%7.2fs)  VM %lld  host %lld -> %lld  "
+                        "attempts=%lld  %s\n",
+                        tick, clock.ToSeconds(tick),
+                        static_cast<long long>(NumOr(e, "vm", -1)),
+                        static_cast<long long>(NumOr(e, "from_host", -1)),
+                        static_cast<long long>(NumOr(e, "to_host", -1)),
+                        static_cast<long long>(NumOr(e, "attempts", 0)),
+                        StrOr(e, "outcome", "?").c_str());
+          }
+        }
+      }
+
+      if (!hc.handoffs.empty()) {
+        std::uint64_t warm = 0;
+        std::uint64_t blind_hist[kBlindBuckets] = {};
+        for (const auto& h : hc.handoffs) {
+          if (StrOr(h, "warm", "false") == "true") ++warm;
+          ++blind_hist[BlindBucket(
+              static_cast<long long>(NumOr(h, "blind_ticks", -1)))];
+        }
+        std::printf("    handoffs: %zu (warm=%llu cold=%llu)  blind-window:",
+                    hc.handoffs.size(),
+                    static_cast<unsigned long long>(warm),
+                    static_cast<unsigned long long>(hc.handoffs.size() -
+                                                    warm));
+        for (std::size_t b = 0; b < kBlindBuckets; ++b) {
+          if (blind_hist[b] != 0) {
+            std::printf(" [%s]=%llu", kBlindBucketNames[b],
+                        static_cast<unsigned long long>(blind_hist[b]));
+          }
+        }
+        std::printf("\n");
+        if (dump_hostchaos) {
+          for (const auto& h : hc.handoffs) {
+            const auto tick = static_cast<long long>(NumOr(h, "tick", -1));
+            std::printf("      t=%8lld (%7.2fs)  VM %lld  host %lld -> %lld  "
+                        "%s %s %s  blind=%lld\n",
+                        tick, clock.ToSeconds(tick),
+                        static_cast<long long>(NumOr(h, "vm", -1)),
+                        static_cast<long long>(NumOr(h, "from_host", -1)),
+                        static_cast<long long>(NumOr(h, "to_host", -1)),
+                        StrOr(h, "forced", "false") == "true" ? "forced"
+                                                              : "evac",
+                        StrOr(h, "warm", "false") == "true" ? "warm" : "cold",
+                        StrOr(h, "status", "?").c_str(),
+                        static_cast<long long>(NumOr(h, "blind_ticks", -1)));
+          }
+        }
       }
     }
   }
